@@ -1,0 +1,110 @@
+// Command besst-bench runs the synthetic benchmarking campaign of the
+// Model Development phase: it times the LULESH timestep function and
+// the requested FTI checkpoint levels over the (epr, ranks) grid on the
+// emulated Quartz and writes the samples as CSV (stdout or -o file) for
+// besst-model to fit.
+//
+//	besst-bench -samples 10 -o campaign.csv
+//	besst-bench -machine vulcan -app cmtbone -o cmt.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"besst/internal/benchdata"
+	"besst/internal/fti"
+	"besst/internal/groundtruth"
+)
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	machineName := flag.String("machine", "quartz", "ground-truth machine: quartz | vulcan")
+	app := flag.String("app", "lulesh", "application: lulesh | cmtbone")
+	eprs := flag.String("epr", "5,10,15,20,25", "problem sizes (lulesh) or element counts (cmtbone)")
+	ranks := flag.String("ranks", "8,64,216,512,1000", "rank counts")
+	levels := flag.String("levels", "1,2", "FTI checkpoint levels to benchmark (lulesh only)")
+	samples := flag.Int("samples", 10, "timing samples per parameter combination")
+	seed := flag.Uint64("seed", 42, "random seed")
+	out := flag.String("o", "", "output CSV path (default stdout)")
+	flag.Parse()
+
+	var em *groundtruth.Emulator
+	switch *machineName {
+	case "quartz":
+		em = groundtruth.NewQuartz()
+	case "vulcan":
+		em = groundtruth.NewVulcan()
+	default:
+		fatalf("unknown machine %q", *machineName)
+	}
+
+	eprList, err := parseIntList(*eprs)
+	if err != nil {
+		fatalf("-epr: %v", err)
+	}
+	rankList, err := parseIntList(*ranks)
+	if err != nil {
+		fatalf("-ranks: %v", err)
+	}
+
+	var campaign *benchdata.Campaign
+	switch *app {
+	case "lulesh":
+		levelList, err := parseIntList(*levels)
+		if err != nil {
+			fatalf("-levels: %v", err)
+		}
+		var fls []fti.Level
+		for _, l := range levelList {
+			fl := fti.Level(l)
+			if !fl.Valid() {
+				fatalf("invalid FTI level %d", l)
+			}
+			fls = append(fls, fl)
+		}
+		campaign = benchdata.CollectLulesh(em, benchdata.LuleshPlan{
+			EPRs: eprList, Ranks: rankList, Levels: fls,
+			SamplesPer: *samples, Seed: *seed,
+		})
+	case "cmtbone":
+		campaign = benchdata.CollectCmtBone(em, eprList, rankList, *samples, *seed)
+	default:
+		fatalf("unknown app %q", *app)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := campaign.WriteCSV(w); err != nil {
+		fatalf("write CSV: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "collected %d samples across %d ops on %s\n",
+		len(campaign.Samples), len(campaign.Ops()), em.M.Name)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "besst-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command besst-dse sweeps the fault-tolerance design space and prints
+// the Co-Design phase outputs: the Fig 9-style overhead tables, the
+// FT-level ranking at a chosen design point, and the pruning report
+// flagging where the models diverge from the benchmarks (the regions
+// the paper routes to direct runs or fine-grained simulators).
+//
+//	besst-dse
+//	besst-dse -threshold 10 -epr 15 -ranks 216
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"besst/internal/dse"
+	"besst/internal/groundtruth"
+	"besst/internal/lulesh"
+	"besst/internal/workflow"
+)
+
+func main() {
+	samples := flag.Int("samples", 10, "benchmark samples per combination")
+	steps := flag.Int("steps", 200, "timesteps per simulated run")
+	mc := flag.Int("mc", 5, "Monte Carlo replications per design point")
+	threshold := flag.Float64("threshold", 15, "pruning threshold, percent divergence")
+	epr := flag.Int("epr", 15, "design point for FT-level ranking: problem size")
+	ranks := flag.Int("ranks", 216, "design point for FT-level ranking: ranks")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	em := groundtruth.NewQuartz()
+	fmt.Printf("developing models (%d samples/combination)...\n", *samples)
+	models, campaign := workflow.DevelopLuleshQuartz(em, *samples, workflow.SymbolicRegression, *seed)
+
+	cells := dse.OverheadSweep(models, em.M, em.Cost.Config.NodeSize, dse.SweepConfig{
+		EPRs:      []int{10, 15, 20, 25},
+		Ranks:     []int{64, 216, 1000},
+		Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT, lulesh.ScenarioL1, lulesh.ScenarioL1L2},
+		Timesteps: *steps,
+		MCRuns:    *mc,
+		Seed:      *seed + 1,
+	})
+
+	fmt.Println("\nOverhead prediction (percent of no-FT runtime at 64 ranks per epr):")
+	for _, r := range []int{64, 216, 1000} {
+		fmt.Println(dse.FormatOverheadTable(cells, r))
+	}
+
+	fmt.Printf("FT-level ranking at epr=%d, ranks=%d:\n", *epr, *ranks)
+	for i, c := range dse.RankFTLevels(cells, *epr, *ranks) {
+		fmt.Printf("  %d. %-8s %.4gs (%.0f%%)\n", i+1, c.Scenario, c.MeanSec, c.OverheadPct)
+	}
+
+	fmt.Printf("\nPruning report (|divergence| > %.0f%%):\n", *threshold)
+	flagged := 0
+	for _, d := range dse.PruneReport(models, campaign, *threshold) {
+		if !d.Flagged {
+			continue
+		}
+		flagged++
+		fmt.Printf("  %-18s epr=%-3d ranks=%-5d measured %.4gs predicted %.4gs (%+.1f%%)\n    -> %s\n",
+			d.Op, d.EPR, d.Ranks, d.MeasuredSec, d.PredictedSec, d.PercentError, d.Advice)
+	}
+	if flagged == 0 {
+		fmt.Println("  no design-space regions flagged; models cover the grid")
+	}
+}

@@ -1,0 +1,147 @@
+// Command besst-exp reproduces the paper's tables and figures plus the
+// extension experiments. With no flags it runs everything; individual
+// experiments are selected with -table, -fig, and -ext.
+//
+//	besst-exp -table 3          # instance-model MAPE (Table III)
+//	besst-exp -fig 9            # overhead tables (Fig 9)
+//	besst-exp -ext faults       # fault-injection Cases 1-4
+//	besst-exp -quick            # reduced Monte Carlo counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"besst/internal/besst"
+	"besst/internal/exp"
+)
+
+func main() {
+	table := flag.Int("table", 0, "reproduce one table (1-4); 0 = all")
+	fig := flag.Int("fig", 0, "reproduce one figure (1, 5-9); 0 = all")
+	ext := flag.String("ext", "", "extension experiment: faults | analytic | levels | optlevel | algdse | archdse")
+	quick := flag.Bool("quick", false, "reduced sample and Monte Carlo counts")
+	seed := flag.Uint64("seed", 42, "master random seed")
+	flag.Parse()
+
+	samples, mc, steps := 10, 10, 200
+	if *quick {
+		samples, mc, steps = 5, 3, 80
+	}
+
+	selected := func(kind string, id int, name string) bool {
+		if *table == 0 && *fig == 0 && *ext == "" {
+			return true // run everything by default
+		}
+		switch kind {
+		case "table":
+			return *table == id
+		case "fig":
+			return *fig == id
+		case "ext":
+			return *ext == name
+		}
+		return false
+	}
+
+	w := os.Stdout
+	var ctx *exp.Context
+	needCtx := selected("table", 3, "") || selected("table", 4, "") ||
+		selected("fig", 5, "") || selected("fig", 6, "") || selected("fig", 7, "") ||
+		selected("fig", 8, "") || selected("fig", 9, "") ||
+		selected("ext", 0, "faults") || selected("ext", 0, "analytic") ||
+		selected("ext", 0, "levels") || selected("ext", 0, "optlevel") ||
+		selected("ext", 0, "algdse") || selected("ext", 0, "archdse")
+	if needCtx {
+		fmt.Fprintf(w, "developing case-study models (%d samples/combination, seed %d)...\n\n", samples, *seed)
+		ctx = exp.NewContext(samples, *seed)
+		for _, r := range ctx.Models.Reports {
+			fmt.Fprintf(w, "  model %-18s train %6.2f%%  test %6.2f%%  validation %6.2f%%\n",
+				r.Op, r.TrainMAPE, r.TestMAPE, r.ValidationMAPE)
+			if r.Expression != "" {
+				fmt.Fprintf(w, "    %s\n", r.Expression)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	if selected("table", 1, "") {
+		exp.Table1(w)
+		fmt.Fprintln(w)
+	}
+	if selected("table", 2, "") {
+		exp.Table2(w)
+		fmt.Fprintln(w)
+	}
+	if selected("fig", 1, "") {
+		fmt.Fprintln(w, "running Fig 1 (CMT-bone on Vulcan, predictions to 1M ranks)...")
+		exp.FormatFig1(w, exp.Fig1(20, mc, *seed+1))
+		fmt.Fprintln(w)
+	}
+	if selected("fig", 5, "") {
+		exp.FormatValidationPoints(w, "Fig 5: model validation vs problem size (epr)", exp.Fig5(ctx))
+		fmt.Fprintln(w)
+	}
+	if selected("fig", 6, "") {
+		exp.FormatValidationPoints(w, "Fig 6: model validation vs number of ranks", exp.Fig6(ctx))
+		fmt.Fprintln(w)
+	}
+	if selected("table", 3, "") {
+		exp.FormatTable3(w, exp.Table3(ctx))
+		fmt.Fprintln(w)
+	}
+	if selected("fig", 7, "") {
+		fmt.Fprintln(w, "running Fig 7 (DES mode, 64 ranks)...")
+		exp.FormatFullRun(w, "Fig 7: full application runtime, 64 ranks, epr 10",
+			exp.FigFullRun(ctx, 10, 64, steps, mc, besst.DES), 20)
+		fmt.Fprintln(w)
+	}
+	if selected("fig", 8, "") {
+		fmt.Fprintln(w, "running Fig 8 (DES mode, 1000 ranks)...")
+		exp.FormatFullRun(w, "Fig 8: full application runtime, 1000 ranks, epr 10",
+			exp.FigFullRun(ctx, 10, 1000, steps, mc, besst.DES), 20)
+		fmt.Fprintln(w)
+	}
+	if selected("table", 4, "") {
+		fmt.Fprintln(w, "running Table IV (full-system validation over the Table II grid)...")
+		exp.FormatTable4(w, exp.Table4(ctx, steps, mc))
+		fmt.Fprintln(w)
+	}
+	if selected("fig", 9, "") {
+		fmt.Fprintln(w, "running Fig 9 (overhead sweep)...")
+		exp.FormatFig9(w, exp.Fig9(ctx, steps, mc))
+		fmt.Fprintln(w)
+	}
+	if selected("ext", 0, "faults") {
+		fmt.Fprintln(w, "running fault-injection extension (Fig 4 Cases 1-4)...")
+		exp.FormatFaultStudy(w, exp.FaultStudy(ctx, 25, 64, 600000, 4*mc, 5))
+		fmt.Fprintln(w)
+	}
+	if selected("ext", 0, "levels") {
+		fmt.Fprintln(w, "running all-levels extension (FTI L1-L4 modeled)...")
+		exp.FormatAllLevels(w, exp.AllLevelsStudy(ctx))
+		fmt.Fprintln(w)
+	}
+	if selected("ext", 0, "optlevel") {
+		fmt.Fprintln(w, "running optimal-level extension (FT level vs failure rate)...")
+		exp.FormatOptimalLevel(w, exp.OptimalLevelStudy(ctx, 25, 1000, 200000, mc,
+			[]float64{2000, 200, 20, 5}))
+		fmt.Fprintln(w)
+	}
+	if selected("ext", 0, "algdse") {
+		fmt.Fprintln(w, "running algorithmic DSE extension (C/R vs ABFT)...")
+		exp.FormatAlgDSE(w, exp.AlgorithmicDSE(ctx, 40), 40)
+		fmt.Fprintln(w)
+	}
+	if selected("ext", 0, "archdse") {
+		fmt.Fprintln(w, "running architectural DSE extension (hardware variants)...")
+		exp.FormatArchDSE(w, exp.ArchitecturalDSE(ctx))
+		fmt.Fprintln(w)
+	}
+	if selected("ext", 0, "analytic") {
+		exp.FormatAnalyticStudy(w, exp.AnalyticStudy(ctx, 1e-5,
+			[]int{64, 512, 4096, 32768, 262144, 1 << 20}))
+		fmt.Fprintln(w)
+	}
+}

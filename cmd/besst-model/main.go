@@ -1,0 +1,106 @@
+// Command besst-model fits performance models from a benchmarking-
+// campaign CSV (produced by besst-bench) with either modeling method
+// and reports per-op accuracy — the Model Development half of the
+// BE-SST workflow as a standalone step.
+//
+//	besst-bench -o campaign.csv
+//	besst-model -in campaign.csv -method symreg
+//	besst-model -in campaign.csv -method interp -predict "epr=30,ranks=1331"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"besst/internal/benchdata"
+	"besst/internal/perfmodel"
+	"besst/internal/workflow"
+)
+
+func main() {
+	in := flag.String("in", "", "campaign CSV (required)")
+	method := flag.String("method", "symreg", "modeling method: symreg | interp")
+	vars := flag.String("vars", "epr,ranks", "model input variables, comma separated")
+	seed := flag.Uint64("seed", 42, "random seed")
+	predict := flag.String("predict", "", "optional prediction point, e.g. \"epr=30,ranks=1331\"")
+	save := flag.String("save", "", "write the fitted model bundle as JSON to this path")
+	flag.Parse()
+
+	if *in == "" {
+		fatalf("-in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatalf("open: %v", err)
+	}
+	campaign, err := benchdata.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatalf("parse: %v", err)
+	}
+
+	var m workflow.Method
+	switch *method {
+	case "symreg":
+		m = workflow.SymbolicRegression
+	case "interp":
+		m = workflow.Interpolation
+	default:
+		fatalf("unknown method %q", *method)
+	}
+	varNames := strings.Split(*vars, ",")
+	for i := range varNames {
+		varNames[i] = strings.TrimSpace(varNames[i])
+	}
+
+	models := workflow.Develop(campaign, m, varNames, *seed)
+	fmt.Printf("fitted %d models with %s\n", len(models.Reports), m)
+	if *save != "" {
+		out, err := os.Create(*save)
+		if err != nil {
+			fatalf("create %s: %v", *save, err)
+		}
+		if err := models.Save(out); err != nil {
+			fatalf("save: %v", err)
+		}
+		if err := out.Close(); err != nil {
+			fatalf("close: %v", err)
+		}
+		fmt.Printf("saved model bundle to %s\n", *save)
+	}
+	for _, r := range models.Reports {
+		fmt.Printf("  %-20s validation MAPE %6.2f%%", r.Op, r.ValidationMAPE)
+		if r.Expression != "" {
+			fmt.Printf("  train %5.2f%% test %5.2f%%\n    %s\n", r.TrainMAPE, r.TestMAPE, r.Expression)
+		} else {
+			fmt.Println()
+		}
+	}
+
+	if *predict != "" {
+		p := perfmodel.Params{}
+		for _, kv := range strings.Split(*predict, ",") {
+			parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+			if len(parts) != 2 {
+				fatalf("bad -predict entry %q", kv)
+			}
+			v, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				fatalf("bad -predict value %q: %v", parts[1], err)
+			}
+			p[parts[0]] = v
+		}
+		fmt.Printf("predictions at %s:\n", p.Key())
+		for _, op := range campaign.Ops() {
+			fmt.Printf("  %-20s %.6g s\n", op, models.ByOp[op].Predict(p))
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "besst-model: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+// Command besst-sim runs one FT-aware full-system simulation: it
+// develops models on the emulated Quartz (or loads a campaign CSV),
+// builds the LULESH AppBEO for the requested scenario, and simulates it
+// with BE-SST, reporting the Monte Carlo makespan distribution and
+// checkpoint markers.
+//
+//	besst-sim -epr 10 -ranks 64 -steps 200 -scenario l1l2
+//	besst-sim -epr 30 -ranks 1331 -scenario l1 -mode direct   # notional
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"besst/internal/benchdata"
+	"besst/internal/beo"
+	"besst/internal/besst"
+	"besst/internal/groundtruth"
+	"besst/internal/lulesh"
+	"besst/internal/stats"
+	"besst/internal/workflow"
+)
+
+func main() {
+	epr := flag.Int("epr", 10, "problem size (elements per rank edge)")
+	ranks := flag.Int("ranks", 64, "MPI ranks (perfect cube, multiple of 8)")
+	steps := flag.Int("steps", 200, "timesteps")
+	scenario := flag.String("scenario", "l1", "fault-tolerance scenario: noft | l1 | l1l2")
+	period := flag.Int("period", 40, "checkpoint period in timesteps")
+	mode := flag.String("mode", "des", "execution mode: des | direct")
+	mc := flag.Int("mc", 10, "Monte Carlo replications")
+	samples := flag.Int("samples", 10, "benchmark samples per combination for model development")
+	campaignCSV := flag.String("campaign", "", "optional campaign CSV instead of fresh benchmarking")
+	modelsPath := flag.String("models", "", "optional saved model bundle (besst-model -save) instead of fitting")
+	appPath := flag.String("app", "", "optional AppBEO JSON spec to simulate instead of the LULESH builder")
+	method := flag.String("method", "symreg", "modeling method: symreg | interp")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	var sc lulesh.Scenario
+	switch *scenario {
+	case "noft":
+		sc = lulesh.ScenarioNoFT
+	case "l1":
+		sc = lulesh.ScenarioL1
+	case "l1l2":
+		sc = lulesh.ScenarioL1L2
+	default:
+		fatalf("unknown scenario %q", *scenario)
+	}
+	for i := range sc.Schedules {
+		sc.Schedules[i].Period = *period
+	}
+
+	var m besst.Mode
+	switch *mode {
+	case "des":
+		m = besst.DES
+	case "direct":
+		m = besst.Direct
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+
+	wfMethod := workflow.SymbolicRegression
+	if *method == "interp" {
+		wfMethod = workflow.Interpolation
+	} else if *method != "symreg" {
+		fatalf("unknown method %q", *method)
+	}
+
+	em := groundtruth.NewQuartz()
+	var models *workflow.Models
+	if *modelsPath != "" {
+		f, err := os.Open(*modelsPath)
+		if err != nil {
+			fatalf("open models: %v", err)
+		}
+		models, err = workflow.Load(f)
+		f.Close()
+		if err != nil {
+			fatalf("load models: %v", err)
+		}
+		fmt.Printf("loaded %d models from %s\n", len(models.ByOp), *modelsPath)
+	} else if *campaignCSV != "" {
+		f, err := os.Open(*campaignCSV)
+		if err != nil {
+			fatalf("open campaign: %v", err)
+		}
+		campaign, err := benchdata.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatalf("parse campaign: %v", err)
+		}
+		models = workflow.Develop(campaign, wfMethod, []string{"epr", "ranks"}, *seed)
+	} else {
+		fmt.Printf("benchmarking and developing models (%s, %d samples/combination)...\n", wfMethod, *samples)
+		models, _ = workflow.DevelopLuleshQuartz(em, *samples, wfMethod, *seed)
+	}
+
+	cfg := em.Cost.Config
+	var app *beo.AppBEO
+	if *appPath != "" {
+		data, err := os.ReadFile(*appPath)
+		if err != nil {
+			fatalf("read app spec: %v", err)
+		}
+		app = &beo.AppBEO{}
+		if err := json.Unmarshal(data, app); err != nil {
+			fatalf("parse app spec: %v", err)
+		}
+	} else {
+		app = lulesh.App(*epr, *ranks, *steps, sc, cfg)
+	}
+	machine := em.M
+	arch := beo.NewArchBEO(machine, cfg.NodeSize)
+	workflow.BindLulesh(arch, models)
+	if err := arch.Validate(app); err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("simulating %s on %s (%s mode, %d MC replications)\n",
+		app.Name, machine.Name, *mode, *mc)
+	runs := besst.MonteCarlo(app, arch, besst.Options{
+		Mode: m, PerRankNoise: true, Seed: *seed,
+	}, *mc)
+
+	s := stats.Summarize(besst.Makespans(runs))
+	fmt.Printf("makespan: mean %.4gs  std %.3gs  min %.4gs  max %.4gs  (n=%d)\n",
+		s.Mean, s.Std, s.Min, s.Max, s.N)
+	if len(runs[0].CkptTimes) > 0 {
+		fmt.Printf("checkpoint instances (first run): %d, completing at:", len(runs[0].CkptTimes))
+		for _, t := range runs[0].CkptTimes {
+			fmt.Printf(" %.4g", t)
+		}
+		fmt.Println()
+	}
+	if runs[0].Events > 0 {
+		fmt.Printf("discrete events processed per run: %d\n", runs[0].Events)
+	}
+	bd := runs[0].Breakdown
+	if bd.Total() > 0 {
+		fmt.Printf("time breakdown (rank 0): compute %.1f%%  comm %.1f%%  checkpoint %.1f%%\n",
+			100*bd.ComputeSec/bd.Total(), 100*bd.CommSec/bd.Total(), 100*bd.CkptSec/bd.Total())
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "besst-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Algorithmic design-space exploration — the Co-Design move of the
+// paper's Section III-B: swap one function's performance model for an
+// alternate algorithm's model and let simulation pick the winner per
+// design point, "without having to run on the system".
+//
+// Here the alternates are two fault-tolerance strategies for LULESH:
+// the baseline timestep plus periodic L1 checkpointing (C/R) versus an
+// algorithm-based fault-tolerant timestep (checksummed kernels, no
+// checkpoint I/O). C/R's cost grows with rank count (coordinated
+// checkpointing); ABFT's is a roughly constant compute factor — so a
+// crossover appears along the ranks axis.
+//
+// Run with: go run ./examples/algorithmic_dse
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"besst/internal/exp"
+	"besst/internal/groundtruth"
+)
+
+func main() {
+	fmt.Println("developing baseline + checkpoint models...")
+	ctx := exp.NewContext(8, 42)
+
+	fmt.Printf("\nABFT variant: %.0f%% kernel overhead plus a surface-term verification pass\n",
+		100*(groundtruth.ABFTOverheadFactor-1))
+
+	rows := exp.AlgorithmicDSE(ctx, 40)
+	exp.FormatAlgDSE(os.Stdout, rows, 40)
+
+	// Summarize the frontier.
+	firstABFT := map[int]int{}
+	for _, r := range rows {
+		if r.Winner == "ABFT" {
+			if _, seen := firstABFT[r.EPR]; !seen {
+				firstABFT[r.EPR] = r.Ranks
+			}
+		}
+	}
+	fmt.Println("\ncrossover frontier (smallest rank count where ABFT wins):")
+	for _, epr := range exp.CaseEPRs {
+		if ranks, ok := firstABFT[epr]; ok {
+			fmt.Printf("  epr %2d: ABFT from %d ranks\n", epr, ranks)
+		} else {
+			fmt.Printf("  epr %2d: C/R everywhere\n", epr)
+		}
+	}
+}

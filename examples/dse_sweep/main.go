@@ -1,0 +1,54 @@
+// Design-space exploration with fault-tolerance awareness: sweep the
+// (problem size, ranks, FT level) grid through the simulator, print the
+// Fig 9-style overhead tables, rank the FT levels at a design point,
+// and show the pruning report that routes divergent regions to direct
+// benchmarking or fine-grained simulation.
+//
+// Run with: go run ./examples/dse_sweep
+package main
+
+import (
+	"fmt"
+
+	"besst/internal/dse"
+	"besst/internal/groundtruth"
+	"besst/internal/lulesh"
+	"besst/internal/workflow"
+)
+
+func main() {
+	em := groundtruth.NewQuartz()
+	fmt.Println("developing models for the DSE sweep...")
+	models, campaign := workflow.DevelopLuleshQuartz(em, 8, workflow.SymbolicRegression, 7)
+
+	cells := dse.OverheadSweep(models, em.M, em.Cost.Config.NodeSize, dse.SweepConfig{
+		EPRs:      []int{10, 15, 20, 25},
+		Ranks:     []int{64, 1000},
+		Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT, lulesh.ScenarioL1, lulesh.ScenarioL1L2},
+		Timesteps: 200,
+		MCRuns:    5,
+		Seed:      8,
+	})
+
+	fmt.Println("\noverhead relative to the 64-rank no-FT run at each problem size:")
+	fmt.Println(dse.FormatOverheadTable(cells, 64))
+	fmt.Println(dse.FormatOverheadTable(cells, 1000))
+
+	fmt.Println("FT-level ranking at epr=20, ranks=1000 (cheapest first):")
+	for i, c := range dse.RankFTLevels(cells, 20, 1000) {
+		fmt.Printf("  %d. %-8s %8.4gs  (%.0f%%)\n", i+1, c.Scenario, c.MeanSec, c.OverheadPct)
+	}
+
+	fmt.Println("\npruning report (model-vs-benchmark divergence > 12%):")
+	flagged := 0
+	for _, d := range dse.PruneReport(models, campaign, 12) {
+		if d.Flagged {
+			flagged++
+			fmt.Printf("  %-18s epr=%-3d ranks=%-5d %+6.1f%%  %s\n",
+				d.Op, d.EPR, d.Ranks, d.PercentError, d.Advice)
+		}
+	}
+	if flagged == 0 {
+		fmt.Println("  nothing flagged at this threshold")
+	}
+}

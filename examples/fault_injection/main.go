@@ -1,0 +1,63 @@
+// Fault injection — the paper's planned extension (Cases 2 and 4 of
+// its Fig 4), implemented here: simulate a long LULESH campaign on
+// failure-prone nodes without fault tolerance (every failure restarts
+// from scratch) and with multi-level FTI checkpointing (restore from
+// the cheapest sufficient level), compare against the Young/Daly
+// analytic expectation, and show how the optimal checkpoint period
+// emerges.
+//
+// Run with: go run ./examples/fault_injection
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"besst/internal/analytic"
+	"besst/internal/exp"
+	"besst/internal/faults"
+	"besst/internal/fti"
+	"besst/internal/lulesh"
+)
+
+func main() {
+	fmt.Println("developing models (shared with the case study)...")
+	ctx := exp.NewContext(8, 42)
+
+	// Fig 4's cases on a pessimistic machine (5-hour node MTBF, so the
+	// ~35-minute job sees a handful of failures).
+	fmt.Println("\n-- Fig 4 cases: LULESH, 64 ranks, epr 25, 600k steps --")
+	exp.FormatFaultStudy(os.Stdout, exp.FaultStudy(ctx, 25, 64, 600000, 40, 5))
+
+	// The Young/Daly trade-off, observed by injection: sweep the
+	// checkpoint period and compare wall time against Daly's formula.
+	// Restart here is the warm FTI restore (the surviving allocation
+	// reloads the L2 checkpoint) rather than full node replacement.
+	cfg := ctx.Quartz.Cost.Config
+	stepSec := ctx.Models.ByOp[lulesh.OpTimestep].Predict(map[string]float64{"epr": 10, "ranks": 64})
+	ckptSec := ctx.Models.ByOp[lulesh.OpCkptL2].Predict(map[string]float64{"epr": 10, "ranks": 64})
+	restart := ctx.Quartz.Cost.RestartTime(fti.L2, 64, lulesh.CheckpointBytes(10)) -
+		ctx.Quartz.M.RecoverySeconds + 10 // warm restart: reload I/O + 10s respawn
+
+	fm := faults.FaultModel{Nodes: 32, FaultsPerNodeHour: 1.5, HardFraction: 0.5}
+	mtbf := fm.SystemMTBFSeconds()
+	const steps = 2000000
+	solve := float64(steps) * stepSec
+
+	fmt.Printf("\n-- checkpoint-period sweep (L2, system MTBF %.0fs, solve %.0fs) --\n", mtbf, solve)
+	fmt.Printf("  %10s %14s %14s\n", "period", "injected wall", "Daly model")
+	for _, period := range []int{500, 2000, 8000, 32000, 128000} {
+		spec := faults.JobSpec{
+			Steps: steps, StepSec: stepSec,
+			Schedules:         []faults.CkptSchedule{{Level: fti.L2, Period: period}},
+			CkptSec:           func(fti.Level) float64 { return ckptSec },
+			RestartSec:        func(fti.Level) float64 { return restart },
+			ScratchRestartSec: 2 * ctx.Quartz.M.RecoverySeconds,
+		}
+		runs := faults.MonteCarlo(spec, fm, cfg, 20, uint64(period))
+		daly := analytic.DalyWallTime(solve, ckptSec, restart, mtbf, float64(period)*stepSec)
+		fmt.Printf("  %10d %13.1fs %13.1fs\n", period, faults.MeanWall(runs), daly)
+	}
+	tau := analytic.DalyPeriod(ckptSec, mtbf)
+	fmt.Printf("  Daly-optimal period: %.0f steps (tau %.1fs)\n", tau/stepSec, tau)
+}

@@ -1,0 +1,45 @@
+// The paper's full case study: LULESH with FTI checkpointing on LLNL
+// Quartz (Section IV). Benchmarks the Table II grid, develops and
+// validates symbolic-regression models for the timestep and the L1/L2
+// checkpoint instances (Table III), then runs the three full-system
+// scenarios of Figs 7-8 and reports their validation error (Table IV's
+// diagonal of this grid).
+//
+// Run with: go run ./examples/lulesh_quartz
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"besst/internal/besst"
+	"besst/internal/exp"
+	"besst/internal/lulesh"
+)
+
+func main() {
+	fmt.Println("LULESH + FTI on Quartz - the paper's case study")
+	fmt.Println("developing models from the Table II campaign (this takes a few seconds)...")
+	ctx := exp.NewContext(8, 42)
+
+	fmt.Println("\n-- Table III: instance-model validation --")
+	exp.FormatTable3(os.Stdout, exp.Table3(ctx))
+
+	fmt.Println("\n-- Fig 7: 200 timesteps at 64 ranks (DES mode) --")
+	exp.FormatFullRun(os.Stdout, "", exp.FigFullRun(ctx, 10, 64, 200, 5, besst.DES), 40)
+
+	fmt.Println("\n-- scenario comparison at 1000 ranks (direct mode) --")
+	for _, s := range exp.FigFullRun(ctx, 10, 1000, 200, 5, besst.Direct) {
+		fmt.Printf("  %-8s predicted total %8.4gs  measured %8.4gs  series MAPE %5.2f%%\n",
+			s.Scenario, s.Predicted[len(s.Predicted)-1], s.Measured[len(s.Measured)-1], s.MAPE)
+	}
+
+	fmt.Println("\n-- checkpoint level semantics in effect --")
+	for _, sc := range []lulesh.Scenario{lulesh.ScenarioL1, lulesh.ScenarioL1L2} {
+		fmt.Printf("  scenario %-8s:", sc.Name)
+		for _, sch := range sc.Schedules {
+			fmt.Printf(" level %d every %d steps;", sch.Level, sch.Period)
+		}
+		fmt.Println()
+	}
+}

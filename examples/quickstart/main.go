@@ -1,0 +1,63 @@
+// Quickstart: the FT-BESST workflow end to end in ~60 lines.
+//
+//  1. Benchmark an application block on the (emulated) machine.
+//  2. Fit a performance model from the samples (Model Development).
+//  3. Bind the model into an ArchBEO and simulate an AppBEO with
+//     checkpointing (FT-aware Co-Design).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"besst/internal/benchdata"
+	"besst/internal/beo"
+	"besst/internal/besst"
+	"besst/internal/fti"
+	"besst/internal/groundtruth"
+	"besst/internal/lulesh"
+	"besst/internal/stats"
+	"besst/internal/workflow"
+)
+
+func main() {
+	// The "real machine": an emulated LLNL Quartz with the case
+	// study's FTI configuration (groups of 4 nodes, 2 ranks/node).
+	quartz := groundtruth.NewQuartz()
+
+	// 1. Benchmark: time the LULESH timestep and L1 checkpoint over a
+	//    small (epr, ranks) grid, 6 samples per combination.
+	campaign := benchdata.CollectLulesh(quartz, benchdata.LuleshPlan{
+		EPRs:       []int{5, 10, 15},
+		Ranks:      []int{8, 64},
+		Levels:     []fti.Level{fti.L1},
+		SamplesPer: 6,
+		Seed:       1,
+	})
+	fmt.Printf("benchmarked %d samples\n", len(campaign.Samples))
+
+	// 2. Model Development: symbolic regression over the samples.
+	models := workflow.Develop(campaign, workflow.SymbolicRegression, []string{"epr", "ranks"}, 2)
+	for _, r := range models.Reports {
+		fmt.Printf("model %-18s validation MAPE %5.2f%%  %s\n", r.Op, r.ValidationMAPE, r.Expression)
+	}
+
+	// 3. Simulate: 100 LULESH timesteps at epr 10 on 64 ranks with L1
+	//    checkpointing every 40 steps, 10 Monte Carlo replications.
+	app := lulesh.App(10, 64, 100, lulesh.ScenarioL1, quartz.Cost.Config)
+	arch := beo.NewArchBEO(quartz.M, quartz.Cost.Config.NodeSize)
+	workflow.BindLulesh(arch, models)
+
+	runs := besst.MonteCarlo(app, arch, besst.Options{Mode: besst.DES, PerRankNoise: true, Seed: 3}, 10)
+	s := stats.Summarize(besst.Makespans(runs))
+	fmt.Printf("\npredicted runtime for %s:\n", app.Name)
+	fmt.Printf("  mean %.4gs  std %.3gs over %d replications (%d events/run)\n",
+		s.Mean, s.Std, s.N, runs[0].Events)
+
+	// Compare against a "real" run on the emulated machine.
+	measured := quartz.FullRun(10, 64, 100, lulesh.ScenarioL1, stats.NewRNG(4))
+	fmt.Printf("  measured on the machine: %.4gs (%.1f%% error)\n",
+		measured[len(measured)-1],
+		stats.PercentError(measured[len(measured)-1], s.Mean))
+}

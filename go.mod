@@ -1,0 +1,3 @@
+module besst
+
+go 1.22

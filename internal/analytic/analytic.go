@@ -1,0 +1,215 @@
+// Package analytic implements the fault-tolerance-aware analytical
+// performance models from the paper's related-work section, used as
+// baselines against BE-SST's concrete simulation approach:
+//
+//   - Young's and Daly's optimal checkpoint intervals and Daly's
+//     expected-completion-time model;
+//   - Cavelan et al., "When Amdahl meets Young/Daly" (CLUSTER'16):
+//     Amdahl's law extended with failures and checkpoint-restart;
+//   - Zheng & Lan's reliability-aware speedup models, extending both
+//     Amdahl's and Gustafson's laws;
+//   - Hussain et al. (DSN'20): reliability-aware speedup with dual
+//     replication;
+//   - Jin et al. (ICPP'10): spare-node provisioning for a
+//     fault-tolerant environment.
+//
+// These capture the papers' qualitative behaviour (optimal process
+// counts, non-monotone speedup under faults, replication's crossover)
+// in simple closed forms; the BE-SST simulation refines them with
+// machine-concrete models.
+package analytic
+
+import "math"
+
+// YoungPeriod returns Young's first-order optimal checkpoint interval
+// sqrt(2*C*M) for checkpoint cost C and mean time between failures M
+// (both seconds, M for the whole job partition).
+func YoungPeriod(c, mtbf float64) float64 {
+	if c <= 0 || mtbf <= 0 {
+		panic("analytic: non-positive checkpoint cost or MTBF")
+	}
+	return math.Sqrt(2 * c * mtbf)
+}
+
+// DalyPeriod returns Daly's higher-order optimal interval, which
+// corrects Young's estimate when C is not negligible next to M:
+//
+//	tau = sqrt(2*C*M) * [1 + (1/3)*sqrt(C/(2M)) + (1/9)*(C/(2M))] - C
+//
+// valid for C < 2M; it degrades gracefully to M for larger C.
+func DalyPeriod(c, mtbf float64) float64 {
+	if c <= 0 || mtbf <= 0 {
+		panic("analytic: non-positive checkpoint cost or MTBF")
+	}
+	if c >= 2*mtbf {
+		return mtbf
+	}
+	x := math.Sqrt(c / (2 * mtbf))
+	return math.Sqrt(2*c*mtbf)*(1+x/3+x*x/9) - c
+}
+
+// DalyWallTime returns Daly's expected wall-clock time to complete
+// solve seconds of work with checkpoint cost c, restart cost r,
+// exponential failures with MTBF m, and checkpoint interval tau:
+//
+//	T = m * exp(r/m) * (exp((tau+c)/m) - 1) * solve/tau
+func DalyWallTime(solve, c, r, mtbf, tau float64) float64 {
+	if solve <= 0 || tau <= 0 || mtbf <= 0 {
+		panic("analytic: non-positive solve, tau, or MTBF")
+	}
+	return mtbf * math.Exp(r/mtbf) * (math.Expm1((tau + c) / mtbf)) * solve / tau
+}
+
+// CheckpointWaste returns the fraction of time lost to checkpointing
+// plus expected rework for interval tau: W = C/tau + tau/(2M). The
+// first-order waste model both Cavelan and Zheng/Lan build on.
+func CheckpointWaste(c, mtbf, tau float64) float64 {
+	if tau <= 0 || mtbf <= 0 {
+		panic("analytic: non-positive tau or MTBF")
+	}
+	w := c/tau + tau/(2*mtbf)
+	if w > 1 {
+		w = 1
+	}
+	return w
+}
+
+// AmdahlSpeedup is the classic fault-free Amdahl speedup with serial
+// fraction s on p processors.
+func AmdahlSpeedup(s float64, p int) float64 {
+	checkFrac(s)
+	checkProcs(p)
+	return 1 / (s + (1-s)/float64(p))
+}
+
+// GustafsonSpeedup is the classic fault-free Gustafson scaled speedup.
+func GustafsonSpeedup(s float64, p int) float64 {
+	checkFrac(s)
+	checkProcs(p)
+	return s + (1-s)*float64(p)
+}
+
+func checkFrac(s float64) {
+	if s < 0 || s > 1 {
+		panic("analytic: serial fraction outside [0,1]")
+	}
+}
+
+func checkProcs(p int) {
+	if p <= 0 {
+		panic("analytic: non-positive processor count")
+	}
+}
+
+// CavelanSpeedup returns the Amdahl speedup under failures with
+// checkpoint-restart, following Cavelan et al.: the machine-wide MTBF
+// shrinks as M/p, checkpoints are taken at the Young-optimal interval,
+// and the achievable speedup is the fault-free Amdahl speedup scaled by
+// (1 - waste). The result is non-monotone in p: past the optimum,
+// additional processors add more failure waste than parallelism.
+// nodeMTBF and ckptCost in seconds.
+func CavelanSpeedup(s float64, p int, nodeMTBF, ckptCost float64) float64 {
+	checkFrac(s)
+	checkProcs(p)
+	m := nodeMTBF / float64(p)
+	tau := YoungPeriod(ckptCost, m)
+	waste := CheckpointWaste(ckptCost, m, tau)
+	return AmdahlSpeedup(s, p) * (1 - waste)
+}
+
+// ZhengLanAmdahl returns Zheng & Lan's reliability-aware Amdahl
+// speedup: identical waste structure, retained separately because the
+// two papers parameterize recovery differently — Zheng/Lan add a
+// restart term per failure. restart is the per-failure restart cost in
+// seconds.
+func ZhengLanAmdahl(s float64, p int, nodeMTBF, ckptCost, restart float64) float64 {
+	checkFrac(s)
+	checkProcs(p)
+	m := nodeMTBF / float64(p)
+	tau := YoungPeriod(ckptCost, m)
+	waste := CheckpointWaste(ckptCost, m, tau) + restart/m
+	if waste > 1 {
+		waste = 1
+	}
+	return AmdahlSpeedup(s, p) * (1 - waste)
+}
+
+// ZhengLanGustafson returns the reliability-aware Gustafson (weak
+// scaling) speedup from Zheng & Lan.
+func ZhengLanGustafson(s float64, p int, nodeMTBF, ckptCost, restart float64) float64 {
+	checkFrac(s)
+	checkProcs(p)
+	m := nodeMTBF / float64(p)
+	tau := YoungPeriod(ckptCost, m)
+	waste := CheckpointWaste(ckptCost, m, tau) + restart/m
+	if waste > 1 {
+		waste = 1
+	}
+	return GustafsonSpeedup(s, p) * (1 - waste)
+}
+
+// HussainReplicationSpeedup returns the dual-replication speedup from
+// Hussain et al.: half the processors do useful work (each node is
+// mirrored), but the application only fails when both replicas of a
+// pair have failed, which stretches the mean time to interrupt to
+// roughly M_pair = nodeMTBF * sqrt(pi / (2 * pairs)) (the birthday-
+// problem result for n independent pairs), compared to nodeMTBF/p
+// without replication. Checkpoints still run at the Young-optimal
+// interval against the stretched MTTI.
+func HussainReplicationSpeedup(s float64, p int, nodeMTBF, ckptCost float64) float64 {
+	checkFrac(s)
+	checkProcs(p)
+	if p < 2 {
+		return CavelanSpeedup(s, p, nodeMTBF, ckptCost)
+	}
+	pairs := p / 2
+	mtti := nodeMTBF * math.Sqrt(math.Pi/(2*float64(pairs)))
+	tau := YoungPeriod(ckptCost, mtti)
+	waste := CheckpointWaste(ckptCost, mtti, tau)
+	return AmdahlSpeedup(s, pairs) * (1 - waste)
+}
+
+// OptimalProcs scans for the processor count in [1, maxP] maximizing
+// the given speedup function — the "optimal number of processes"
+// question all four related works answer.
+func OptimalProcs(maxP int, speedup func(p int) float64) (bestP int, bestS float64) {
+	if maxP < 1 {
+		panic("analytic: non-positive processor bound")
+	}
+	bestP, bestS = 1, speedup(1)
+	for p := 2; p <= maxP; p++ {
+		if s := speedup(p); s > bestS {
+			bestP, bestS = p, s
+		}
+	}
+	return bestP, bestS
+}
+
+// JinSpareNodes returns the spare-node count recommended by the Jin et
+// al. style analysis: enough warm spares to cover the expected number
+// of failures during the run plus zSigma standard deviations of the
+// Poisson count (z=2 covers ~97.7% of runs).
+func JinSpareNodes(solveSec, jobMTBF, zSigma float64) int {
+	if solveSec <= 0 || jobMTBF <= 0 {
+		panic("analytic: non-positive solve time or MTBF")
+	}
+	mean := solveSec / jobMTBF
+	spares := mean + zSigma*math.Sqrt(mean)
+	return int(math.Ceil(spares))
+}
+
+// JinWallTime returns expected wall time with k warm spares: failures
+// while spares remain cost warmRestart; once spares are exhausted,
+// failures cost requeue (waiting for a replacement allocation).
+func JinWallTime(solve, jobMTBF, warmRestart, requeue float64, spares int) float64 {
+	if solve <= 0 || jobMTBF <= 0 {
+		panic("analytic: non-positive solve time or MTBF")
+	}
+	if spares < 0 {
+		panic("analytic: negative spare count")
+	}
+	failures := solve / jobMTBF
+	covered := math.Min(failures, float64(spares))
+	uncovered := failures - covered
+	return solve + covered*warmRestart + uncovered*requeue
+}

@@ -1,0 +1,212 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestYoungPeriodFormula(t *testing.T) {
+	// sqrt(2 * 50 * 10000) = 1000.
+	if got := YoungPeriod(50, 10000); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("young = %v", got)
+	}
+}
+
+func TestDalyPeriodNearYoungForSmallC(t *testing.T) {
+	y := YoungPeriod(1, 1e6)
+	d := DalyPeriod(1, 1e6)
+	if math.Abs(d-y)/y > 0.01 {
+		t.Fatalf("daly %v should approach young %v for small C/M", d, y)
+	}
+}
+
+func TestDalyPeriodDegradesGracefully(t *testing.T) {
+	if got := DalyPeriod(300, 100); got != 100 {
+		t.Fatalf("C >= 2M should clamp to M, got %v", got)
+	}
+}
+
+func TestCheckpointWasteMinimizedAtYoung(t *testing.T) {
+	const c, m = 20.0, 5000.0
+	opt := YoungPeriod(c, m)
+	wOpt := CheckpointWaste(c, m, opt)
+	for _, f := range []float64{0.25, 0.5, 2, 4} {
+		if w := CheckpointWaste(c, m, opt*f); w < wOpt {
+			t.Fatalf("waste at %vx optimal (%v) below optimal waste (%v)", f, w, wOpt)
+		}
+	}
+}
+
+func TestCheckpointWasteClamped(t *testing.T) {
+	if w := CheckpointWaste(1e9, 1, 1); w != 1 {
+		t.Fatalf("waste should clamp to 1, got %v", w)
+	}
+}
+
+func TestDalyWallTimeExceedsSolve(t *testing.T) {
+	got := DalyWallTime(3600, 30, 60, 10000, YoungPeriod(30, 10000))
+	if got <= 3600 {
+		t.Fatalf("wall %v should exceed solve time", got)
+	}
+	// And be within a plausible overhead for these parameters (<2x).
+	if got > 7200 {
+		t.Fatalf("wall %v implausibly large", got)
+	}
+}
+
+func TestDalyWallTimeMinimizedNearOptimal(t *testing.T) {
+	const solve, c, r, m = 86400.0, 60.0, 120.0, 3600.0
+	opt := DalyPeriod(c, m)
+	wOpt := DalyWallTime(solve, c, r, m, opt)
+	for _, f := range []float64{0.2, 5} {
+		if w := DalyWallTime(solve, c, r, m, opt*f); w < wOpt {
+			t.Fatalf("wall at %vx optimal (%v) below optimal (%v)", f, w, wOpt)
+		}
+	}
+}
+
+func TestAmdahlClassicLimits(t *testing.T) {
+	if AmdahlSpeedup(0, 8) != 8 {
+		t.Fatal("fully parallel should scale linearly")
+	}
+	if AmdahlSpeedup(1, 64) != 1 {
+		t.Fatal("fully serial should not scale")
+	}
+	// Limit 1/s.
+	if got := AmdahlSpeedup(0.1, 1<<20); got > 10 {
+		t.Fatalf("speedup %v exceeds 1/s", got)
+	}
+}
+
+func TestGustafsonLinearInP(t *testing.T) {
+	if got := GustafsonSpeedup(0.1, 100); math.Abs(got-(0.1+0.9*100)) > 1e-12 {
+		t.Fatalf("gustafson = %v", got)
+	}
+}
+
+func TestAmdahlMonotoneProperty(t *testing.T) {
+	f := func(sRaw uint8, pRaw uint16) bool {
+		s := float64(sRaw) / 255
+		p := int(pRaw%1000) + 1
+		return AmdahlSpeedup(s, p+1) >= AmdahlSpeedup(s, p)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCavelanNonMonotone(t *testing.T) {
+	// The key published finding: under faults + C/R, speedup peaks at
+	// a finite p and then declines.
+	speedup := func(p int) float64 { return CavelanSpeedup(0.0001, p, 5*365*24*3600, 60) }
+	bestP, bestS := OptimalProcs(1<<20, speedup)
+	if bestP <= 1 || bestP >= 1<<20 {
+		t.Fatalf("optimal p = %d should be interior", bestP)
+	}
+	if speedup(1<<20) >= bestS {
+		t.Fatal("speedup should decline past the optimum")
+	}
+}
+
+func TestCavelanBelowAmdahl(t *testing.T) {
+	for _, p := range []int{8, 64, 1024} {
+		if CavelanSpeedup(0.01, p, 1e7, 100) >= AmdahlSpeedup(0.01, p) {
+			t.Fatalf("faulty speedup should be below fault-free at p=%d", p)
+		}
+	}
+}
+
+func TestZhengLanRestartPenalty(t *testing.T) {
+	base := ZhengLanAmdahl(0.01, 256, 1e7, 100, 0)
+	with := ZhengLanAmdahl(0.01, 256, 1e7, 100, 500)
+	if with >= base {
+		t.Fatal("restart cost should reduce speedup")
+	}
+}
+
+func TestZhengLanGustafsonAboveAmdahlAtScale(t *testing.T) {
+	// Weak scaling sustains far higher speedups than strong scaling.
+	a := ZhengLanAmdahl(0.05, 4096, 1e8, 60, 120)
+	g := ZhengLanGustafson(0.05, 4096, 1e8, 60, 120)
+	if g <= a {
+		t.Fatalf("gustafson %v should exceed amdahl %v at scale", g, a)
+	}
+}
+
+func TestHussainReplicationCrossover(t *testing.T) {
+	// Hussain et al.: at small scale plain C/R wins (replication
+	// wastes half the machine); at large scale replication's MTTI
+	// advantage dominates — a crossover exists.
+	const s, mtbf, c = 1e-6, 86400.0, 30.0 // 1-day node MTBF: failures hurt
+	plainSmall := CavelanSpeedup(s, 64, mtbf, c)
+	repSmall := HussainReplicationSpeedup(s, 64, mtbf, c)
+	if repSmall >= plainSmall {
+		t.Fatalf("replication should lose at small scale: %v vs %v", repSmall, plainSmall)
+	}
+	const big = 1 << 17
+	plainBig := CavelanSpeedup(s, big, mtbf, c)
+	repBig := HussainReplicationSpeedup(s, big, mtbf, c)
+	if repBig <= plainBig {
+		t.Fatalf("replication should win at large scale: %v vs %v", repBig, plainBig)
+	}
+}
+
+func TestHussainMaxSpeedupHigher(t *testing.T) {
+	// The paper's headline: replication allows a greater maximum
+	// speedup than checkpoint-restart alone.
+	const s, mtbf, c = 1e-6, 86400.0, 30.0
+	_, bestPlain := OptimalProcs(1<<18, func(p int) float64 { return CavelanSpeedup(s, p, mtbf, c) })
+	_, bestRep := OptimalProcs(1<<18, func(p int) float64 { return HussainReplicationSpeedup(s, p, mtbf, c) })
+	if bestRep <= bestPlain {
+		t.Fatalf("replication max %v should beat plain max %v", bestRep, bestPlain)
+	}
+}
+
+func TestJinSpareNodes(t *testing.T) {
+	// 10 expected failures, z=0 -> exactly 10.
+	if got := JinSpareNodes(1000, 100, 0); got != 10 {
+		t.Fatalf("spares = %d", got)
+	}
+	// z>0 adds margin.
+	if JinSpareNodes(1000, 100, 2) <= 10 {
+		t.Fatal("z-margin should add spares")
+	}
+}
+
+func TestJinWallTime(t *testing.T) {
+	// 4 failures expected; 2 spares cover half at 10s, rest requeue at 1000s.
+	got := JinWallTime(400, 100, 10, 1000, 2)
+	want := 400 + 2*10 + 2*1000
+	if math.Abs(got-float64(want)) > 1e-9 {
+		t.Fatalf("wall = %v, want %v", got, want)
+	}
+	// More spares never hurt.
+	if JinWallTime(400, 100, 10, 1000, 10) > got {
+		t.Fatal("extra spares increased wall time")
+	}
+}
+
+func TestPanicsOnBadInputs(t *testing.T) {
+	cases := []func(){
+		func() { YoungPeriod(0, 1) },
+		func() { DalyPeriod(1, 0) },
+		func() { DalyWallTime(0, 1, 1, 1, 1) },
+		func() { CheckpointWaste(1, 1, 0) },
+		func() { AmdahlSpeedup(-0.1, 4) },
+		func() { AmdahlSpeedup(0.5, 0) },
+		func() { OptimalProcs(0, func(int) float64 { return 1 }) },
+		func() { JinSpareNodes(0, 1, 1) },
+		func() { JinWallTime(1, 1, 1, 1, -1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,262 @@
+// Package beo defines Behavioral Emulation Objects, the modeling
+// currency of the BE-SST workflow (Fig 2 of the paper):
+//
+//   - An AppBEO is "a list of abstract instructions that represents the
+//     major functions and control flow of the application under study".
+//   - An ArchBEO "describes the system hardware architecture that is
+//     simulated, defines system operations, and connects the
+//     performance models to the instructions listed in the AppBEO".
+//
+// The FT-aware extension adds checkpoint instructions to the AppBEO
+// instruction set and fault-tolerance parameters (fault rates, recovery
+// times, FTI configuration) to the ArchBEO — the red boxes of Fig 2.
+package beo
+
+import (
+	"fmt"
+
+	"besst/internal/fti"
+	"besst/internal/machine"
+	"besst/internal/perfmodel"
+)
+
+// Instr is one abstract instruction of an AppBEO.
+type Instr interface{ isInstr() }
+
+// Comp is a computation block: when executed, the simulator polls the
+// ArchBEO model bound to Op with the given parameters and advances the
+// rank's clock by the predicted time.
+type Comp struct {
+	Op     string
+	Params perfmodel.Params
+}
+
+func (Comp) isInstr() {}
+
+// CommPattern enumerates the communication shapes AppBEOs use.
+type CommPattern int
+
+// Supported communication patterns.
+const (
+	Barrier CommPattern = iota
+	Allreduce
+	Broadcast
+	Gather
+	AllToAll
+	Halo // nearest-neighbor exchange with Neighbors peers
+)
+
+func (p CommPattern) String() string {
+	switch p {
+	case Barrier:
+		return "barrier"
+	case Allreduce:
+		return "allreduce"
+	case Broadcast:
+		return "broadcast"
+	case Gather:
+		return "gather"
+	case AllToAll:
+		return "alltoall"
+	case Halo:
+		return "halo"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// Comm is a communication block: a collective (or halo exchange) across
+// all ranks moving Bytes per rank. The simulator synchronizes the
+// participating ranks and charges the ArchBEO's network cost model.
+type Comm struct {
+	Pattern   CommPattern
+	Bytes     int64
+	Neighbors int // Halo only: peers per rank
+}
+
+func (Comm) isInstr() {}
+
+// Ckpt is a checkpoint instruction — the FT-aware instruction the paper
+// adds to the AppBEO instruction set (Fig 3's "FTI_Checkpoint" block).
+// Like Comp it polls the model bound to Op; Level records which FTI
+// level the block performs so scenarios can include or exclude it and
+// full-system plots can mark checkpoint instances.
+type Ckpt struct {
+	Op     string
+	Level  fti.Level
+	Params perfmodel.Params
+}
+
+func (Ckpt) isInstr() {}
+
+// Loop repeats Body Count times. The iteration index is visible to
+// nested Periodic instructions.
+type Loop struct {
+	Count int
+	Body  []Instr
+}
+
+func (Loop) isInstr() {}
+
+// Periodic executes Body only on enclosing-loop iterations i with
+// i % Period == Offset — how "checkpoint every 40 timesteps" is
+// expressed (Figs 7-8).
+type Periodic struct {
+	Period int
+	Offset int
+	Body   []Instr
+}
+
+func (Periodic) isInstr() {}
+
+// AppBEO is an application model: the abstract program each rank
+// executes.
+type AppBEO struct {
+	Name    string
+	Ranks   int
+	Program []Instr
+}
+
+// Ops returns the set of model names the program polls, for binding
+// validation.
+func (a *AppBEO) Ops() map[string]bool {
+	ops := map[string]bool{}
+	var walk func([]Instr)
+	walk = func(is []Instr) {
+		for _, in := range is {
+			switch v := in.(type) {
+			case Comp:
+				ops[v.Op] = true
+			case Ckpt:
+				ops[v.Op] = true
+			case Loop:
+				walk(v.Body)
+			case Periodic:
+				walk(v.Body)
+			}
+		}
+	}
+	walk(a.Program)
+	return ops
+}
+
+// CountInstr returns the number of dynamic instructions one rank
+// executes (loops expanded, periodics counted on firing iterations).
+func (a *AppBEO) CountInstr() int {
+	var count func(is []Instr, reps int) int
+	count = func(is []Instr, reps int) int {
+		total := 0
+		for _, in := range is {
+			switch v := in.(type) {
+			case Loop:
+				// Periodic children need per-iteration counting.
+				for i := 0; i < v.Count; i++ {
+					total += countIter(v.Body, i)
+				}
+			case Periodic:
+				panic("beo: Periodic outside Loop")
+			default:
+				total += reps
+			}
+		}
+		return total
+	}
+	return count(a.Program, 1)
+}
+
+func countIter(is []Instr, iter int) int {
+	total := 0
+	for _, in := range is {
+		switch v := in.(type) {
+		case Loop:
+			for i := 0; i < v.Count; i++ {
+				total += countIter(v.Body, i)
+			}
+		case Periodic:
+			if v.Period > 0 && iter%v.Period == v.Offset%v.Period {
+				total += countIter(v.Body, iter)
+			}
+		default:
+			total++
+		}
+	}
+	return total
+}
+
+// FTParams carries the fault-tolerance-aware hardware parameters the
+// extension adds to ArchBEOs (Fig 2, label "C"): component fault rates
+// and recovery behaviour, plus the FTI configuration in effect.
+type FTParams struct {
+	// FTI is the checkpoint-library configuration (group size, node
+	// size).
+	FTI fti.Config
+	// NodeFaultsPerHour is the per-node failure rate; the machine
+	// MTBF is the default source.
+	NodeFaultsPerHour float64
+	// HardFailureFraction is the fraction of faults that destroy
+	// node-local storage (vs. soft process crashes).
+	HardFailureFraction float64
+}
+
+// ArchBEO binds performance models to the operations an AppBEO uses,
+// over a concrete machine.
+type ArchBEO struct {
+	Machine      *machine.Machine
+	RanksPerNode int
+	Models       map[string]perfmodel.Model
+	FT           FTParams
+}
+
+// NewArchBEO returns an ArchBEO with an empty model table and FT
+// parameters defaulted from the machine description.
+func NewArchBEO(m *machine.Machine, ranksPerNode int) *ArchBEO {
+	if ranksPerNode <= 0 {
+		panic("beo: non-positive ranks per node")
+	}
+	ft := FTParams{HardFailureFraction: 0.5}
+	if m.NodeMTBFHours > 0 {
+		ft.NodeFaultsPerHour = 1 / m.NodeMTBFHours
+	}
+	return &ArchBEO{
+		Machine:      m,
+		RanksPerNode: ranksPerNode,
+		Models:       map[string]perfmodel.Model{},
+		FT:           ft,
+	}
+}
+
+// Bind attaches a model to an operation name, replacing any previous
+// binding — the plug-and-play DSE move (swap one kernel's model for an
+// alternative algorithm's model).
+func (a *ArchBEO) Bind(op string, m perfmodel.Model) {
+	if m == nil {
+		panic("beo: nil model")
+	}
+	a.Models[op] = m
+}
+
+// ModelFor returns the model bound to op, panicking on a missing
+// binding: executing an unbound instruction is a workflow bug.
+func (a *ArchBEO) ModelFor(op string) perfmodel.Model {
+	m, ok := a.Models[op]
+	if !ok {
+		panic(fmt.Sprintf("beo: no model bound for op %q", op))
+	}
+	return m
+}
+
+// Validate checks that every operation app polls has a bound model and
+// that the machine can host the ranks.
+func (a *ArchBEO) Validate(app *AppBEO) error {
+	for op := range app.Ops() {
+		if _, ok := a.Models[op]; !ok {
+			return fmt.Errorf("beo: app %q polls op %q with no bound model", app.Name, op)
+		}
+	}
+	nodes := (app.Ranks + a.RanksPerNode - 1) / a.RanksPerNode
+	if nodes > a.Machine.Nodes {
+		return fmt.Errorf("beo: app %q needs %d nodes but %s has %d",
+			app.Name, nodes, a.Machine.Name, a.Machine.Nodes)
+	}
+	return nil
+}

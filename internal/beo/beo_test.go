@@ -1,0 +1,158 @@
+package beo
+
+import (
+	"strings"
+	"testing"
+
+	"besst/internal/fti"
+	"besst/internal/machine"
+	"besst/internal/perfmodel"
+)
+
+func sampleApp() *AppBEO {
+	return &AppBEO{
+		Name:  "solver",
+		Ranks: 64,
+		Program: []Instr{
+			Comp{Op: "init", Params: perfmodel.Params{"ranks": 64}},
+			Loop{Count: 10, Body: []Instr{
+				Comp{Op: "timestep", Params: perfmodel.Params{"epr": 15}},
+				Comm{Pattern: Allreduce, Bytes: 8},
+				Periodic{Period: 4, Body: []Instr{
+					Ckpt{Op: "ckpt_l1", Level: fti.L1, Params: perfmodel.Params{"epr": 15}},
+				}},
+			}},
+		},
+	}
+}
+
+func TestOpsCollection(t *testing.T) {
+	ops := sampleApp().Ops()
+	for _, want := range []string{"init", "timestep", "ckpt_l1"} {
+		if !ops[want] {
+			t.Fatalf("missing op %q in %v", want, ops)
+		}
+	}
+	if len(ops) != 3 {
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+func TestCountInstr(t *testing.T) {
+	app := sampleApp()
+	// init(1) + 10*(timestep+allreduce) + ckpt on iters 0,4,8 (3x).
+	want := 1 + 20 + 3
+	if got := app.CountInstr(); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+}
+
+func TestCountInstrNestedLoop(t *testing.T) {
+	app := &AppBEO{Ranks: 1, Program: []Instr{
+		Loop{Count: 3, Body: []Instr{
+			Loop{Count: 2, Body: []Instr{Comp{Op: "a"}}},
+		}},
+	}}
+	if got := app.CountInstr(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+}
+
+func TestCountInstrPeriodicOffset(t *testing.T) {
+	app := &AppBEO{Ranks: 1, Program: []Instr{
+		Loop{Count: 10, Body: []Instr{
+			Periodic{Period: 3, Offset: 1, Body: []Instr{Comp{Op: "c"}}},
+		}},
+	}}
+	// Fires at iterations 1, 4, 7.
+	if got := app.CountInstr(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+}
+
+func TestPeriodicOutsideLoopPanics(t *testing.T) {
+	app := &AppBEO{Ranks: 1, Program: []Instr{
+		Periodic{Period: 2, Body: []Instr{Comp{Op: "x"}}},
+	}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	app.CountInstr()
+}
+
+func TestCommPatternStrings(t *testing.T) {
+	for p := Barrier; p <= Halo; p++ {
+		if s := p.String(); s == "" || strings.HasPrefix(s, "pattern(") {
+			t.Fatalf("bad string for %d: %q", p, s)
+		}
+	}
+}
+
+func TestArchBEOBindAndValidate(t *testing.T) {
+	arch := NewArchBEO(machine.Quartz(), 2)
+	app := sampleApp()
+	if err := arch.Validate(app); err == nil {
+		t.Fatal("validate should fail with no models bound")
+	}
+	for _, op := range []string{"init", "timestep", "ckpt_l1"} {
+		arch.Bind(op, perfmodel.Constant{Label: op, Seconds: 1})
+	}
+	if err := arch.Validate(app); err != nil {
+		t.Fatalf("validate failed: %v", err)
+	}
+	if arch.ModelFor("timestep").Name() != "timestep" {
+		t.Fatal("ModelFor wrong")
+	}
+}
+
+func TestArchBEOTooManyRanks(t *testing.T) {
+	arch := NewArchBEO(machine.Quartz(), 1)
+	app := &AppBEO{Name: "huge", Ranks: 10000, Program: []Instr{Comp{Op: "a"}}}
+	arch.Bind("a", perfmodel.Constant{Seconds: 1})
+	if err := arch.Validate(app); err == nil {
+		t.Fatal("expected capacity error")
+	}
+}
+
+func TestArchBEOFTDefaults(t *testing.T) {
+	m := machine.Quartz()
+	arch := NewArchBEO(m, 2)
+	if arch.FT.NodeFaultsPerHour <= 0 {
+		t.Fatal("fault rate should default from MTBF")
+	}
+	want := 1 / m.NodeMTBFHours
+	if arch.FT.NodeFaultsPerHour != want {
+		t.Fatalf("rate = %v, want %v", arch.FT.NodeFaultsPerHour, want)
+	}
+}
+
+func TestModelForMissingPanics(t *testing.T) {
+	arch := NewArchBEO(machine.Quartz(), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	arch.ModelFor("ghost")
+}
+
+func TestBindNilPanics(t *testing.T) {
+	arch := NewArchBEO(machine.Quartz(), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	arch.Bind("x", nil)
+}
+
+func TestNewArchBEOBadRanksPerNode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewArchBEO(machine.Quartz(), 0)
+}

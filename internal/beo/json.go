@@ -1,0 +1,172 @@
+package beo
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"besst/internal/fti"
+	"besst/internal/perfmodel"
+)
+
+// JSON serialization of AppBEOs, so downstream users can define
+// application models declaratively and run them with besst-sim instead
+// of writing Go builders. The schema is a direct rendering of the
+// instruction set:
+//
+//	{"name": "solver", "ranks": 64, "program": [
+//	  {"kind": "loop", "count": 200, "body": [
+//	    {"kind": "comp", "op": "timestep", "params": {"epr": 10, "ranks": 64}},
+//	    {"kind": "comm", "pattern": "allreduce", "bytes": 8},
+//	    {"kind": "periodic", "period": 40, "offset": 39, "body": [
+//	      {"kind": "ckpt", "op": "fti_ckpt_l1", "level": 1,
+//	       "params": {"epr": 10, "ranks": 64}}]}]}]}
+
+type jsonInstr struct {
+	Kind      string             `json:"kind"`
+	Op        string             `json:"op,omitempty"`
+	Params    map[string]float64 `json:"params,omitempty"`
+	Pattern   string             `json:"pattern,omitempty"`
+	Bytes     int64              `json:"bytes,omitempty"`
+	Neighbors int                `json:"neighbors,omitempty"`
+	Level     int                `json:"level,omitempty"`
+	Count     int                `json:"count,omitempty"`
+	Period    int                `json:"period,omitempty"`
+	Offset    int                `json:"offset,omitempty"`
+	Body      []jsonInstr        `json:"body,omitempty"`
+}
+
+type jsonApp struct {
+	Name    string      `json:"name"`
+	Ranks   int         `json:"ranks"`
+	Program []jsonInstr `json:"program"`
+}
+
+var patternNames = map[CommPattern]string{
+	Barrier: "barrier", Allreduce: "allreduce", Broadcast: "broadcast",
+	Gather: "gather", AllToAll: "alltoall", Halo: "halo",
+}
+
+var patternByName = func() map[string]CommPattern {
+	m := make(map[string]CommPattern, len(patternNames))
+	for p, n := range patternNames {
+		m[n] = p
+	}
+	return m
+}()
+
+func toJSONInstr(in Instr) jsonInstr {
+	switch v := in.(type) {
+	case Comp:
+		return jsonInstr{Kind: "comp", Op: v.Op, Params: v.Params}
+	case Comm:
+		return jsonInstr{
+			Kind: "comm", Pattern: patternNames[v.Pattern],
+			Bytes: v.Bytes, Neighbors: v.Neighbors,
+		}
+	case Ckpt:
+		return jsonInstr{Kind: "ckpt", Op: v.Op, Level: int(v.Level), Params: v.Params}
+	case Loop:
+		return jsonInstr{Kind: "loop", Count: v.Count, Body: toJSONInstrs(v.Body)}
+	case Periodic:
+		return jsonInstr{
+			Kind: "periodic", Period: v.Period, Offset: v.Offset,
+			Body: toJSONInstrs(v.Body),
+		}
+	default:
+		panic(fmt.Sprintf("beo: cannot serialize instruction %T", in))
+	}
+}
+
+func toJSONInstrs(is []Instr) []jsonInstr {
+	out := make([]jsonInstr, len(is))
+	for i, in := range is {
+		out[i] = toJSONInstr(in)
+	}
+	return out
+}
+
+func fromJSONInstr(j jsonInstr) (Instr, error) {
+	switch j.Kind {
+	case "comp":
+		if j.Op == "" {
+			return nil, fmt.Errorf("beo: comp without op")
+		}
+		return Comp{Op: j.Op, Params: perfmodel.Params(j.Params)}, nil
+	case "comm":
+		p, ok := patternByName[j.Pattern]
+		if !ok {
+			return nil, fmt.Errorf("beo: unknown comm pattern %q", j.Pattern)
+		}
+		if j.Bytes < 0 {
+			return nil, fmt.Errorf("beo: negative comm bytes")
+		}
+		return Comm{Pattern: p, Bytes: j.Bytes, Neighbors: j.Neighbors}, nil
+	case "ckpt":
+		lvl := fti.Level(j.Level)
+		if !lvl.Valid() {
+			return nil, fmt.Errorf("beo: invalid checkpoint level %d", j.Level)
+		}
+		if j.Op == "" {
+			return nil, fmt.Errorf("beo: ckpt without op")
+		}
+		return Ckpt{Op: j.Op, Level: lvl, Params: perfmodel.Params(j.Params)}, nil
+	case "loop":
+		if j.Count <= 0 {
+			return nil, fmt.Errorf("beo: loop count %d", j.Count)
+		}
+		body, err := fromJSONInstrs(j.Body)
+		if err != nil {
+			return nil, err
+		}
+		return Loop{Count: j.Count, Body: body}, nil
+	case "periodic":
+		if j.Period <= 0 {
+			return nil, fmt.Errorf("beo: periodic period %d", j.Period)
+		}
+		body, err := fromJSONInstrs(j.Body)
+		if err != nil {
+			return nil, err
+		}
+		return Periodic{Period: j.Period, Offset: j.Offset, Body: body}, nil
+	default:
+		return nil, fmt.Errorf("beo: unknown instruction kind %q", j.Kind)
+	}
+}
+
+func fromJSONInstrs(js []jsonInstr) ([]Instr, error) {
+	out := make([]Instr, len(js))
+	for i, j := range js {
+		in, err := fromJSONInstr(j)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = in
+	}
+	return out, nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (a *AppBEO) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonApp{
+		Name:    a.Name,
+		Ranks:   a.Ranks,
+		Program: toJSONInstrs(a.Program),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (a *AppBEO) UnmarshalJSON(data []byte) error {
+	var j jsonApp
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Ranks <= 0 {
+		return fmt.Errorf("beo: app %q has non-positive ranks", j.Name)
+	}
+	prog, err := fromJSONInstrs(j.Program)
+	if err != nil {
+		return fmt.Errorf("beo: app %q: %w", j.Name, err)
+	}
+	*a = AppBEO{Name: j.Name, Ranks: j.Ranks, Program: prog}
+	return nil
+}

@@ -1,0 +1,107 @@
+package beo
+
+import (
+	"encoding/json"
+	"testing"
+
+	"besst/internal/fti"
+	"besst/internal/perfmodel"
+)
+
+func TestAppBEOJSONRoundTrip(t *testing.T) {
+	app := sampleApp()
+	data, err := json.Marshal(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back AppBEO
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != app.Name || back.Ranks != app.Ranks {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	if back.CountInstr() != app.CountInstr() {
+		t.Fatalf("dynamic instruction count %d != %d", back.CountInstr(), app.CountInstr())
+	}
+	ops := back.Ops()
+	for op := range app.Ops() {
+		if !ops[op] {
+			t.Fatalf("op %q lost in round trip", op)
+		}
+	}
+	// Structural spot checks.
+	loop, ok := back.Program[1].(Loop)
+	if !ok || loop.Count != 10 {
+		t.Fatalf("loop structure lost: %+v", back.Program)
+	}
+	per, ok := loop.Body[2].(Periodic)
+	if !ok || per.Period != 4 {
+		t.Fatalf("periodic lost: %+v", loop.Body)
+	}
+	ck, ok := per.Body[0].(Ckpt)
+	if !ok || ck.Level != fti.L1 || ck.Params.Get("epr") != 15 {
+		t.Fatalf("ckpt lost: %+v", per.Body)
+	}
+}
+
+func TestAppBEOJSONFromHandwrittenSpec(t *testing.T) {
+	spec := `{
+	  "name": "custom", "ranks": 27,
+	  "program": [
+	    {"kind": "loop", "count": 5, "body": [
+	      {"kind": "comp", "op": "kernel", "params": {"n": 32}},
+	      {"kind": "comm", "pattern": "halo", "bytes": 4096, "neighbors": 6},
+	      {"kind": "comm", "pattern": "allreduce", "bytes": 8},
+	      {"kind": "periodic", "period": 2, "offset": 1, "body": [
+	        {"kind": "ckpt", "op": "ck", "level": 2, "params": {"n": 32}}
+	      ]}
+	    ]}
+	  ]
+	}`
+	var app AppBEO
+	if err := json.Unmarshal([]byte(spec), &app); err != nil {
+		t.Fatal(err)
+	}
+	if app.Ranks != 27 {
+		t.Fatal("ranks wrong")
+	}
+	// 5*(comp+halo+allreduce) + ckpt at iterations 1, 3.
+	if got := app.CountInstr(); got != 17 {
+		t.Fatalf("count = %d, want 17", got)
+	}
+}
+
+func TestAppBEOJSONRejectsBadSpecs(t *testing.T) {
+	cases := []string{
+		`{"name":"x","ranks":0,"program":[]}`,
+		`{"name":"x","ranks":8,"program":[{"kind":"alien"}]}`,
+		`{"name":"x","ranks":8,"program":[{"kind":"comp"}]}`,
+		`{"name":"x","ranks":8,"program":[{"kind":"comm","pattern":"warp"}]}`,
+		`{"name":"x","ranks":8,"program":[{"kind":"ckpt","op":"c","level":9}]}`,
+		`{"name":"x","ranks":8,"program":[{"kind":"loop","count":0,"body":[]}]}`,
+		`{"name":"x","ranks":8,"program":[{"kind":"periodic","period":0,"body":[]}]}`,
+		`{"name":"x","ranks":8,"program":[{"kind":"comm","pattern":"halo","bytes":-4}]}`,
+	}
+	for i, c := range cases {
+		var app AppBEO
+		if err := json.Unmarshal([]byte(c), &app); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestAppBEOJSONParamsSurvive(t *testing.T) {
+	app := &AppBEO{Name: "p", Ranks: 1, Program: []Instr{
+		Comp{Op: "k", Params: perfmodel.Params{"a": 1.5, "b": -2}},
+	}}
+	data, _ := json.Marshal(app)
+	var back AppBEO
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	c := back.Program[0].(Comp)
+	if c.Params.Get("a") != 1.5 || c.Params.Get("b") != -2 {
+		t.Fatalf("params lost: %v", c.Params)
+	}
+}

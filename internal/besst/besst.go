@@ -1,0 +1,294 @@
+// Package besst is the core of this reproduction: the BE-SST simulator.
+//
+// It executes an AppBEO's abstract instructions for every rank over the
+// discrete-event engine (package des, the SST stand-in). Each Comp
+// instruction polls the ArchBEO performance model bound to its op and
+// advances that rank's clock by the predicted (or Monte Carlo sampled)
+// time; Comm instructions synchronize the ranks through a collective
+// coordinator charged with the network cost model; Ckpt instructions —
+// the FT-aware extension — synchronize like a coordinated checkpoint
+// and advance the global clock by one sampled checkpoint-instance time.
+//
+// Two execution modes are provided:
+//
+//   - DES mode is the faithful component-based simulation (one
+//     component per rank plus a coordinator). It is used for the
+//     validation-scale runs of the paper (up to 1331 ranks).
+//   - Direct mode exploits the lockstep structure of BE programs to
+//     evaluate the same semantics closed-form, step by step. It is
+//     orders of magnitude faster and is used for mega-scale notional
+//     predictions (Fig 1 extends to a million ranks).
+//
+// Both modes are deterministic for a given Options.Seed.
+package besst
+
+import (
+	"fmt"
+	"math"
+
+	"besst/internal/beo"
+	"besst/internal/fti"
+	"besst/internal/groundtruth"
+	"besst/internal/network"
+	"besst/internal/perfmodel"
+	"besst/internal/stats"
+)
+
+// Mode selects the execution strategy.
+type Mode int
+
+// Execution modes.
+const (
+	// DES runs the full component-based discrete-event simulation.
+	DES Mode = iota
+	// Direct evaluates the lockstep program closed-form.
+	Direct
+)
+
+// Options configures a simulation.
+type Options struct {
+	// Mode selects DES (default) or Direct execution.
+	Mode Mode
+	// MonteCarlo, when true, draws from each model's sample
+	// distribution (reproducing calibration variance); when false the
+	// simulator uses deterministic Predict values.
+	MonteCarlo bool
+	// Seed drives all randomness.
+	Seed uint64
+	// PerRankNoise controls whether compute blocks draw independent
+	// noise per rank (the step then completes at the slowest rank).
+	// Enabled by default in Monte Carlo runs; ignored when MonteCarlo
+	// is false.
+	PerRankNoise bool
+}
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	// Makespan is the end-to-end runtime in seconds (slowest rank).
+	Makespan float64
+	// StepCompletions[i] is the simulated time at which top-level
+	// loop iteration i completed (rank 0's clock) — the series
+	// plotted in Figs 7-8.
+	StepCompletions []float64
+	// CkptTimes are the completion times of each checkpoint instance
+	// (the black dots of Figs 7-8).
+	CkptTimes []float64
+	// Events is the number of discrete events processed (0 in Direct
+	// mode).
+	Events uint64
+	// Breakdown decomposes rank 0's wall time by activity — the
+	// overhead decomposition DSE reports need.
+	Breakdown Breakdown
+}
+
+// Breakdown is the per-activity decomposition of a run's wall time
+// (rank 0's perspective; synchronization waits land in Comm).
+type Breakdown struct {
+	ComputeSec float64 // Comp instructions
+	CommSec    float64 // collectives incl. arrival waits
+	CkptSec    float64 // checkpoint instances incl. coordination waits
+}
+
+// Total returns the sum of the components.
+func (b Breakdown) Total() float64 { return b.ComputeSec + b.CommSec + b.CkptSec }
+
+// compiled instruction kinds.
+type ckind int
+
+const (
+	ckComp ckind = iota
+	ckComm
+	ckCkpt
+	ckStepEnd
+)
+
+type cinstr struct {
+	kind      ckind
+	op        string
+	params    perfmodel.Params
+	pattern   beo.CommPattern
+	bytes     int64
+	neighbors int
+	level     fti.Level
+	step      int // ckStepEnd: completed top-level iteration index
+	syncID    int // ckComm/ckCkpt: dynamic synchronization instance id
+}
+
+// compile expands the program into the flat dynamic instruction list
+// shared (read-only) by all rank components. Top-level loop iterations
+// get step-end markers for the Figs 7-8 time series.
+func compile(app *beo.AppBEO) []cinstr {
+	var out []cinstr
+	syncID := 0
+	var emit func(is []beo.Instr, iter int, topLevel bool)
+	emit = func(is []beo.Instr, iter int, topLevel bool) {
+		for _, in := range is {
+			switch v := in.(type) {
+			case beo.Comp:
+				out = append(out, cinstr{kind: ckComp, op: v.Op, params: v.Params})
+			case beo.Comm:
+				out = append(out, cinstr{
+					kind: ckComm, pattern: v.Pattern, bytes: v.Bytes,
+					neighbors: v.Neighbors, syncID: syncID,
+				})
+				syncID++
+			case beo.Ckpt:
+				out = append(out, cinstr{
+					kind: ckCkpt, op: v.Op, params: v.Params,
+					level: v.Level, syncID: syncID,
+				})
+				syncID++
+			case beo.Loop:
+				for i := 0; i < v.Count; i++ {
+					emit(v.Body, i, false)
+					if topLevel {
+						out = append(out, cinstr{kind: ckStepEnd, step: i})
+					}
+				}
+			case beo.Periodic:
+				if v.Period <= 0 {
+					panic("besst: non-positive Periodic period")
+				}
+				if iter%v.Period == v.Offset%v.Period {
+					emit(v.Body, iter, false)
+				}
+			default:
+				panic(fmt.Sprintf("besst: unknown instruction %T", in))
+			}
+		}
+	}
+	emit(app.Program, 0, true)
+	return out
+}
+
+// commCost returns the deterministic network cost of a communication
+// instruction for `ranks` participants, using a shared network model
+// (its topology-diameter cache makes repeated collective costs cheap).
+func commCost(net *network.Model, c cinstr, ranks int) float64 {
+	switch c.pattern {
+	case beo.Barrier:
+		return net.Barrier(ranks)
+	case beo.Allreduce:
+		return net.Allreduce(ranks, c.bytes)
+	case beo.Broadcast:
+		return net.Broadcast(ranks, c.bytes)
+	case beo.Gather:
+		return net.Gather(ranks, c.bytes)
+	case beo.AllToAll:
+		return net.AllToAll(ranks, c.bytes)
+	case beo.Halo:
+		return net.NearestNeighbor(c.neighbors, c.bytes)
+	default:
+		panic(fmt.Sprintf("besst: unknown comm pattern %v", c.pattern))
+	}
+}
+
+// Simulate runs app on arch once and returns the result.
+func Simulate(app *beo.AppBEO, arch *beo.ArchBEO, opt Options) *Result {
+	if err := arch.Validate(app); err != nil {
+		panic(err)
+	}
+	prog := compile(app)
+	net := arch.Machine.Network()
+	if opt.Mode == Direct {
+		return simulateDirect(app, arch, prog, net, opt)
+	}
+	return simulateDES(app, arch, prog, net, opt)
+}
+
+// MonteCarlo runs n replications with independent random streams and
+// returns all results — the Monte Carlo capability BE-SST uses to
+// "capture the variance that exists in the calibration samples".
+func MonteCarlo(app *beo.AppBEO, arch *beo.ArchBEO, opt Options, n int) []*Result {
+	if n <= 0 {
+		panic("besst: non-positive Monte Carlo count")
+	}
+	opt.MonteCarlo = true
+	master := stats.NewRNG(opt.Seed)
+	out := make([]*Result, n)
+	for i := range out {
+		o := opt
+		o.Seed = master.Uint64()
+		out[i] = Simulate(app, arch, o)
+	}
+	return out
+}
+
+// Makespans extracts the makespan distribution from replications.
+func Makespans(rs []*Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Makespan
+	}
+	return out
+}
+
+// simulateDirect evaluates the lockstep program closed-form.
+func simulateDirect(app *beo.AppBEO, arch *beo.ArchBEO, prog []cinstr, net *network.Model, opt Options) *Result {
+	rng := stats.NewRNG(opt.Seed)
+	res := &Result{}
+	now := 0.0
+	for _, c := range prog {
+		switch c.kind {
+		case ckComp:
+			m := arch.ModelFor(c.op)
+			before := now
+			if opt.MonteCarlo {
+				if opt.PerRankNoise {
+					// The step completes when the slowest rank's
+					// draw does; reuse the shared extreme-value
+					// helper for identical semantics with the
+					// ground-truth emulator.
+					mean := m.Predict(c.params)
+					sigma := modelSigma(m, c.params, rng)
+					now += groundtruth.StepMax(mean, sigma, app.Ranks, rng)
+				} else {
+					now += m.Sample(c.params, rng)
+				}
+			} else {
+				now += m.Predict(c.params)
+			}
+			res.Breakdown.ComputeSec += now - before
+		case ckComm:
+			dt := commCost(net, c, app.Ranks)
+			res.Breakdown.CommSec += dt
+			now += dt
+		case ckCkpt:
+			m := arch.ModelFor(c.op)
+			var dt float64
+			if opt.MonteCarlo {
+				dt = m.Sample(c.params, rng) // one coordinated draw
+			} else {
+				dt = m.Predict(c.params)
+			}
+			res.Breakdown.CkptSec += dt
+			now += dt
+			res.CkptTimes = append(res.CkptTimes, now)
+		case ckStepEnd:
+			res.StepCompletions = append(res.StepCompletions, now)
+		}
+	}
+	res.Makespan = now
+	return res
+}
+
+// modelSigma estimates a model's relative spread at params by drawing a
+// handful of samples. For symreg.Fitted this recovers ResidualSigma; for
+// tables it reflects the stored sample spread.
+func modelSigma(m perfmodel.Model, p perfmodel.Params, rng *stats.RNG) float64 {
+	mean := m.Predict(p)
+	if mean <= 0 {
+		return 0
+	}
+	const probes = 8
+	var ss float64
+	for i := 0; i < probes; i++ {
+		r := m.Sample(p, rng) / mean
+		if r <= 0 {
+			continue
+		}
+		l := math.Log(r)
+		ss += l * l
+	}
+	return math.Sqrt(ss / probes)
+}

@@ -1,0 +1,220 @@
+package besst
+
+import (
+	"besst/internal/beo"
+	"besst/internal/des"
+	"besst/internal/network"
+	"besst/internal/stats"
+)
+
+// DES-mode implementation: one component per rank plus a collective
+// coordinator. Every Comm/Ckpt instruction is a synchronization point:
+// ranks report arrival to the coordinator; when the last rank arrives
+// the coordinator charges the communication (or checkpoint-instance)
+// cost and releases everyone.
+
+// payloads
+type advanceMsg struct{}
+type arriveMsg struct {
+	syncID int
+	rank   int
+}
+type releaseMsg struct{ syncID int }
+
+const (
+	portCoord = "coord" // rank -> coordinator
+)
+
+// rankComp executes the compiled program for one rank.
+type rankComp struct {
+	sim  *desSim
+	rank int
+	pc   int
+	rng  *stats.RNG
+	// breakdown accounting (rank 0 only): the sync instruction rank 0
+	// is currently blocked on, and when it arrived there.
+	waitKind  ckind
+	waitSince des.Time
+	waiting   bool
+}
+
+// coordComp synchronizes collective instructions.
+type coordComp struct {
+	sim     *desSim
+	pending map[int]int      // syncID -> arrivals so far
+	arrived map[int]des.Time // syncID -> latest arrival time
+	rng     *stats.RNG
+}
+
+type desSim struct {
+	app       *beo.AppBEO
+	arch      *beo.ArchBEO
+	net       *network.Model
+	prog      []cinstr
+	syncInstr map[int]cinstr // syncID -> its Comm/Ckpt instruction
+	opt       Options
+	eng       *des.Engine
+	res       *Result
+	ranks     []des.ComponentID
+	coord     des.ComponentID
+	ends      []des.Time // per-rank completion time
+}
+
+func simulateDES(app *beo.AppBEO, arch *beo.ArchBEO, prog []cinstr, net *network.Model, opt Options) *Result {
+	master := stats.NewRNG(opt.Seed)
+	s := &desSim{
+		app:       app,
+		arch:      arch,
+		net:       net,
+		prog:      prog,
+		syncInstr: map[int]cinstr{},
+		opt:       opt,
+		eng:       des.NewEngine(),
+		res:       &Result{},
+		ends:      make([]des.Time, app.Ranks),
+	}
+	for _, c := range prog {
+		if c.kind == ckComm || c.kind == ckCkpt {
+			s.syncInstr[c.syncID] = c
+		}
+	}
+	coord := &coordComp{
+		sim:     s,
+		pending: map[int]int{},
+		arrived: map[int]des.Time{},
+		rng:     master.Split(),
+	}
+	s.coord = s.eng.Register(coord)
+	for r := 0; r < app.Ranks; r++ {
+		rc := &rankComp{sim: s, rank: r, rng: master.Split()}
+		id := s.eng.Register(rc)
+		s.ranks = append(s.ranks, id)
+		s.eng.Connect(id, portCoord, s.coord, "in", 0)
+		s.eng.Connect(s.coord, rankPort(r), id, "release", 0)
+	}
+	for r := 0; r < app.Ranks; r++ {
+		s.eng.ScheduleAt(0, s.ranks[r], advanceMsg{})
+	}
+	s.eng.Run(0)
+	// Makespan: the slowest rank's completion.
+	var max des.Time
+	for _, t := range s.ends {
+		if t > max {
+			max = t
+		}
+	}
+	s.res.Makespan = max.Seconds()
+	s.res.Events = s.eng.Processed()
+	return s.res
+}
+
+func rankPort(rank int) string {
+	// Small allocation-free-ish formatting is unnecessary here: ports
+	// are wired once at construction.
+	return "r" + itoa(rank)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// HandleEvent advances the rank's program until it blocks on a
+// collective or schedules compute time.
+func (rc *rankComp) HandleEvent(ctx *des.Context, ev des.Event) {
+	s := rc.sim
+	if rc.rank == 0 && rc.waiting {
+		// A release just arrived: charge the blocked interval (wait
+		// for stragglers + the collective/checkpoint cost itself) to
+		// the right bucket.
+		elapsed := (ctx.Now() - rc.waitSince).Seconds()
+		if rc.waitKind == ckCkpt {
+			s.res.Breakdown.CkptSec += elapsed
+		} else {
+			s.res.Breakdown.CommSec += elapsed
+		}
+		rc.waiting = false
+	}
+	for rc.pc < len(s.prog) {
+		c := s.prog[rc.pc]
+		switch c.kind {
+		case ckComp:
+			rc.pc++
+			m := s.arch.ModelFor(c.op)
+			var dt float64
+			if s.opt.MonteCarlo {
+				dt = m.Sample(c.params, rc.rng)
+			} else {
+				dt = m.Predict(c.params)
+			}
+			if rc.rank == 0 {
+				s.res.Breakdown.ComputeSec += dt
+			}
+			ctx.ScheduleSelf(des.FromSeconds(dt), advanceMsg{})
+			return
+		case ckComm, ckCkpt:
+			rc.pc++
+			if rc.rank == 0 {
+				rc.waiting = true
+				rc.waitKind = c.kind
+				rc.waitSince = ctx.Now()
+			}
+			ctx.Send(portCoord, 0, arriveMsg{syncID: c.syncID, rank: rc.rank})
+			return // resume on releaseMsg
+		case ckStepEnd:
+			rc.pc++
+			if rc.rank == 0 {
+				s.res.StepCompletions = append(s.res.StepCompletions, ctx.Now().Seconds())
+			}
+		}
+	}
+	s.ends[rc.rank] = ctx.Now()
+}
+
+// HandleEvent gathers arrivals and releases ranks when complete.
+func (cc *coordComp) HandleEvent(ctx *des.Context, ev des.Event) {
+	msg, ok := ev.Payload.(arriveMsg)
+	if !ok {
+		return
+	}
+	s := cc.sim
+	cc.pending[msg.syncID]++
+	if t := ctx.Now(); t > cc.arrived[msg.syncID] {
+		cc.arrived[msg.syncID] = t
+	}
+	if cc.pending[msg.syncID] < s.app.Ranks {
+		return
+	}
+	delete(cc.pending, msg.syncID)
+	delete(cc.arrived, msg.syncID)
+
+	// All ranks arrived (the coordinator's clock is already at the
+	// latest arrival, since events are processed in time order).
+	c := s.syncInstr[msg.syncID]
+	var cost float64
+	switch c.kind {
+	case ckComm:
+		cost = commCost(s.net, c, s.app.Ranks)
+	case ckCkpt:
+		m := s.arch.ModelFor(c.op)
+		if s.opt.MonteCarlo {
+			cost = m.Sample(c.params, cc.rng) // one coordinated draw
+		} else {
+			cost = m.Predict(c.params)
+		}
+		s.res.CkptTimes = append(s.res.CkptTimes, ctx.Now().Seconds()+cost)
+	}
+	extra := des.FromSeconds(cost)
+	for r := 0; r < s.app.Ranks; r++ {
+		ctx.Send(rankPort(r), extra, releaseMsg{syncID: msg.syncID})
+	}
+}

@@ -1,0 +1,64 @@
+// Package cmtbone generates the AppBEO for CMT-bone, the proxy
+// application for compressible multiphase turbulence (a stripped-down
+// CMT-nek, itself based on the Nek5000 CFD solver) used in the paper's
+// Fig 1: BE-SST validation on the Vulcan supercomputer. CMT-bone is a
+// spectral-element code; its per-timestep cost is dominated by
+// element-local operator evaluations plus face exchanges between
+// neighboring elements.
+package cmtbone
+
+import (
+	"fmt"
+
+	"besst/internal/beo"
+	"besst/internal/perfmodel"
+)
+
+// Op names bound in the ArchBEO.
+const (
+	OpTimestep = "cmtbone_timestep"
+)
+
+// ElementsPerRank returns the spectral elements each rank owns for a
+// problem-size parameter (elements per rank is CMT-bone's primary
+// scaling knob in the BE-SST studies).
+func ElementsPerRank(psize int) int64 {
+	if psize <= 0 {
+		panic("cmtbone: non-positive problem size")
+	}
+	return int64(psize)
+}
+
+// FaceBytes returns the per-neighbor face-exchange payload per timestep
+// for polynomial order N (values on an (N+1)^2 face, 5 conserved
+// variables of 8 bytes).
+func FaceBytes(order int) int64 {
+	n := int64(order + 1)
+	return n * n * 5 * 8
+}
+
+// App builds the CMT-bone AppBEO: a timestep loop of element-local
+// compute, a halo exchange, and the stability allreduce.
+func App(psize, order, ranks, timesteps int) *beo.AppBEO {
+	if ranks <= 0 || timesteps <= 0 {
+		panic("cmtbone: non-positive ranks or timesteps")
+	}
+	ElementsPerRank(psize) // validates psize
+	if order <= 0 {
+		panic("cmtbone: non-positive polynomial order")
+	}
+	params := perfmodel.Params{
+		"psize": float64(psize),
+		"ranks": float64(ranks),
+	}
+	body := []beo.Instr{
+		beo.Comp{Op: OpTimestep, Params: params},
+		beo.Comm{Pattern: beo.Halo, Bytes: FaceBytes(order), Neighbors: 6},
+		beo.Comm{Pattern: beo.Allreduce, Bytes: 8},
+	}
+	return &beo.AppBEO{
+		Name:    fmt.Sprintf("CMT-bone(psize=%d, ranks=%d)", psize, ranks),
+		Ranks:   ranks,
+		Program: []beo.Instr{beo.Loop{Count: timesteps, Body: body}},
+	}
+}

@@ -1,0 +1,63 @@
+package cmtbone
+
+import (
+	"testing"
+
+	"besst/internal/beo"
+)
+
+func TestApp(t *testing.T) {
+	app := App(64, 5, 128, 100)
+	if app.Ranks != 128 {
+		t.Fatal("ranks wrong")
+	}
+	if !app.Ops()[OpTimestep] {
+		t.Fatal("timestep op missing")
+	}
+	if got := app.CountInstr(); got != 300 {
+		t.Fatalf("instr count = %d, want 300", got)
+	}
+	loop := app.Program[0].(beo.Loop)
+	comp := loop.Body[0].(beo.Comp)
+	if comp.Params.Get("psize") != 64 || comp.Params.Get("ranks") != 128 {
+		t.Fatalf("params = %v", comp.Params)
+	}
+}
+
+func TestFaceBytes(t *testing.T) {
+	// (N+1)^2 * 5 vars * 8 bytes.
+	if FaceBytes(4) != 25*5*8 {
+		t.Fatalf("face bytes = %d", FaceBytes(4))
+	}
+}
+
+func TestElementsPerRank(t *testing.T) {
+	if ElementsPerRank(32) != 32 {
+		t.Fatal("elements wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ElementsPerRank(0)
+}
+
+func TestAppPanicsOnBadArgs(t *testing.T) {
+	cases := []func(){
+		func() { App(0, 5, 8, 10) },
+		func() { App(64, 0, 8, 10) },
+		func() { App(64, 5, 0, 10) },
+		func() { App(64, 5, 8, 0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,243 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a timestamped message delivered to a component. Payload is
+// opaque to the engine.
+type Event struct {
+	Time    Time
+	Dst     ComponentID
+	SrcPort string // name of the link/port the event arrived on ("" for self events)
+	Payload any
+
+	seq uint64 // FIFO tie-breaker for deterministic ordering
+}
+
+// ComponentID identifies a component registered with an engine.
+type ComponentID int
+
+// Component is the unit of simulation. HandleEvent is invoked once per
+// delivered event with the engine's clock already advanced to the event
+// time. Components react by scheduling self events and sending on links.
+type Component interface {
+	// HandleEvent processes one event. ctx provides scheduling and
+	// link-send operations valid only for the duration of the call.
+	HandleEvent(ctx *Context, ev Event)
+}
+
+// scheduler is the engine-side contract Context needs: it is satisfied
+// by the sequential Engine and by each partition worker of the parallel
+// engine.
+type scheduler interface {
+	schedule(ev Event)
+	link(src ComponentID, port string) (halfLink, bool)
+}
+
+// Context gives a component access to the engine during HandleEvent.
+type Context struct {
+	sch scheduler
+	id  ComponentID
+	now Time
+}
+
+// Now returns the current simulated time.
+func (c *Context) Now() Time { return c.now }
+
+// Self returns the handling component's ID.
+func (c *Context) Self() ComponentID { return c.id }
+
+// ScheduleSelf enqueues an event for the handling component after delay.
+func (c *Context) ScheduleSelf(delay Time, payload any) {
+	if delay < 0 {
+		panic("des: negative delay")
+	}
+	c.sch.schedule(Event{Time: c.now + delay, Dst: c.id, Payload: payload})
+}
+
+// Send delivers payload over the named outgoing link of the handling
+// component. Delivery occurs after the link's configured latency plus
+// extra. It panics if the component has no such link: wiring errors are
+// construction bugs, not runtime conditions.
+func (c *Context) Send(port string, extra Time, payload any) {
+	l, ok := c.sch.link(c.id, port)
+	if !ok {
+		panic(fmt.Sprintf("des: component %d has no link %q", c.id, port))
+	}
+	if extra < 0 {
+		panic("des: negative extra latency")
+	}
+	c.sch.schedule(Event{
+		Time:    c.now + l.latency + extra,
+		Dst:     l.dst,
+		SrcPort: l.dstPort,
+		Payload: payload,
+	})
+}
+
+// LinkLatency reports the configured latency of one of the handling
+// component's outgoing links.
+func (c *Context) LinkLatency(port string) Time {
+	l, ok := c.sch.link(c.id, port)
+	if !ok {
+		panic(fmt.Sprintf("des: component %d has no link %q", c.id, port))
+	}
+	return l.latency
+}
+
+type portKey struct {
+	src  ComponentID
+	port string
+}
+
+type halfLink struct {
+	dst     ComponentID
+	dstPort string
+	latency Time
+}
+
+// eventHeap orders events by (time, seq) so simultaneous events are
+// processed in schedule order, making runs bit-reproducible.
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// Engine is the sequential discrete-event simulator. Construct with
+// NewEngine, register components and links, seed initial events with
+// ScheduleAt, then call Run.
+type Engine struct {
+	components []Component
+	links      map[portKey]halfLink
+	queue      eventHeap
+	now        Time
+	seq        uint64
+	processed  uint64
+	running    bool
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{links: make(map[portKey]halfLink)}
+}
+
+// Register adds a component and returns its ID.
+func (e *Engine) Register(c Component) ComponentID {
+	if e.running {
+		panic("des: Register during Run")
+	}
+	e.components = append(e.components, c)
+	return ComponentID(len(e.components) - 1)
+}
+
+// Connect wires a unidirectional link from src's port srcPort to dst's
+// port dstPort with the given latency. Events sent on srcPort arrive at
+// dst tagged with dstPort.
+func (e *Engine) Connect(src ComponentID, srcPort string, dst ComponentID, dstPort string, latency Time) {
+	if latency < 0 {
+		panic("des: negative link latency")
+	}
+	key := portKey{src, srcPort}
+	if _, dup := e.links[key]; dup {
+		panic(fmt.Sprintf("des: duplicate link %d/%q", src, srcPort))
+	}
+	e.links[key] = halfLink{dst: dst, dstPort: dstPort, latency: latency}
+}
+
+// ConnectBidirectional wires a:aPort <-> b:bPort with equal latency.
+func (e *Engine) ConnectBidirectional(a ComponentID, aPort string, b ComponentID, bPort string, latency Time) {
+	e.Connect(a, aPort, b, bPort, latency)
+	e.Connect(b, bPort, a, aPort, latency)
+}
+
+// ScheduleAt enqueues an initial event for dst at absolute time t.
+func (e *Engine) ScheduleAt(t Time, dst ComponentID, payload any) {
+	if t < e.now {
+		panic("des: scheduling into the past")
+	}
+	e.schedule(Event{Time: t, Dst: dst, Payload: payload})
+}
+
+func (e *Engine) schedule(ev Event) {
+	if ev.Time < e.now {
+		panic("des: scheduling into the past")
+	}
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+func (e *Engine) link(src ComponentID, port string) (halfLink, bool) {
+	l, ok := e.links[portKey{src, port}]
+	return l, ok
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events delivered so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Run processes events in timestamp order until the queue is empty or
+// the horizon is passed (horizon <= 0 means no horizon). It returns the
+// final simulated time.
+func (e *Engine) Run(horizon Time) Time {
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(Event)
+		if horizon > 0 && ev.Time > horizon {
+			// Leave the event unprocessed; clock stops at horizon.
+			heap.Push(&e.queue, ev)
+			e.now = horizon
+			return e.now
+		}
+		if ev.Time < e.now {
+			panic("des: event queue went backwards")
+		}
+		e.now = ev.Time
+		e.dispatch(ev)
+	}
+	return e.now
+}
+
+func (e *Engine) dispatch(ev Event) {
+	dst := int(ev.Dst)
+	if dst < 0 || dst >= len(e.components) {
+		panic(fmt.Sprintf("des: event for unknown component %d", ev.Dst))
+	}
+	ctx := Context{sch: e, id: ev.Dst, now: e.now}
+	e.components[dst].HandleEvent(&ctx, ev)
+	e.processed++
+}
+
+// Step processes exactly one event if available, returning false when
+// the queue is empty. It is exposed for tests and debugging tooling.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(Event)
+	e.now = ev.Time
+	e.dispatch(ev)
+	return true
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,242 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ParallelEngine is a conservative parallel discrete-event simulator.
+//
+// Components are assigned to partitions; each partition runs on its own
+// goroutine with a private event queue. Execution proceeds in windows:
+// every partition processes all events with timestamp strictly below the
+// window end, then all partitions synchronize at a barrier and exchange
+// cross-partition events. The window width is the engine's lookahead,
+// which must be a lower bound on the latency of every cross-partition
+// link — the classic conservative-synchronization safety condition: an
+// event sent across partitions at time t arrives no earlier than
+// t + lookahead, i.e., beyond the current window, so no partition can
+// receive an event "from the past".
+//
+// Results are bit-identical to the sequential Engine for models whose
+// behaviour depends only on per-component event order (the BE-SST
+// components in this repository), and are themselves deterministic
+// across runs regardless of goroutine scheduling: cross-partition
+// deliveries are merged in (time, source partition, source sequence)
+// order at each barrier.
+type ParallelEngine struct {
+	components []Component
+	partOf     []int // component -> partition
+	links      map[portKey]halfLink
+	parts      []*partition
+	lookahead  Time
+	now        Time
+	running    bool
+	processed  uint64
+}
+
+type partition struct {
+	eng    *ParallelEngine
+	index  int
+	queue  eventHeap
+	seq    uint64
+	outbox []crossEvent // cross-partition sends buffered until the barrier
+	count  uint64       // events processed by this partition
+}
+
+type crossEvent struct {
+	ev      Event
+	dstPart int
+	srcPart int
+	srcSeq  uint64
+}
+
+// NewParallelEngine returns an engine with nparts partitions and the
+// given lookahead window. Lookahead must be positive: a zero-lookahead
+// conservative simulation cannot make parallel progress.
+func NewParallelEngine(nparts int, lookahead Time) *ParallelEngine {
+	if nparts <= 0 {
+		panic("des: non-positive partition count")
+	}
+	if lookahead <= 0 {
+		panic("des: non-positive lookahead")
+	}
+	e := &ParallelEngine{
+		links:     make(map[portKey]halfLink),
+		lookahead: lookahead,
+	}
+	for i := 0; i < nparts; i++ {
+		e.parts = append(e.parts, &partition{eng: e, index: i})
+	}
+	return e
+}
+
+// Partitions returns the number of partitions.
+func (e *ParallelEngine) Partitions() int { return len(e.parts) }
+
+// RegisterIn adds a component to the given partition and returns its ID.
+func (e *ParallelEngine) RegisterIn(part int, c Component) ComponentID {
+	if e.running {
+		panic("des: RegisterIn during Run")
+	}
+	if part < 0 || part >= len(e.parts) {
+		panic(fmt.Sprintf("des: partition %d out of range", part))
+	}
+	e.components = append(e.components, c)
+	e.partOf = append(e.partOf, part)
+	return ComponentID(len(e.components) - 1)
+}
+
+// Connect wires a unidirectional link. Cross-partition links must have
+// latency >= the engine lookahead; violating that breaks conservative
+// safety, so it panics at wiring time rather than corrupting a run.
+func (e *ParallelEngine) Connect(src ComponentID, srcPort string, dst ComponentID, dstPort string, latency Time) {
+	if latency < 0 {
+		panic("des: negative link latency")
+	}
+	if e.partOf[src] != e.partOf[dst] && latency < e.lookahead {
+		panic(fmt.Sprintf("des: cross-partition link %d/%q latency %v below lookahead %v",
+			src, srcPort, latency, e.lookahead))
+	}
+	key := portKey{src, srcPort}
+	if _, dup := e.links[key]; dup {
+		panic(fmt.Sprintf("des: duplicate link %d/%q", src, srcPort))
+	}
+	e.links[key] = halfLink{dst: dst, dstPort: dstPort, latency: latency}
+}
+
+// ScheduleAt enqueues an initial event for dst at absolute time t.
+func (e *ParallelEngine) ScheduleAt(t Time, dst ComponentID, payload any) {
+	if t < e.now {
+		panic("des: scheduling into the past")
+	}
+	p := e.parts[e.partOf[dst]]
+	ev := Event{Time: t, Dst: dst, Payload: payload, seq: p.seq}
+	p.seq++
+	heap.Push(&p.queue, ev)
+}
+
+// Now returns the current simulated time (the completed window edge).
+func (e *ParallelEngine) Now() Time { return e.now }
+
+// Processed returns the number of events delivered so far.
+func (e *ParallelEngine) Processed() uint64 { return e.processed }
+
+// partition implements scheduler for the components it hosts.
+
+func (p *partition) schedule(ev Event) {
+	dstPart := p.eng.partOf[ev.Dst]
+	if dstPart == p.index {
+		ev.seq = p.seq
+		p.seq++
+		heap.Push(&p.queue, ev)
+		return
+	}
+	p.outbox = append(p.outbox, crossEvent{
+		ev:      ev,
+		dstPart: dstPart,
+		srcPart: p.index,
+		srcSeq:  p.seq,
+	})
+	p.seq++
+}
+
+func (p *partition) link(src ComponentID, port string) (halfLink, bool) {
+	l, ok := p.eng.links[portKey{src, port}]
+	return l, ok
+}
+
+// runWindow processes all events with Time < windowEnd in this partition.
+func (p *partition) runWindow(windowEnd Time) {
+	for len(p.queue) > 0 && p.queue[0].Time < windowEnd {
+		ev := heap.Pop(&p.queue).(Event)
+		ctx := Context{sch: p, id: ev.Dst, now: ev.Time}
+		p.eng.components[int(ev.Dst)].HandleEvent(&ctx, ev)
+		p.count++
+	}
+}
+
+// Run executes the simulation until no events remain anywhere or the
+// horizon is reached (horizon <= 0 means none). It returns the final
+// simulated time.
+//
+// Workers are long-lived goroutines, one per partition, signaled with
+// the next window edge over a channel: spawning goroutines per window
+// would dominate the runtime for fine-grained lookahead.
+func (e *ParallelEngine) Run(horizon Time) Time {
+	e.running = true
+	defer func() { e.running = false }()
+
+	windows := make([]chan Time, len(e.parts))
+	var done sync.WaitGroup
+	for i, p := range e.parts {
+		windows[i] = make(chan Time)
+		go func(p *partition, win <-chan Time) {
+			for end := range win {
+				p.runWindow(end)
+				done.Done()
+			}
+		}(p, windows[i])
+	}
+	defer func() {
+		for _, w := range windows {
+			close(w)
+		}
+	}()
+
+	for {
+		// Global minimum next-event time across partitions.
+		minT := Time(-1)
+		for _, p := range e.parts {
+			if len(p.queue) > 0 && (minT < 0 || p.queue[0].Time < minT) {
+				minT = p.queue[0].Time
+			}
+		}
+		if minT < 0 {
+			return e.now // drained
+		}
+		if horizon > 0 && minT > horizon {
+			e.now = horizon
+			return e.now
+		}
+		windowEnd := minT + e.lookahead
+
+		done.Add(len(e.parts))
+		for i := range e.parts {
+			windows[i] <- windowEnd
+		}
+		done.Wait()
+
+		// Barrier: merge cross-partition events deterministically.
+		var crossed []crossEvent
+		for _, p := range e.parts {
+			crossed = append(crossed, p.outbox...)
+			p.outbox = p.outbox[:0]
+		}
+		sort.Slice(crossed, func(i, j int) bool {
+			a, b := crossed[i], crossed[j]
+			if a.ev.Time != b.ev.Time {
+				return a.ev.Time < b.ev.Time
+			}
+			if a.srcPart != b.srcPart {
+				return a.srcPart < b.srcPart
+			}
+			return a.srcSeq < b.srcSeq
+		})
+		for _, ce := range crossed {
+			p := e.parts[ce.dstPart]
+			ev := ce.ev
+			ev.seq = p.seq
+			p.seq++
+			heap.Push(&p.queue, ev)
+		}
+
+		e.now = windowEnd
+		for _, p := range e.parts {
+			e.processed += p.count
+			p.count = 0
+		}
+	}
+}

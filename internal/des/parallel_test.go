@@ -1,0 +1,245 @@
+package des
+
+import (
+	"sync"
+	"testing"
+)
+
+// echo bounces a counter back and forth over its "peer" link until the
+// counter reaches zero, recording each arrival time.
+type echo struct {
+	mu    sync.Mutex
+	times []Time
+}
+
+func (c *echo) HandleEvent(ctx *Context, ev Event) {
+	n := ev.Payload.(int)
+	c.mu.Lock()
+	c.times = append(c.times, ctx.Now())
+	c.mu.Unlock()
+	if n > 0 {
+		ctx.Send("peer", 0, n-1)
+	}
+}
+
+func TestParallelPingPong(t *testing.T) {
+	e := NewParallelEngine(2, 10)
+	a := &echo{}
+	b := &echo{}
+	aid := e.RegisterIn(0, a)
+	bid := e.RegisterIn(1, b)
+	e.Connect(aid, "peer", bid, "peer", 10)
+	e.Connect(bid, "peer", aid, "peer", 10)
+	e.ScheduleAt(0, aid, 10)
+	end := e.Run(0)
+	// 11 deliveries total (n=10..0), alternating partitions, 10ns apart
+	// starting at t=0, so the last arrives at t=100.
+	total := len(a.times) + len(b.times)
+	if total != 11 {
+		t.Fatalf("total deliveries = %d, want 11", total)
+	}
+	if a.times[len(a.times)-1] != 100 && b.times[len(b.times)-1] != 100 {
+		t.Fatalf("last delivery not at 100: a=%v b=%v", a.times, b.times)
+	}
+	if end < 100 {
+		t.Fatalf("end time %v < 100", end)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	// Build the same ring of pingers on both engines and compare
+	// delivery traces.
+	build := func(reg func(i int, c Component) ComponentID,
+		connect func(src ComponentID, sp string, dst ComponentID, dp string, lat Time)) []*echo {
+		const n = 8
+		comps := make([]*echo, n)
+		ids := make([]ComponentID, n)
+		for i := 0; i < n; i++ {
+			comps[i] = &echo{}
+			ids[i] = reg(i, comps[i])
+		}
+		for i := 0; i < n; i++ {
+			connect(ids[i], "peer", ids[(i+1)%n], "peer", 100)
+		}
+		return comps
+	}
+
+	seq := NewEngine()
+	seqComps := build(
+		func(i int, c Component) ComponentID { return seq.Register(c) },
+		seq.Connect)
+	seq.ScheduleAt(0, 0, 40)
+	seq.Run(0)
+
+	par := NewParallelEngine(4, 100)
+	parComps := build(
+		func(i int, c Component) ComponentID { return par.RegisterIn(i%4, c) },
+		par.Connect)
+	par.ScheduleAt(0, 0, 40)
+	par.Run(0)
+
+	for i := range seqComps {
+		s, p := seqComps[i].times, parComps[i].times
+		if len(s) != len(p) {
+			t.Fatalf("component %d delivery count %d vs %d", i, len(s), len(p))
+		}
+		for j := range s {
+			if s[j] != p[j] {
+				t.Fatalf("component %d delivery %d at %v vs %v", i, j, s[j], p[j])
+			}
+		}
+	}
+}
+
+func TestParallelDeterministicAcrossRuns(t *testing.T) {
+	run := func() []Time {
+		e := NewParallelEngine(3, 5)
+		comps := make([]*echo, 6)
+		ids := make([]ComponentID, 6)
+		for i := range comps {
+			comps[i] = &echo{}
+			ids[i] = e.RegisterIn(i%3, comps[i])
+		}
+		for i := range ids {
+			e.Connect(ids[i], "peer", ids[(i+1)%len(ids)], "peer", 5)
+		}
+		e.ScheduleAt(0, ids[0], 30)
+		e.ScheduleAt(0, ids[3], 30)
+		e.Run(0)
+		var all []Time
+		for _, c := range comps {
+			all = append(all, c.times...)
+		}
+		return all
+	}
+	a := run()
+	b := run()
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestParallelCrossLinkBelowLookaheadPanics(t *testing.T) {
+	e := NewParallelEngine(2, 100)
+	a := e.RegisterIn(0, &echo{})
+	b := e.RegisterIn(1, &echo{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsafe cross-partition link")
+		}
+	}()
+	e.Connect(a, "peer", b, "peer", 50)
+}
+
+func TestParallelIntraPartitionShortLinkAllowed(t *testing.T) {
+	e := NewParallelEngine(2, 100)
+	a := &echo{}
+	b := &echo{}
+	aid := e.RegisterIn(0, a)
+	bid := e.RegisterIn(0, b) // same partition: latency below lookahead is fine
+	e.Connect(aid, "peer", bid, "peer", 1)
+	e.Connect(bid, "peer", aid, "peer", 1)
+	e.ScheduleAt(0, aid, 4)
+	e.Run(0)
+	if len(a.times)+len(b.times) != 5 {
+		t.Fatalf("deliveries = %d, want 5", len(a.times)+len(b.times))
+	}
+}
+
+func TestParallelHorizon(t *testing.T) {
+	e := NewParallelEngine(2, 10)
+	a := &echo{}
+	aid := e.RegisterIn(0, a)
+	bid := e.RegisterIn(1, &echo{})
+	e.Connect(aid, "peer", bid, "peer", 10)
+	e.Connect(bid, "peer", aid, "peer", 10)
+	e.ScheduleAt(1000, aid, 5)
+	end := e.Run(500)
+	if end != 500 {
+		t.Fatalf("end = %v, want 500", end)
+	}
+	if len(a.times) != 0 {
+		t.Fatal("no events should have run before horizon")
+	}
+}
+
+func TestParallelProcessedCount(t *testing.T) {
+	e := NewParallelEngine(2, 10)
+	a := &echo{}
+	b := &echo{}
+	aid := e.RegisterIn(0, a)
+	bid := e.RegisterIn(1, b)
+	e.Connect(aid, "peer", bid, "peer", 10)
+	e.Connect(bid, "peer", aid, "peer", 10)
+	e.ScheduleAt(0, aid, 6)
+	e.Run(0)
+	if e.Processed() != 7 {
+		t.Fatalf("processed = %d, want 7", e.Processed())
+	}
+}
+
+func TestParallelBadPartitionPanics(t *testing.T) {
+	e := NewParallelEngine(2, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.RegisterIn(5, &echo{})
+}
+
+func TestParallelPartitionsAccessor(t *testing.T) {
+	if NewParallelEngine(3, 10).Partitions() != 3 {
+		t.Fatal("partitions wrong")
+	}
+}
+
+func TestParallelConstructorPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewParallelEngine(0, 10) },
+		func() { NewParallelEngine(2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestParallelDuplicateLinkPanics(t *testing.T) {
+	e := NewParallelEngine(2, 10)
+	a := e.RegisterIn(0, &echo{})
+	b := e.RegisterIn(1, &echo{})
+	e.Connect(a, "peer", b, "peer", 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Connect(a, "peer", b, "peer", 10)
+}
+
+func TestParallelSchedulePastPanics(t *testing.T) {
+	e := NewParallelEngine(2, 10)
+	a := e.RegisterIn(0, &echo{})
+	b := e.RegisterIn(1, &echo{})
+	e.Connect(a, "peer", b, "peer", 10)
+	e.Connect(b, "peer", a, "peer", 10)
+	e.ScheduleAt(0, a, 2)
+	e.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.ScheduleAt(0, a, 1) // engine clock has advanced past 0
+}

@@ -1,0 +1,244 @@
+// Package dse implements the design-space-exploration layer of the
+// Co-Design phase: sweeping (problem size, rank count, fault-tolerance
+// level) grids through the BE-SST simulator, producing the overhead
+// tables of Fig 9, ranking fault-tolerance configurations, and
+// producing the pruning report — which regions of the design space the
+// models cover cheaply, which should be re-run on hardware, and which
+// deserve a fine-grained simulator (the Figs 5A/5D/6D discussion).
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"besst/internal/benchdata"
+	"besst/internal/beo"
+	"besst/internal/besst"
+	"besst/internal/fti"
+	"besst/internal/lulesh"
+	"besst/internal/machine"
+	"besst/internal/perfmodel"
+	"besst/internal/stats"
+	"besst/internal/workflow"
+)
+
+// Cell is one evaluated design point.
+type Cell struct {
+	EPR      int
+	Ranks    int
+	Scenario string
+	// MeanSec is the Monte Carlo mean predicted runtime.
+	MeanSec float64
+	// OverheadPct is MeanSec as a percentage of the per-epr baseline
+	// (the no-FT run at the smallest rank count), the Fig 9
+	// normalization.
+	OverheadPct float64
+}
+
+// SweepConfig parameterizes an overhead sweep.
+type SweepConfig struct {
+	EPRs      []int
+	Ranks     []int // ascending; Ranks[0] anchors the baseline
+	Scenarios []lulesh.Scenario
+	Timesteps int
+	MCRuns    int
+	Seed      uint64
+}
+
+// Validate panics on an unusable sweep.
+func (c SweepConfig) Validate() {
+	if len(c.EPRs) == 0 || len(c.Ranks) == 0 || len(c.Scenarios) == 0 {
+		panic("dse: empty sweep dimension")
+	}
+	if c.Timesteps <= 0 || c.MCRuns <= 0 {
+		panic("dse: non-positive timesteps or MC runs")
+	}
+	for i := 1; i < len(c.Ranks); i++ {
+		if c.Ranks[i] <= c.Ranks[i-1] {
+			panic("dse: ranks must be ascending")
+		}
+	}
+}
+
+// OverheadSweep evaluates every grid point with the developed models
+// and returns cells with Fig 9-style normalized overheads.
+func OverheadSweep(models *workflow.Models, m *machine.Machine, ranksPerNode int, cfg SweepConfig) []Cell {
+	cfg.Validate()
+	rng := stats.NewRNG(cfg.Seed)
+	ftiCfg := fti.Config{GroupSize: 4, NodeSize: ranksPerNode}
+
+	runtime := func(epr, ranks int, sc lulesh.Scenario) float64 {
+		app := lulesh.App(epr, ranks, cfg.Timesteps, sc, ftiCfg)
+		arch := beo.NewArchBEO(m, ranksPerNode)
+		workflow.BindLulesh(arch, models)
+		runs := besst.MonteCarlo(app, arch, besst.Options{
+			Mode:         besst.Direct,
+			PerRankNoise: true,
+			Seed:         rng.Uint64(),
+		}, cfg.MCRuns)
+		return stats.Mean(besst.Makespans(runs))
+	}
+
+	// Per-epr baselines: no-FT at the smallest rank count.
+	base := map[int]float64{}
+	for _, epr := range cfg.EPRs {
+		base[epr] = runtime(epr, cfg.Ranks[0], lulesh.ScenarioNoFT)
+	}
+
+	var out []Cell
+	for _, sc := range cfg.Scenarios {
+		for _, ranks := range cfg.Ranks {
+			for _, epr := range cfg.EPRs {
+				mean := runtime(epr, ranks, sc)
+				out = append(out, Cell{
+					EPR: epr, Ranks: ranks, Scenario: sc.Name,
+					MeanSec:     mean,
+					OverheadPct: 100 * mean / base[epr],
+				})
+			}
+		}
+	}
+	return out
+}
+
+// FormatOverheadTable renders the cells for one rank count as a Fig 9
+// style table: rows are scenarios, columns problem sizes.
+func FormatOverheadTable(cells []Cell, ranks int) string {
+	eprSet := map[int]bool{}
+	scenarios := []string{}
+	seenSc := map[string]bool{}
+	for _, c := range cells {
+		if c.Ranks != ranks {
+			continue
+		}
+		eprSet[c.EPR] = true
+		if !seenSc[c.Scenario] {
+			seenSc[c.Scenario] = true
+			scenarios = append(scenarios, c.Scenario)
+		}
+	}
+	eprs := make([]int, 0, len(eprSet))
+	for e := range eprSet {
+		eprs = append(eprs, e)
+	}
+	sort.Ints(eprs)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d Ranks   ", ranks)
+	for _, e := range eprs {
+		fmt.Fprintf(&b, "%8d", e)
+	}
+	b.WriteByte('\n')
+	for _, sc := range scenarios {
+		fmt.Fprintf(&b, "%-10s", sc)
+		for _, e := range eprs {
+			for _, c := range cells {
+				if c.Ranks == ranks && c.EPR == e && c.Scenario == sc {
+					fmt.Fprintf(&b, "%7.0f%%", c.OverheadPct)
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Divergence flags one grid point of the model-validation comparison.
+type Divergence struct {
+	Op           string
+	EPR, Ranks   int
+	MeasuredSec  float64 // mean of benchmark samples
+	PredictedSec float64
+	PercentError float64 // signed
+	Flagged      bool    // |error| beyond the pruning threshold
+	// Advice classifies the flagged point per the paper's discussion:
+	// cheap outliers are re-run on hardware, expensive ones go to a
+	// fine-grained simulator.
+	Advice string
+}
+
+// PruneReport compares each benchmarked (op, epr, ranks) combination's
+// mean measurement against the model prediction and flags divergent
+// regions. threshold is the flagging level in percent.
+func PruneReport(models *workflow.Models, campaign *benchdata.Campaign, threshold float64) []Divergence {
+	if threshold <= 0 {
+		panic("dse: non-positive threshold")
+	}
+	type key struct {
+		op         string
+		epr, ranks int
+	}
+	sums := map[key][]float64{}
+	for _, s := range campaign.Samples {
+		k := key{s.Op, int(s.Params.Get("epr")), int(s.Params.Get("ranks"))}
+		sums[k] = append(sums[k], s.Seconds)
+	}
+	keys := make([]key, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.op != b.op {
+			return a.op < b.op
+		}
+		if a.epr != b.epr {
+			return a.epr < b.epr
+		}
+		return a.ranks < b.ranks
+	})
+
+	// Cost median across points (per op) splits "cheap" from
+	// "expensive" advice.
+	medByOp := map[string]float64{}
+	for _, op := range campaign.Ops() {
+		var means []float64
+		for k, v := range sums {
+			if k.op == op {
+				means = append(means, stats.Mean(v))
+			}
+		}
+		medByOp[op] = stats.Percentile(means, 50)
+	}
+
+	var out []Divergence
+	for _, k := range keys {
+		meas := stats.Mean(sums[k])
+		model, ok := models.ByOp[k.op]
+		if !ok {
+			continue
+		}
+		pred := model.Predict(perfmodel.Params{"epr": float64(k.epr), "ranks": float64(k.ranks)})
+		pe := stats.PercentError(meas, pred)
+		d := Divergence{
+			Op: k.op, EPR: k.epr, Ranks: k.ranks,
+			MeasuredSec: meas, PredictedSec: pred, PercentError: pe,
+		}
+		if math.Abs(pe) > threshold {
+			d.Flagged = true
+			if meas < medByOp[k.op] {
+				d.Advice = "low-cost region: benchmark directly on the machine"
+			} else {
+				d.Advice = "high-cost region: study with a fine-grained simulator"
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// RankFTLevels orders the scenario names of a sweep by total predicted
+// runtime at the given design point — the "compare FT levels" DSE
+// output.
+func RankFTLevels(cells []Cell, epr, ranks int) []Cell {
+	var at []Cell
+	for _, c := range cells {
+		if c.EPR == epr && c.Ranks == ranks {
+			at = append(at, c)
+		}
+	}
+	sort.Slice(at, func(i, j int) bool { return at[i].MeanSec < at[j].MeanSec })
+	return at
+}

@@ -1,0 +1,203 @@
+package dse
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"besst/internal/benchdata"
+	"besst/internal/groundtruth"
+	"besst/internal/lulesh"
+	"besst/internal/machine"
+	"besst/internal/workflow"
+)
+
+var (
+	onceInterp   sync.Once
+	interpModels *workflow.Models
+	interpCamp   *benchdata.Campaign
+
+	onceSymreg   sync.Once
+	symregModels *workflow.Models
+	symregCamp   *benchdata.Campaign
+)
+
+// devModels fits cheap interpolation models once for the whole test
+// package (symreg is slower and exercised by the prune tests).
+func devModels(t *testing.T) (*workflow.Models, *groundtruth.Emulator) {
+	t.Helper()
+	em := groundtruth.NewQuartz()
+	onceInterp.Do(func() {
+		interpModels, interpCamp = workflow.DevelopLuleshQuartz(em, 5, workflow.Interpolation, 7)
+	})
+	return interpModels, em
+}
+
+// devSymregModels fits symbolic-regression models once; unlike tables
+// these carry non-zero error at benchmarked points, which the pruning
+// report exists to flag.
+func devSymregModels(t *testing.T) (*workflow.Models, *benchdata.Campaign) {
+	t.Helper()
+	onceSymreg.Do(func() {
+		em := groundtruth.NewQuartz()
+		symregModels, symregCamp = workflow.DevelopLuleshQuartz(em, 5, workflow.SymbolicRegression, 7)
+	})
+	return symregModels, symregCamp
+}
+
+func sweepCfg() SweepConfig {
+	return SweepConfig{
+		EPRs:      []int{10, 15},
+		Ranks:     []int{8, 64},
+		Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT, lulesh.ScenarioL1, lulesh.ScenarioL1L2},
+		Timesteps: 80,
+		MCRuns:    3,
+		Seed:      11,
+	}
+}
+
+func TestOverheadSweepShape(t *testing.T) {
+	models, _ := devModels(t)
+	cells := OverheadSweep(models, machine.Quartz(), 2, sweepCfg())
+	if len(cells) != 2*2*3 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.MeanSec <= 0 || c.OverheadPct <= 0 {
+			t.Fatalf("bad cell %+v", c)
+		}
+	}
+}
+
+func TestOverheadBaselineIsHundred(t *testing.T) {
+	models, _ := devModels(t)
+	cells := OverheadSweep(models, machine.Quartz(), 2, sweepCfg())
+	for _, c := range cells {
+		if c.Scenario == "No FT" && c.Ranks == 8 {
+			// Baseline cell: its own normalizer (up to MC noise).
+			if math.Abs(c.OverheadPct-100) > 15 {
+				t.Fatalf("baseline overhead %v%% should be ~100%%", c.OverheadPct)
+			}
+		}
+	}
+}
+
+func TestOverheadOrderingAcrossScenarios(t *testing.T) {
+	models, _ := devModels(t)
+	cells := OverheadSweep(models, machine.Quartz(), 2, sweepCfg())
+	get := func(sc string, epr, ranks int) float64 {
+		for _, c := range cells {
+			if c.Scenario == sc && c.EPR == epr && c.Ranks == ranks {
+				return c.OverheadPct
+			}
+		}
+		t.Fatalf("missing cell %s %d %d", sc, epr, ranks)
+		return 0
+	}
+	// Fig 9 shape: No FT < L1 < L1&L2 everywhere.
+	for _, epr := range []int{10, 15} {
+		for _, ranks := range []int{8, 64} {
+			noFT := get("No FT", epr, ranks)
+			l1 := get("L1", epr, ranks)
+			l12 := get("L1 & L2", epr, ranks)
+			if !(noFT < l1 && l1 < l12) {
+				t.Fatalf("ordering broken at epr=%d ranks=%d: %v %v %v", epr, ranks, noFT, l1, l12)
+			}
+		}
+	}
+	// Overheads grow with ranks (the Fig 9 64 -> 1000 trend).
+	if get("L1", 10, 64) <= get("L1", 10, 8) {
+		t.Fatal("L1 overhead should grow with ranks")
+	}
+}
+
+func TestFormatOverheadTable(t *testing.T) {
+	models, _ := devModels(t)
+	cells := OverheadSweep(models, machine.Quartz(), 2, sweepCfg())
+	s := FormatOverheadTable(cells, 64)
+	if !strings.Contains(s, "64 Ranks") || !strings.Contains(s, "No FT") || !strings.Contains(s, "%") {
+		t.Fatalf("table rendering missing pieces:\n%s", s)
+	}
+	if strings.Contains(s, "8 Ranks") {
+		t.Fatal("table leaked other rank counts")
+	}
+}
+
+func TestPruneReport(t *testing.T) {
+	models, campaign := devSymregModels(t)
+	report := PruneReport(models, campaign, 1e-6) // flag everything
+	if len(report) == 0 {
+		t.Fatal("empty report")
+	}
+	flagged := 0
+	for _, d := range report {
+		if d.Flagged {
+			flagged++
+			if d.Advice == "" {
+				t.Fatal("flagged divergence without advice")
+			}
+		}
+	}
+	if flagged == 0 {
+		t.Fatal("threshold ~0 should flag points")
+	}
+	// With a huge threshold nothing is flagged.
+	for _, d := range PruneReport(models, campaign, 1e9) {
+		if d.Flagged {
+			t.Fatal("nothing should be flagged at huge threshold")
+		}
+	}
+}
+
+func TestPruneReportAdviceSplitsByCost(t *testing.T) {
+	models, campaign := devSymregModels(t)
+	report := PruneReport(models, campaign, 1e-6)
+	var cheap, expensive bool
+	for _, d := range report {
+		if strings.Contains(d.Advice, "benchmark directly") {
+			cheap = true
+		}
+		if strings.Contains(d.Advice, "fine-grained") {
+			expensive = true
+		}
+	}
+	if !cheap || !expensive {
+		t.Fatal("advice should split cheap and expensive regions")
+	}
+}
+
+func TestRankFTLevels(t *testing.T) {
+	models, _ := devModels(t)
+	cells := OverheadSweep(models, machine.Quartz(), 2, sweepCfg())
+	ranked := RankFTLevels(cells, 10, 64)
+	if len(ranked) != 3 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	if ranked[0].Scenario != "No FT" {
+		t.Fatalf("cheapest should be No FT, got %s", ranked[0].Scenario)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].MeanSec < ranked[i-1].MeanSec {
+			t.Fatal("ranking not sorted")
+		}
+	}
+}
+
+func TestSweepConfigValidate(t *testing.T) {
+	cases := []SweepConfig{
+		{},
+		{EPRs: []int{5}, Ranks: []int{8}, Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT}, Timesteps: 0, MCRuns: 1},
+		{EPRs: []int{5}, Ranks: []int{64, 8}, Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT}, Timesteps: 1, MCRuns: 1},
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			c.Validate()
+		}()
+	}
+}

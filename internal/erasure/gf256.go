@@ -1,0 +1,122 @@
+// Package erasure implements Reed–Solomon erasure coding over GF(2^8).
+//
+// FTI's Level 3 checkpointing encodes each node's checkpoint file across
+// its group with a Reed–Solomon code so that the group tolerates the
+// loss of up to half its members. This package provides a real,
+// systematic RS coder (Cauchy construction) used by the FTI model both
+// functionally — to verify recoverability in fault-injection runs — and
+// to parameterize the Level 3 encoding-cost model from its measured
+// throughput.
+package erasure
+
+// GF(2^8) arithmetic with the AES/QR-code polynomial x^8+x^4+x^3+x^2+1
+// (0x11d), via log/exp tables built at package init.
+
+const gfPoly = 0x11d
+
+var (
+	gfExp [512]byte // doubled so mul can skip the mod 255
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b. It panics on division by zero.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("erasure: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse of a non-zero element.
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// mulSlice computes dst[i] ^= c * src[i] for all i.
+func mulAddSlice(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i := range src {
+			dst[i] ^= src[i]
+		}
+		return
+	}
+	logC := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[logC+int(gfLog[s])]
+		}
+	}
+}
+
+// invertMatrix inverts an n x n matrix over GF(256) in place using
+// Gauss-Jordan elimination, returning false if the matrix is singular.
+func invertMatrix(m [][]byte) bool {
+	n := len(m)
+	// Augment with identity.
+	aug := make([][]byte, n)
+	for i := range aug {
+		aug[i] = make([]byte, 2*n)
+		copy(aug[i], m[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if aug[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return false
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		// Scale pivot row to 1.
+		inv := gfInv(aug[col][col])
+		for c := 0; c < 2*n; c++ {
+			aug[col][c] = gfMul(aug[col][c], inv)
+		}
+		// Eliminate other rows.
+		for r := 0; r < n; r++ {
+			if r == col || aug[r][col] == 0 {
+				continue
+			}
+			f := aug[r][col]
+			for c := 0; c < 2*n; c++ {
+				aug[r][c] ^= gfMul(f, aug[col][c])
+			}
+		}
+	}
+	for i := range m {
+		copy(m[i], aug[i][n:])
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+package erasure
+
+import "fmt"
+
+// Coder is a systematic Reed–Solomon erasure coder with k data shards
+// and m parity shards. Any k of the k+m shards suffice to reconstruct
+// the original data — the property FTI Level 3 relies on to survive the
+// loss of up to m group members' checkpoints.
+type Coder struct {
+	k, m int
+	// parityRows[i][j] is the coefficient applied to data shard j when
+	// computing parity shard i (a Cauchy matrix, so every k x k
+	// submatrix of [I; parityRows] is invertible).
+	parityRows [][]byte
+}
+
+// NewCoder builds a coder for k data and m parity shards.
+// Requires 1 <= k, 1 <= m, and k+m <= 256 (field size limit).
+func NewCoder(k, m int) *Coder {
+	if k < 1 || m < 1 || k+m > 256 {
+		panic(fmt.Sprintf("erasure: invalid shard counts k=%d m=%d", k, m))
+	}
+	rows := make([][]byte, m)
+	for i := range rows {
+		rows[i] = make([]byte, k)
+		for j := 0; j < k; j++ {
+			// Cauchy: 1 / (x_i ^ y_j) with x_i = k+i, y_j = j.
+			// x and y index sets are disjoint, so the xor is nonzero.
+			rows[i][j] = gfInv(byte(k+i) ^ byte(j))
+		}
+	}
+	return &Coder{k: k, m: m, parityRows: rows}
+}
+
+// DataShards returns k.
+func (c *Coder) DataShards() int { return c.k }
+
+// ParityShards returns m.
+func (c *Coder) ParityShards() int { return c.m }
+
+// Encode computes the m parity shards for the given k data shards. All
+// data shards must be the same length; the returned parity shards have
+// that length too.
+func (c *Coder) Encode(data [][]byte) [][]byte {
+	if len(data) != c.k {
+		panic(fmt.Sprintf("erasure: Encode expected %d data shards, got %d", c.k, len(data)))
+	}
+	size := len(data[0])
+	for i, d := range data {
+		if len(d) != size {
+			panic(fmt.Sprintf("erasure: shard %d length %d != %d", i, len(d), size))
+		}
+	}
+	parity := make([][]byte, c.m)
+	for i := range parity {
+		parity[i] = make([]byte, size)
+		for j := 0; j < c.k; j++ {
+			mulAddSlice(parity[i], data[j], c.parityRows[i][j])
+		}
+	}
+	return parity
+}
+
+// Reconstruct recovers the full set of k data shards from any k
+// surviving shards. shards must have length k+m, with missing shards
+// nil: indices [0,k) are data shards, [k,k+m) parity shards. It returns
+// the reconstructed data shards, or an error if fewer than k shards
+// survive.
+func (c *Coder) Reconstruct(shards [][]byte) ([][]byte, error) {
+	if len(shards) != c.k+c.m {
+		return nil, fmt.Errorf("erasure: expected %d shards, got %d", c.k+c.m, len(shards))
+	}
+	size := -1
+	present := 0
+	for _, s := range shards {
+		if s != nil {
+			present++
+			if size < 0 {
+				size = len(s)
+			} else if len(s) != size {
+				return nil, fmt.Errorf("erasure: inconsistent shard sizes")
+			}
+		}
+	}
+	if present < c.k {
+		return nil, fmt.Errorf("erasure: only %d of %d required shards survive", present, c.k)
+	}
+
+	// Fast path: all data shards intact.
+	allData := true
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			allData = false
+			break
+		}
+	}
+	if allData {
+		out := make([][]byte, c.k)
+		copy(out, shards[:c.k])
+		return out, nil
+	}
+
+	// Build the decode matrix from the first k surviving shards'
+	// generator rows, invert it, and multiply by the surviving shards.
+	rows := make([][]byte, 0, c.k)
+	sub := make([][]byte, 0, c.k)
+	for idx := 0; idx < c.k+c.m && len(rows) < c.k; idx++ {
+		if shards[idx] == nil {
+			continue
+		}
+		row := make([]byte, c.k)
+		if idx < c.k {
+			row[idx] = 1 // systematic identity row
+		} else {
+			copy(row, c.parityRows[idx-c.k])
+		}
+		rows = append(rows, row)
+		sub = append(sub, shards[idx])
+	}
+	if !invertMatrix(rows) {
+		// Cannot happen with a Cauchy construction; guard anyway.
+		return nil, fmt.Errorf("erasure: decode matrix singular")
+	}
+	out := make([][]byte, c.k)
+	for i := 0; i < c.k; i++ {
+		if shards[i] != nil {
+			out[i] = shards[i]
+			continue
+		}
+		out[i] = make([]byte, size)
+		for j := 0; j < c.k; j++ {
+			mulAddSlice(out[i], sub[j], rows[i][j])
+		}
+	}
+	return out, nil
+}
+
+// EncodeThroughput measures this coder's encode rate in bytes of data
+// processed per second, by encoding a synthetic payload of the given
+// per-shard size once and timing it with the provided clock function.
+// The FTI Level 3 cost model calls this at configuration time to ground
+// its compute-cost term in the real implementation.
+func (c *Coder) EncodeThroughput(shardSize int, clock func() int64) float64 {
+	data := make([][]byte, c.k)
+	for i := range data {
+		data[i] = make([]byte, shardSize)
+		for j := range data[i] {
+			data[i][j] = byte(i + j)
+		}
+	}
+	start := clock()
+	c.Encode(data)
+	elapsed := clock() - start
+	if elapsed <= 0 {
+		elapsed = 1
+	}
+	return float64(c.k*shardSize) / (float64(elapsed) / 1e9)
+}

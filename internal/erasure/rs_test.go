@@ -1,0 +1,257 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"besst/internal/stats"
+)
+
+func TestGFMulBasics(t *testing.T) {
+	if gfMul(0, 7) != 0 || gfMul(7, 0) != 0 {
+		t.Fatal("zero annihilates")
+	}
+	if gfMul(1, 133) != 133 {
+		t.Fatal("one is identity")
+	}
+	// 2*2 = 4 in GF(256).
+	if gfMul(2, 2) != 4 {
+		t.Fatal("2*2 != 4")
+	}
+	// x^7 * x = x^8 = x^4+x^3+x^2+1 = 0x1d.
+	if gfMul(0x80, 2) != 0x1d {
+		t.Fatalf("0x80*2 = %#x, want 0x1d", gfMul(0x80, 2))
+	}
+}
+
+func TestGFFieldAxiomsProperty(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		// Commutativity and associativity of mul; distributivity over xor.
+		if gfMul(a, b) != gfMul(b, a) {
+			return false
+		}
+		if gfMul(gfMul(a, b), c) != gfMul(a, gfMul(b, c)) {
+			return false
+		}
+		return gfMul(a, b^c) == gfMul(a, b)^gfMul(a, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if gfMul(byte(a), gfInv(byte(a))) != 1 {
+			t.Fatalf("inv(%d) wrong", a)
+		}
+	}
+}
+
+func TestGFDivPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	gfDiv(5, 0)
+}
+
+func TestInvertMatrixIdentity(t *testing.T) {
+	m := [][]byte{{1, 0}, {0, 1}}
+	if !invertMatrix(m) {
+		t.Fatal("identity should invert")
+	}
+	if m[0][0] != 1 || m[0][1] != 0 || m[1][0] != 0 || m[1][1] != 1 {
+		t.Fatalf("identity inverse wrong: %v", m)
+	}
+}
+
+func TestInvertMatrixSingular(t *testing.T) {
+	m := [][]byte{{1, 1}, {1, 1}}
+	if invertMatrix(m) {
+		t.Fatal("singular matrix reported invertible")
+	}
+}
+
+func TestInvertMatrixRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(6) + 1
+		orig := make([][]byte, n)
+		m := make([][]byte, n)
+		for i := range m {
+			orig[i] = make([]byte, n)
+			m[i] = make([]byte, n)
+			for j := range m[i] {
+				orig[i][j] = byte(rng.Intn(256))
+				m[i][j] = orig[i][j]
+			}
+		}
+		if !invertMatrix(m) {
+			continue // singular draw; skip
+		}
+		// orig * m should be identity.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var sum byte
+				for l := 0; l < n; l++ {
+					sum ^= gfMul(orig[i][l], m[l][j])
+				}
+				want := byte(0)
+				if i == j {
+					want = 1
+				}
+				if sum != want {
+					t.Fatalf("trial %d: product[%d][%d] = %d", trial, i, j, sum)
+				}
+			}
+		}
+	}
+}
+
+func makeShards(rng *stats.RNG, k, size int) [][]byte {
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, size)
+		for j := range data[i] {
+			data[i][j] = byte(rng.Intn(256))
+		}
+	}
+	return data
+}
+
+func TestEncodeReconstructNoLoss(t *testing.T) {
+	c := NewCoder(4, 2)
+	rng := stats.NewRNG(1)
+	data := makeShards(rng, 4, 128)
+	parity := c.Encode(data)
+	shards := append(append([][]byte{}, data...), parity...)
+	out, err := c.Reconstruct(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(out[i], data[i]) {
+			t.Fatalf("shard %d mismatch", i)
+		}
+	}
+}
+
+func TestReconstructWithDataLoss(t *testing.T) {
+	c := NewCoder(4, 2)
+	rng := stats.NewRNG(2)
+	data := makeShards(rng, 4, 256)
+	parity := c.Encode(data)
+	shards := append(append([][]byte{}, data...), parity...)
+	shards[1] = nil
+	shards[3] = nil
+	out, err := c.Reconstruct(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(out[i], data[i]) {
+			t.Fatalf("shard %d not recovered", i)
+		}
+	}
+}
+
+func TestReconstructWithMixedLoss(t *testing.T) {
+	c := NewCoder(5, 3)
+	rng := stats.NewRNG(3)
+	data := makeShards(rng, 5, 64)
+	parity := c.Encode(data)
+	shards := append(append([][]byte{}, data...), parity...)
+	shards[0] = nil // data
+	shards[6] = nil // parity
+	shards[2] = nil // data
+	out, err := c.Reconstruct(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(out[i], data[i]) {
+			t.Fatalf("shard %d not recovered", i)
+		}
+	}
+}
+
+func TestReconstructFailsBeyondParity(t *testing.T) {
+	c := NewCoder(4, 2)
+	rng := stats.NewRNG(4)
+	data := makeShards(rng, 4, 32)
+	parity := c.Encode(data)
+	shards := append(append([][]byte{}, data...), parity...)
+	shards[0], shards[1], shards[2] = nil, nil, nil // 3 losses > m=2
+	if _, err := c.Reconstruct(shards); err == nil {
+		t.Fatal("expected reconstruction failure")
+	}
+}
+
+func TestAnyKOfNProperty(t *testing.T) {
+	// The FTI guarantee: any m erasures are recoverable.
+	c := NewCoder(6, 3)
+	rng := stats.NewRNG(5)
+	data := makeShards(rng, 6, 50)
+	parity := c.Encode(data)
+	base := append(append([][]byte{}, data...), parity...)
+	for trial := 0; trial < 100; trial++ {
+		shards := make([][]byte, len(base))
+		copy(shards, base)
+		// Erase exactly m random shards.
+		perm := rng.Perm(len(base))
+		for _, idx := range perm[:3] {
+			shards[idx] = nil
+		}
+		out, err := c.Reconstruct(shards)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range data {
+			if !bytes.Equal(out[i], data[i]) {
+				t.Fatalf("trial %d shard %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestNewCoderPanicsOnBadParams(t *testing.T) {
+	for _, kc := range [][2]int{{0, 1}, {1, 0}, {200, 100}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for k=%d m=%d", kc[0], kc[1])
+				}
+			}()
+			NewCoder(kc[0], kc[1])
+		}()
+	}
+}
+
+func TestEncodePanicsOnRaggedShards(t *testing.T) {
+	c := NewCoder(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Encode([][]byte{make([]byte, 10), make([]byte, 11)})
+}
+
+func TestReconstructWrongCount(t *testing.T) {
+	c := NewCoder(2, 1)
+	if _, err := c.Reconstruct(make([][]byte, 5)); err == nil {
+		t.Fatal("expected error for wrong shard count")
+	}
+}
+
+func TestEncodeThroughputPositive(t *testing.T) {
+	c := NewCoder(4, 2)
+	clock := func() int64 { return time.Now().UnixNano() }
+	if tp := c.EncodeThroughput(1<<16, clock); tp <= 0 {
+		t.Fatalf("throughput %v", tp)
+	}
+}

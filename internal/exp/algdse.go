@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"besst/internal/benchdata"
+	"besst/internal/lulesh"
+	"besst/internal/perfmodel"
+	"besst/internal/stats"
+	"besst/internal/workflow"
+)
+
+// AlgDSERow compares the two fault-tolerance strategies at one design
+// point: checkpoint/restart (baseline algorithm + periodic L1) versus
+// an algorithm-based fault-tolerant timestep (checksummed kernels, no
+// checkpoint I/O).
+type AlgDSERow struct {
+	EPR, Ranks int
+	// Per-step costs in seconds (checkpoint amortized over its period).
+	CRSec   float64
+	ABFTSec float64
+	// Winner is "C/R" or "ABFT".
+	Winner string
+}
+
+// AlgorithmicDSE performs the alternate-algorithm exploration of the
+// paper's Co-Design section (its FFT example; ABFT is its named
+// candidate technique): benchmark the ABFT timestep variant, fit a
+// model for it, and compare per-step cost against baseline + L1
+// checkpointing across the design grid. ABFT's overhead is a roughly
+// constant compute factor while C/R's grows with rank count, so a
+// crossover appears along the ranks axis — a decision only FT-aware
+// MODSIM can locate without running every configuration.
+func AlgorithmicDSE(ctx *Context, ckptPeriod int) []AlgDSERow {
+	em := ctx.Quartz
+	// Benchmark and model the ABFT variant.
+	campaign := &benchdata.Campaign{}
+	rng := stats.NewRNG(ctx.Seed + 77)
+	for _, epr := range CaseEPRs {
+		for _, ranks := range CaseRanks {
+			p := perfmodel.Params{"epr": float64(epr), "ranks": float64(ranks)}
+			for i := 0; i < ctx.SamplesPer; i++ {
+				campaign.Add(lulesh.OpTimestepABFT, p, em.MeasureLuleshTimestepABFT(epr, ranks, rng))
+			}
+		}
+	}
+	models := workflow.Develop(campaign, workflow.SymbolicRegression, []string{"epr", "ranks"}, ctx.Seed+78)
+	abft := models.ByOp[lulesh.OpTimestepABFT]
+	base := ctx.Models.ByOp[lulesh.OpTimestep]
+	l1 := ctx.Models.ByOp[lulesh.OpCkptL1]
+
+	var out []AlgDSERow
+	for _, epr := range CaseEPRs {
+		for _, ranks := range CaseRanks {
+			p := perfmodel.Params{"epr": float64(epr), "ranks": float64(ranks)}
+			cr := base.Predict(p) + l1.Predict(p)/float64(ckptPeriod)
+			ab := abft.Predict(p)
+			row := AlgDSERow{EPR: epr, Ranks: ranks, CRSec: cr, ABFTSec: ab, Winner: "C/R"}
+			if ab < cr {
+				row.Winner = "ABFT"
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// FormatAlgDSE renders the comparison grid.
+func FormatAlgDSE(w io.Writer, rows []AlgDSERow, ckptPeriod int) {
+	fmt.Fprintf(w, "Extension E: algorithmic DSE - C/R (L1 every %d steps) vs ABFT timestep\n", ckptPeriod)
+	fmt.Fprintf(w, "  %6s %6s %14s %14s %8s\n", "epr", "ranks", "C/R s/step", "ABFT s/step", "winner")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %6d %6d %14.6g %14.6g %8s\n", r.EPR, r.Ranks, r.CRSec, r.ABFTSec, r.Winner)
+	}
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"besst/internal/fti"
+	"besst/internal/lulesh"
+	"besst/internal/machine"
+)
+
+// ArchDSERow reports the FT cost structure of one hardware variant.
+type ArchDSERow struct {
+	Variant string
+	// Instance times at epr 15 / 1000 ranks for the affected levels.
+	L1Sec, L2Sec, L4Sec float64
+	// L1OverheadPct is the L1 checkpoint cost amortized over a
+	// 40-step period relative to the timestep.
+	L1OverheadPct float64
+}
+
+// ArchitecturalDSE performs the Co-Design phase's other axis (paper
+// §III-B): instead of swapping application models, modify the ArchBEO's
+// hardware parameters — local storage bandwidth, PFS aggregate
+// bandwidth, network link bandwidth — and predict how the
+// fault-tolerance cost structure responds, answering "which hardware
+// investment buys down FT overhead" without building any variant.
+//
+// The predictions come from the physically parameterized FTI cost model
+// re-evaluated on each notional machine; the application timestep is
+// hardware-compute-bound and taken from the fitted model.
+func ArchitecturalDSE(ctx *Context) []ArchDSERow {
+	const epr, ranks = 15, 1000
+	tsSec := ctx.Models.ByOp[lulesh.OpTimestep].Predict(params(epr, ranks))
+	bytes := lulesh.CheckpointBytes(epr)
+
+	variants := []struct {
+		name   string
+		mutate func(m *machine.Machine)
+	}{
+		{"baseline Quartz", func(*machine.Machine) {}},
+		{"2x local storage BW", func(m *machine.Machine) { m.Disk.Bandwidth *= 2 }},
+		{"1/2 local storage BW", func(m *machine.Machine) { m.Disk.Bandwidth /= 2 }},
+		{"2x PFS aggregate BW", func(m *machine.Machine) { m.PFS.AggregateBandwidth *= 2 }},
+		{"2x network link BW", func(m *machine.Machine) { m.Net.LinkBandwidth *= 2 }},
+		{"4x larger write cache", func(m *machine.Machine) { m.Disk.CacheBytes *= 4 }},
+	}
+
+	var out []ArchDSERow
+	for _, v := range variants {
+		m := *ctx.Quartz.M // copy; sub-structs are values
+		v.mutate(&m)
+		m.Validate()
+		cost := fti.NewCostModel(&m, ctx.Quartz.Cost.Config)
+		cost.CoordPerRank = ctx.Quartz.Cost.CoordPerRank
+		cost.CoordPerStage = ctx.Quartz.Cost.CoordPerStage
+		cost.CoordPerRankByte = ctx.Quartz.Cost.CoordPerRankByte
+
+		l1 := cost.InstanceTime(fti.L1, ranks, bytes)
+		out = append(out, ArchDSERow{
+			Variant:       v.name,
+			L1Sec:         l1,
+			L2Sec:         cost.InstanceTime(fti.L2, ranks, bytes),
+			L4Sec:         cost.InstanceTime(fti.L4, ranks, bytes),
+			L1OverheadPct: 100 * (l1 / 40) / tsSec,
+		})
+	}
+	return out
+}
+
+// FormatArchDSE renders the hardware-variant comparison.
+func FormatArchDSE(w io.Writer, rows []ArchDSERow) {
+	fmt.Fprintln(w, "Extension F: architectural DSE - hardware variants vs FT cost")
+	fmt.Fprintln(w, "(checkpoint instances at epr 15, 1000 ranks; L1 overhead per 40-step period)")
+	fmt.Fprintf(w, "  %-24s %12s %12s %12s %12s\n", "variant", "L1 inst", "L2 inst", "L4 inst", "L1 ovhd")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-24s %11.5gs %11.5gs %11.5gs %11.1f%%\n",
+			r.Variant, r.L1Sec, r.L2Sec, r.L4Sec, r.L1OverheadPct)
+	}
+}

@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"besst/internal/analytic"
+	"besst/internal/faults"
+	"besst/internal/fti"
+	"besst/internal/lulesh"
+	"besst/internal/stats"
+)
+
+// FaultCase is one row of the fault-injection extension experiment:
+// the expected wall time of a LULESH run under one of the paper's
+// Fig 4 cases.
+type FaultCase struct {
+	Name       string
+	MeanWall   float64
+	Efficiency float64
+	Faults     float64 // mean fault count per run
+	Recovered  float64
+	Scratch    float64
+}
+
+// FaultStudy runs the Cases 1-4 comparison of Fig 4 for a LULESH job
+// using the developed models: Case 1 (no faults, no FT), Case 2
+// (faults, no FT), Case 3 (no faults, FT overhead only), Case 4
+// (faults + FT at L1&L2, plus a Daly-optimal variant). The node MTBF is
+// deliberately pessimistic (exascale-like) so failures matter over a
+// run of this length.
+func FaultStudy(ctx *Context, epr, ranks, steps, mcRuns int, nodeMTBFHours float64) []FaultCase {
+	cfg := ctx.Quartz.Cost.Config
+	if err := cfg.CheckRanks(ranks); err != nil {
+		panic(err)
+	}
+	nodes := cfg.NodesFor(ranks)
+	stepSec := ctx.Models.ByOp[lulesh.OpTimestep].Predict(params(epr, ranks)) +
+		ctx.Quartz.AllreduceMean(ranks)
+	ckptSec := func(l fti.Level) float64 {
+		return ctx.Models.ByOp[lulesh.CkptOp(l)].Predict(params(epr, ranks))
+	}
+	restartSec := func(l fti.Level) float64 {
+		return ctx.Quartz.Cost.RestartTime(l, ranks, lulesh.CheckpointBytes(epr))
+	}
+
+	fm := faults.FaultModel{
+		Nodes:             nodes,
+		FaultsPerNodeHour: 1 / nodeMTBFHours,
+		HardFraction:      0.4,
+	}
+	noFaults := faults.FaultModel{Nodes: nodes}
+	scratch := 2 * ctx.Quartz.M.RecoverySeconds
+
+	baseSpec := faults.JobSpec{
+		Steps: steps, StepSec: stepSec, ScratchRestartSec: scratch,
+	}
+	ftSpec := baseSpec
+	ftSpec.Schedules = []faults.CkptSchedule{
+		{Level: fti.L1, Period: 40}, {Level: fti.L2, Period: 40},
+	}
+	ftSpec.CkptSec = ckptSec
+	ftSpec.RestartSec = restartSec
+
+	// Daly-optimal L2 period against the system MTBF.
+	mtbf := fm.SystemMTBFSeconds()
+	tau := analytic.DalyPeriod(ckptSec(fti.L2), mtbf)
+	dalyPeriod := int(tau / stepSec)
+	if dalyPeriod < 1 {
+		dalyPeriod = 1
+	}
+	if dalyPeriod > steps {
+		dalyPeriod = steps
+	}
+	dalySpec := baseSpec
+	dalySpec.Schedules = []faults.CkptSchedule{{Level: fti.L2, Period: dalyPeriod}}
+	dalySpec.CkptSec = ckptSec
+	dalySpec.RestartSec = restartSec
+
+	cases := []struct {
+		name string
+		spec faults.JobSpec
+		fm   faults.FaultModel
+	}{
+		{"Case 1: no faults, no FT", baseSpec, noFaults},
+		{"Case 2: faults, no FT", baseSpec, fm},
+		{"Case 3: no faults, FT (L1&L2/40)", ftSpec, noFaults},
+		{"Case 4: faults, FT (L1&L2/40)", ftSpec, fm},
+		{fmt.Sprintf("Case 4b: faults, FT (L2/Daly=%d steps)", dalyPeriod), dalySpec, fm},
+	}
+
+	var out []FaultCase
+	for i, c := range cases {
+		runs := faults.MonteCarlo(c.spec, c.fm, cfg, mcRuns, ctx.Seed+uint64(200+i))
+		var wall, eff, nf, nr, ns []float64
+		for _, r := range runs {
+			wall = append(wall, r.WallSec)
+			eff = append(eff, r.Efficiency())
+			nf = append(nf, float64(r.Faults))
+			nr = append(nr, float64(r.Recovered))
+			ns = append(ns, float64(r.Scratch))
+		}
+		out = append(out, FaultCase{
+			Name:       c.name,
+			MeanWall:   stats.Mean(wall),
+			Efficiency: stats.Mean(eff),
+			Faults:     stats.Mean(nf),
+			Recovered:  stats.Mean(nr),
+			Scratch:    stats.Mean(ns),
+		})
+	}
+	return out
+}
+
+func params(epr, ranks int) map[string]float64 {
+	return map[string]float64{"epr": float64(epr), "ranks": float64(ranks)}
+}
+
+// FormatFaultStudy renders the fault-injection comparison.
+func FormatFaultStudy(w io.Writer, rows []FaultCase) {
+	fmt.Fprintln(w, "Extension A: fault injection (Fig 4 cases)")
+	fmt.Fprintf(w, "  %-40s %12s %8s %8s %9s %8s\n",
+		"case", "mean wall s", "eff", "faults", "recovered", "scratch")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-40s %12.1f %7.1f%% %8.2f %9.2f %8.2f\n",
+			r.Name, r.MeanWall, 100*r.Efficiency, r.Faults, r.Recovered, r.Scratch)
+	}
+}
+
+// AnalyticRow is one processor count of the analytic-baseline study.
+type AnalyticRow struct {
+	P           int
+	Amdahl      float64
+	Cavelan     float64
+	ZhengAmdahl float64
+	ZhengGustaf float64
+	HussainRepl float64
+}
+
+// AnalyticStudy evaluates the related-work speedup models over a range
+// of processor counts, with checkpoint cost taken from the developed L1
+// model — tying the abstract baselines to the concrete case study.
+func AnalyticStudy(ctx *Context, serialFraction float64, ps []int) []AnalyticRow {
+	nodeMTBF := ctx.Quartz.M.NodeMTBFHours * 3600
+	ckpt := ctx.Models.ByOp[lulesh.OpCkptL1].Predict(params(10, 64))
+	restart := ctx.Quartz.M.RecoverySeconds
+	var out []AnalyticRow
+	for _, p := range ps {
+		out = append(out, AnalyticRow{
+			P:           p,
+			Amdahl:      analytic.AmdahlSpeedup(serialFraction, p),
+			Cavelan:     analytic.CavelanSpeedup(serialFraction, p, nodeMTBF, ckpt),
+			ZhengAmdahl: analytic.ZhengLanAmdahl(serialFraction, p, nodeMTBF, ckpt, restart),
+			ZhengGustaf: analytic.ZhengLanGustafson(serialFraction, p, nodeMTBF, ckpt, restart),
+			HussainRepl: analytic.HussainReplicationSpeedup(serialFraction, p, nodeMTBF, ckpt),
+		})
+	}
+	return out
+}
+
+// FormatAnalyticStudy renders the baseline comparison.
+func FormatAnalyticStudy(w io.Writer, rows []AnalyticRow) {
+	fmt.Fprintln(w, "Extension B: analytic FT-aware speedup baselines")
+	fmt.Fprintf(w, "  %10s %12s %12s %12s %14s %12s\n",
+		"p", "Amdahl", "Cavelan", "Zheng-Amdahl", "Zheng-Gustafson", "Hussain-rep")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %10d %12.1f %12.1f %12.1f %14.1f %12.1f\n",
+			r.P, r.Amdahl, r.Cavelan, r.ZhengAmdahl, r.ZhengGustaf, r.HussainRepl)
+	}
+}

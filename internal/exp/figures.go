@@ -1,0 +1,318 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"besst/internal/benchdata"
+	"besst/internal/beo"
+	"besst/internal/besst"
+	"besst/internal/cmtbone"
+	"besst/internal/dse"
+	"besst/internal/groundtruth"
+	"besst/internal/lulesh"
+	"besst/internal/machine"
+	"besst/internal/perfmodel"
+	"besst/internal/stats"
+	"besst/internal/workflow"
+)
+
+// ValidationPoint is one point of the Figs 5-6 model-validation plots:
+// the modeled runtime of a function at one parameter combination, next
+// to the benchmarked mean when the combination lies in the validation
+// region (NaN in the prediction region beyond the benchmarked grid).
+type ValidationPoint struct {
+	Op           string
+	EPR, Ranks   int
+	MeasuredMean float64
+	Modeled      float64
+	Prediction   bool
+}
+
+// validationSeries produces points for all ops over the given axes.
+func validationSeries(ctx *Context, eprs, ranks []int) []ValidationPoint {
+	measured := map[string]map[string][]float64{}
+	for _, s := range ctx.Campaign.Samples {
+		key := s.Params.Key()
+		if measured[s.Op] == nil {
+			measured[s.Op] = map[string][]float64{}
+		}
+		measured[s.Op][key] = append(measured[s.Op][key], s.Seconds)
+	}
+	var out []ValidationPoint
+	for _, op := range ctx.Campaign.Ops() {
+		model := ctx.Models.ByOp[op]
+		for _, epr := range eprs {
+			for _, r := range ranks {
+				p := perfmodel.Params{"epr": float64(epr), "ranks": float64(r)}
+				pt := ValidationPoint{
+					Op: op, EPR: epr, Ranks: r,
+					Modeled:      model.Predict(p),
+					MeasuredMean: math.NaN(),
+					Prediction:   true,
+				}
+				if samples, ok := measured[op][p.Key()]; ok {
+					pt.MeasuredMean = stats.Mean(samples)
+					pt.Prediction = false
+				}
+				out = append(out, pt)
+			}
+		}
+	}
+	return out
+}
+
+// Fig5 reproduces the model-validation-vs-problem-size plot: the
+// Table II grid plus the prediction region at epr 30 (a notional system
+// with more memory per node).
+func Fig5(ctx *Context) []ValidationPoint {
+	eprs := append(append([]int{}, CaseEPRs...), 30)
+	return validationSeries(ctx, eprs, CaseRanks)
+}
+
+// Fig6 reproduces the model-validation-vs-ranks plot: the Table II
+// grid plus the prediction region at 1331 ranks (beyond the paper's
+// 1000-rank Quartz allocation).
+func Fig6(ctx *Context) []ValidationPoint {
+	ranks := append(append([]int{}, CaseRanks...), 1331)
+	return validationSeries(ctx, CaseEPRs, ranks)
+}
+
+// FormatValidationPoints renders Figs 5-6 data grouped by op, with the
+// prediction region marked.
+func FormatValidationPoints(w io.Writer, title string, pts []ValidationPoint) {
+	fmt.Fprintln(w, title)
+	currentOp := ""
+	for _, p := range pts {
+		if p.Op != currentOp {
+			currentOp = p.Op
+			fmt.Fprintf(w, "%s\n  %6s %6s %14s %14s %s\n", p.Op, "epr", "ranks", "measured", "modeled", "")
+		}
+		meas := "      (predict)"
+		if !p.Prediction {
+			meas = fmt.Sprintf("%14.6g", p.MeasuredMean)
+		}
+		marker := ""
+		if p.Prediction {
+			marker = "  <- prediction region"
+		}
+		fmt.Fprintf(w, "  %6d %6d %s %14.6g%s\n", p.EPR, p.Ranks, meas, p.Modeled, marker)
+	}
+}
+
+// FullRunSeries is one scenario's curve of Figs 7-8: cumulative
+// measured and simulated runtime per timestep, plus the timesteps at
+// which checkpoints complete (the black dots).
+type FullRunSeries struct {
+	Scenario  string
+	EPR       int
+	Ranks     int
+	Measured  []float64 // cumulative seconds per step (ground truth)
+	Predicted []float64 // cumulative seconds per step (MC mean)
+	CkptTimes []float64 // predicted checkpoint completion times
+	MAPE      float64   // over the cumulative series
+}
+
+// FigFullRun reproduces a Figs 7-8 panel: the three fault-tolerance
+// scenarios for 200 timesteps at the given rank count (64 for Fig 7,
+// 1000 for Fig 8; the paper plots epr 10).
+func FigFullRun(ctx *Context, epr, ranks, timesteps, mcRuns int, mode besst.Mode) []FullRunSeries {
+	cfg := ctx.Quartz.Cost.Config
+	rng := stats.NewRNG(ctx.Seed + uint64(ranks))
+	var out []FullRunSeries
+	for _, sc := range []lulesh.Scenario{lulesh.ScenarioNoFT, lulesh.ScenarioL1, lulesh.ScenarioL1L2} {
+		app := lulesh.App(epr, ranks, timesteps, sc, cfg)
+		arch := beo.NewArchBEO(ctx.Quartz.M, cfg.NodeSize)
+		workflow.BindLulesh(arch, ctx.Models)
+		runs := besst.MonteCarlo(app, arch, besst.Options{
+			Mode:         mode,
+			PerRankNoise: true,
+			Seed:         rng.Uint64(),
+		}, mcRuns)
+
+		pred := make([]float64, timesteps)
+		for _, r := range runs {
+			if len(r.StepCompletions) != timesteps {
+				panic("exp: step series length mismatch")
+			}
+			for i, v := range r.StepCompletions {
+				pred[i] += v
+			}
+		}
+		for i := range pred {
+			pred[i] /= float64(len(runs))
+		}
+
+		series := FullRunSeries{
+			Scenario: sc.Name, EPR: epr, Ranks: ranks,
+			Measured:  ctx.Quartz.FullRun(epr, ranks, timesteps, sc, rng.Split()),
+			Predicted: pred,
+			CkptTimes: runs[0].CkptTimes,
+		}
+		series.MAPE = stats.MAPE(series.Measured, series.Predicted)
+		out = append(out, series)
+	}
+	return out
+}
+
+// FormatFullRun renders a Figs 7-8 panel, sampling the cumulative
+// series every `every` steps.
+func FormatFullRun(w io.Writer, title string, series []FullRunSeries, every int) {
+	fmt.Fprintln(w, title)
+	for _, s := range series {
+		fmt.Fprintf(w, "scenario %-8s (epr=%d, ranks=%d)  series MAPE %.2f%%\n",
+			s.Scenario, s.EPR, s.Ranks, s.MAPE)
+		fmt.Fprintf(w, "  %6s %14s %14s\n", "step", "measured", "predicted")
+		for i := every - 1; i < len(s.Measured); i += every {
+			fmt.Fprintf(w, "  %6d %14.6g %14.6g\n", i+1, s.Measured[i], s.Predicted[i])
+		}
+		if len(s.CkptTimes) > 0 {
+			fmt.Fprintf(w, "  checkpoints complete at (s):")
+			for _, t := range s.CkptTimes {
+				fmt.Fprintf(w, " %.4g", t)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// Fig9 reproduces the overhead-prediction tables: percentage runtime
+// of every (epr, ranks, scenario) combination relative to the no-FT
+// baseline at the smallest rank count, for 64 and 1000 ranks.
+func Fig9(ctx *Context, timesteps, mcRuns int) []dse.Cell {
+	return dse.OverheadSweep(ctx.Models, ctx.Quartz.M, ctx.Quartz.Cost.Config.NodeSize, dse.SweepConfig{
+		EPRs:      []int{10, 15, 20, 25},
+		Ranks:     []int{64, 1000},
+		Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT, lulesh.ScenarioL1, lulesh.ScenarioL1L2},
+		Timesteps: timesteps,
+		MCRuns:    mcRuns,
+		Seed:      ctx.Seed + 9,
+	})
+}
+
+// FormatFig9 renders both rank tables.
+func FormatFig9(w io.Writer, cells []dse.Cell) {
+	fmt.Fprintln(w, "Fig 9: Overhead Prediction for Full System Simulation")
+	fmt.Fprintln(w, "(percent of the no-FT runtime at 64 ranks, per problem size)")
+	fmt.Fprintln(w, dse.FormatOverheadTable(cells, 64))
+	fmt.Fprintln(w, dse.FormatOverheadTable(cells, 1000))
+}
+
+// Fig1Point is one scatter point of the Fig 1 reproduction: CMT-bone on
+// Vulcan, benchmarked (validation region) and simulated runtimes.
+type Fig1Point struct {
+	PSize, Ranks int
+	MeasuredSec  float64 // NaN in the prediction region
+	SimMeanSec   float64
+	SimStdSec    float64
+	Prediction   bool
+}
+
+// Fig1Result bundles the scatter points with the Monte Carlo
+// distribution pop-out of one configuration.
+type Fig1Result struct {
+	Points []Fig1Point
+	// Distribution pop-out (histogram of MC makespans) at PopPSize/PopRanks.
+	PopPSize, PopRanks int
+	HistCounts         []int
+	HistEdges          []float64
+	// TimestepModelMAPE is the validation error of the fitted
+	// CMT-bone timestep model.
+	TimestepModelMAPE float64
+}
+
+// Fig1 reproduces the Vulcan/CMT-bone validation-and-prediction study:
+// benchmark and model CMT-bone on the Vulcan ground truth, validate
+// simulations up to 131072 ranks (the paper's 128K-core allocation),
+// then predict up to 1M ranks on a notional extension of Vulcan.
+func Fig1(timesteps, mcRuns int, seed uint64) *Fig1Result {
+	em := groundtruth.NewVulcan()
+	validationRanks := []int{128, 1024, 8192, 65536, 131072}
+	predictionRanks := []int{262144, 524288, 1048576}
+	psizes := []int{16, 32, 64}
+
+	campaign := benchdata.CollectCmtBone(em, psizes, validationRanks, 8, seed)
+	models := workflow.Develop(campaign, workflow.SymbolicRegression, []string{"psize", "ranks"}, seed+1)
+	model := models.ByOp[cmtbone.OpTimestep]
+
+	rng := stats.NewRNG(seed + 2)
+	res := &Fig1Result{
+		PopPSize: 64, PopRanks: 8192,
+		TimestepModelMAPE: models.Report(cmtbone.OpTimestep).ValidationMAPE,
+	}
+
+	simulate := func(psize, ranks int) (mean, std float64, makespans []float64) {
+		app := cmtbone.App(psize, 4, ranks, timesteps)
+		m := em.M
+		ranksPerNode := m.CoresPerNode
+		needNodes := (ranks + ranksPerNode - 1) / ranksPerNode
+		if needNodes > m.Nodes {
+			m = machine.Notional(em.M, needNodes, 0)
+		}
+		arch := beo.NewArchBEO(m, ranksPerNode)
+		arch.Bind(cmtbone.OpTimestep, model)
+		runs := besst.MonteCarlo(app, arch, besst.Options{
+			Mode:         besst.Direct,
+			PerRankNoise: true,
+			Seed:         rng.Uint64(),
+		}, mcRuns)
+		ms := besst.Makespans(runs)
+		s := stats.Summarize(ms)
+		return s.Mean, s.Std, ms
+	}
+
+	for _, ps := range psizes {
+		for _, r := range validationRanks {
+			mean, std, ms := simulate(ps, r)
+			pt := Fig1Point{
+				PSize: ps, Ranks: r,
+				MeasuredSec: em.CmtFullRun(ps, r, timesteps, rng.Split()),
+				SimMeanSec:  mean, SimStdSec: std,
+			}
+			res.Points = append(res.Points, pt)
+			if ps == res.PopPSize && r == res.PopRanks {
+				res.HistCounts, res.HistEdges = stats.Histogram(ms, 8)
+			}
+		}
+		for _, r := range predictionRanks {
+			mean, std, _ := simulate(ps, r)
+			res.Points = append(res.Points, Fig1Point{
+				PSize: ps, Ranks: r,
+				MeasuredSec: math.NaN(),
+				SimMeanSec:  mean, SimStdSec: std,
+				Prediction: true,
+			})
+		}
+	}
+	return res
+}
+
+// FormatFig1 renders the Fig 1 reproduction.
+func FormatFig1(w io.Writer, r *Fig1Result) {
+	fmt.Fprintln(w, "Fig 1: BE-SST validation & prediction, CMT-bone on Vulcan")
+	fmt.Fprintf(w, "  timestep model validation MAPE: %.2f%%\n", r.TimestepModelMAPE)
+	fmt.Fprintf(w, "  %6s %9s %14s %14s %12s\n", "psize", "ranks", "measured", "sim mean", "sim std")
+	for _, p := range r.Points {
+		meas := "     (predict)"
+		if !p.Prediction {
+			meas = fmt.Sprintf("%14.6g", p.MeasuredSec)
+		}
+		fmt.Fprintf(w, "  %6d %9d %s %14.6g %12.3g\n", p.PSize, p.Ranks, meas, p.SimMeanSec, p.SimStdSec)
+	}
+	fmt.Fprintf(w, "  MC distribution pop-out at psize=%d ranks=%d:\n", r.PopPSize, r.PopRanks)
+	maxCount := 0
+	for _, c := range r.HistCounts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range r.HistCounts {
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", c*40/maxCount)
+		}
+		fmt.Fprintf(w, "    [%.5g, %.5g) %s\n", r.HistEdges[i], r.HistEdges[i+1], bar)
+	}
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"besst/internal/benchdata"
+	"besst/internal/fti"
+	"besst/internal/lulesh"
+	"besst/internal/perfmodel"
+	"besst/internal/workflow"
+)
+
+// LevelRow is one FTI level of the all-levels extension study.
+type LevelRow struct {
+	Level fti.Level
+	// ValidationMAPE of the fitted instance model.
+	ValidationMAPE float64
+	// InstanceSec64 and InstanceSec1000 are modeled checkpoint times
+	// at epr 15 on 64 and 1000 ranks.
+	InstanceSec64   float64
+	InstanceSec1000 float64
+	// AmortizedOverheadPct is the per-step cost at a 40-step period
+	// relative to the epr-15 timestep at 1000 ranks.
+	AmortizedOverheadPct float64
+}
+
+// AllLevelsStudy extends the case study to all four FTI levels — the
+// part the paper defers to future work ("at which point we can more
+// fully explore the higher levels of fault-tolerance") because Levels 3
+// and 4 need communication and PFS models, both of which this
+// reproduction has. It benchmarks every level on the ground truth, fits
+// models, and compares modeled instance costs and amortized overheads.
+func AllLevelsStudy(ctx *Context) []LevelRow {
+	em := ctx.Quartz
+	campaign := benchdata.CollectLulesh(em, benchdata.LuleshPlan{
+		EPRs:       CaseEPRs,
+		Ranks:      CaseRanks,
+		Levels:     []fti.Level{fti.L1, fti.L2, fti.L3, fti.L4},
+		SamplesPer: ctx.SamplesPer,
+		Seed:       ctx.Seed + 50,
+	})
+	models := workflow.Develop(campaign, workflow.SymbolicRegression, []string{"epr", "ranks"}, ctx.Seed+51)
+
+	tsModel := ctx.Models.ByOp[lulesh.OpTimestep]
+	ts1000 := tsModel.Predict(perfmodel.Params{"epr": 15, "ranks": 1000})
+
+	var out []LevelRow
+	for l := fti.L1; l <= fti.L4; l++ {
+		op := lulesh.CkptOp(l)
+		m := models.ByOp[op]
+		i64 := m.Predict(perfmodel.Params{"epr": 15, "ranks": 64})
+		i1000 := m.Predict(perfmodel.Params{"epr": 15, "ranks": 1000})
+		out = append(out, LevelRow{
+			Level:                l,
+			ValidationMAPE:       models.Report(op).ValidationMAPE,
+			InstanceSec64:        i64,
+			InstanceSec1000:      i1000,
+			AmortizedOverheadPct: 100 * (i1000 / 40) / ts1000,
+		})
+	}
+	return out
+}
+
+// FormatAllLevels renders the all-levels study.
+func FormatAllLevels(w io.Writer, rows []LevelRow) {
+	fmt.Fprintln(w, "Extension C: all four FTI levels modeled (paper future work)")
+	fmt.Fprintf(w, "  %-6s %10s %14s %14s %16s\n",
+		"level", "MAPE", "inst@64rk", "inst@1000rk", "amortized ovhd")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  L%-5d %9.2f%% %13.5gs %13.5gs %15.1f%%\n",
+			int(r.Level), r.ValidationMAPE, r.InstanceSec64, r.InstanceSec1000, r.AmortizedOverheadPct)
+	}
+	fmt.Fprintln(w, "  (instances at epr 15; amortized over a 40-step period vs the timestep)")
+}

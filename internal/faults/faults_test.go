@@ -1,0 +1,242 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"besst/internal/fti"
+	"besst/internal/stats"
+)
+
+var cfg = fti.Config{GroupSize: 4, NodeSize: 2}
+
+func baseSpec() JobSpec {
+	return JobSpec{
+		Steps:             1000,
+		StepSec:           1,
+		ScratchRestartSec: 30,
+	}
+}
+
+func withL1(spec JobSpec, period int) JobSpec {
+	spec.Schedules = []CkptSchedule{{Level: fti.L1, Period: period}}
+	spec.CkptSec = func(fti.Level) float64 { return 5 }
+	spec.RestartSec = func(fti.Level) float64 { return 10 }
+	return spec
+}
+
+func TestNoFaultsNoOverhead(t *testing.T) {
+	fm := FaultModel{Nodes: 32, FaultsPerNodeHour: 0}
+	st := Run(baseSpec(), fm, cfg, stats.NewRNG(1))
+	if st.WallSec != 1000 {
+		t.Fatalf("wall = %v, want 1000", st.WallSec)
+	}
+	if st.Faults != 0 || st.CkptSec != 0 {
+		t.Fatalf("unexpected overheads: %+v", st)
+	}
+	if st.Efficiency() != 1 {
+		t.Fatalf("efficiency = %v", st.Efficiency())
+	}
+}
+
+func TestCheckpointOverheadWithoutFaults(t *testing.T) {
+	fm := FaultModel{Nodes: 32, FaultsPerNodeHour: 0}
+	st := Run(withL1(baseSpec(), 100), fm, cfg, stats.NewRNG(1))
+	// 10 checkpoints x 5s on top of 1000s solve.
+	if st.WallSec != 1050 {
+		t.Fatalf("wall = %v, want 1050", st.WallSec)
+	}
+	if st.CkptSec != 50 {
+		t.Fatalf("ckpt = %v", st.CkptSec)
+	}
+}
+
+func TestFaultsForceRework(t *testing.T) {
+	fm := FaultModel{Nodes: 64, FaultsPerNodeHour: 2, HardFraction: 0}
+	st := Run(withL1(baseSpec(), 50), fm, cfg, stats.NewRNG(2))
+	if st.Faults == 0 {
+		t.Fatal("expected failures at this rate")
+	}
+	if st.WallSec <= 1000 {
+		t.Fatal("faults should add wall time")
+	}
+	if st.Recovered == 0 {
+		t.Fatal("soft failures with L1 should be recoverable")
+	}
+	if st.Efficiency() >= 1 {
+		t.Fatal("efficiency should drop under faults")
+	}
+}
+
+func TestCase2ScratchRestarts(t *testing.T) {
+	// Case 2 of Fig 4: faults without fault tolerance — every failure
+	// restarts the run from the beginning.
+	fm := FaultModel{Nodes: 16, FaultsPerNodeHour: 1, HardFraction: 0.5}
+	spec := baseSpec()
+	spec.Steps = 300
+	st := Run(spec, fm, cfg, stats.NewRNG(3))
+	if st.Recovered != 0 {
+		t.Fatal("no FT: nothing should recover from checkpoints")
+	}
+	if st.Scratch == 0 || st.Scratch > st.Faults {
+		t.Fatalf("faults should restart from scratch (others land in recovery windows): %+v", st)
+	}
+}
+
+func TestCase4BeatsCase2UnderFaults(t *testing.T) {
+	// Case 4 (faults + FT) should finish faster in expectation than
+	// Case 2 (faults, no FT) when failures are frequent.
+	fm := FaultModel{Nodes: 64, FaultsPerNodeHour: 0.5, HardFraction: 0.3}
+	noFT := MonteCarlo(baseSpec(), fm, cfg, 40, 7)
+	withFT := MonteCarlo(withL1(baseSpec(), 50), fm, cfg, 40, 7)
+	if MeanWall(withFT) >= MeanWall(noFT) {
+		t.Fatalf("FT should pay off: %v vs %v", MeanWall(withFT), MeanWall(noFT))
+	}
+}
+
+func TestL1CannotRecoverHardFailures(t *testing.T) {
+	// All failures hard: L1-only checkpoints are useless; runs behave
+	// like scratch restarts (with added checkpoint overhead).
+	fm := FaultModel{Nodes: 16, FaultsPerNodeHour: 1, HardFraction: 1}
+	st := Run(withL1(baseSpec(), 50), fm, cfg, stats.NewRNG(5))
+	if st.Faults > 0 && st.Recovered != 0 {
+		t.Fatalf("hard failures recovered by L1: %+v", st)
+	}
+}
+
+func TestL2RecoversHardFailures(t *testing.T) {
+	fm := FaultModel{Nodes: 16, FaultsPerNodeHour: 1, HardFraction: 1}
+	spec := baseSpec()
+	spec.Schedules = []CkptSchedule{{Level: fti.L2, Period: 50}}
+	spec.CkptSec = func(fti.Level) float64 { return 6 }
+	spec.RestartSec = func(fti.Level) float64 { return 12 }
+	st := Run(spec, fm, cfg, stats.NewRNG(6))
+	if st.Faults == 0 {
+		t.Fatal("expected faults")
+	}
+	if st.Recovered == 0 {
+		t.Fatal("single hard failures should be L2-recoverable")
+	}
+}
+
+func TestCorrelatedBurstsDefeatL2ButNotL4(t *testing.T) {
+	fm := FaultModel{
+		Nodes: 16, FaultsPerNodeHour: 5, HardFraction: 1,
+		CorrelatedProb: 1, CorrelatedSize: 4, // whole group dies
+	}
+	mkSpec := func(level fti.Level) JobSpec {
+		s := baseSpec()
+		s.Steps = 200
+		s.Schedules = []CkptSchedule{{Level: level, Period: 50}}
+		s.CkptSec = func(fti.Level) float64 { return 5 }
+		s.RestartSec = func(fti.Level) float64 { return 10 }
+		return s
+	}
+	l2 := Run(mkSpec(fti.L2), fm, cfg, stats.NewRNG(7))
+	if l2.Faults > 0 && l2.Recovered != 0 {
+		t.Fatalf("group-wide burst should defeat L2: %+v", l2)
+	}
+	l4 := Run(mkSpec(fti.L4), fm, cfg, stats.NewRNG(7))
+	if l4.Faults == 0 || l4.Recovered == 0 {
+		t.Fatalf("L4 should recover bursts: %+v", l4)
+	}
+	// Failures either trigger a recovery/scratch restart or land
+	// inside a recovery window (retrying it); never more restarts
+	// than faults.
+	if l4.Recovered+l4.Scratch > l4.Faults {
+		t.Fatalf("fault accounting broken: %+v", l4)
+	}
+}
+
+func TestSystemMTBF(t *testing.T) {
+	fm := FaultModel{Nodes: 100, FaultsPerNodeHour: 0.01}
+	// 1 fault/hour aggregate -> 3600s MTBF.
+	if got := fm.SystemMTBFSeconds(); math.Abs(got-3600) > 1e-9 {
+		t.Fatalf("MTBF = %v", got)
+	}
+	if !math.IsInf(FaultModel{Nodes: 10}.SystemMTBFSeconds(), 1) {
+		t.Fatal("zero rate should give infinite MTBF")
+	}
+}
+
+func TestFailureArrivalRateMatches(t *testing.T) {
+	fm := FaultModel{Nodes: 50, FaultsPerNodeHour: 0.2}
+	rng := stats.NewRNG(8)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += fm.nextFailure(rng)
+	}
+	want := fm.SystemMTBFSeconds()
+	got := sum / n
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("mean interarrival %v, want %v", got, want)
+	}
+}
+
+func TestWeibullArrivalMeanMatches(t *testing.T) {
+	fm := FaultModel{Nodes: 50, FaultsPerNodeHour: 0.2, WeibullShape: 0.7}
+	rng := stats.NewRNG(9)
+	var sum float64
+	const n = 40000
+	for i := 0; i < n; i++ {
+		sum += fm.nextFailure(rng)
+	}
+	want := fm.SystemMTBFSeconds()
+	got := sum / n
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("weibull mean interarrival %v, want %v", got, want)
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	fm := FaultModel{Nodes: 32, FaultsPerNodeHour: 0.5, HardFraction: 0.5}
+	a := MonteCarlo(withL1(baseSpec(), 100), fm, cfg, 5, 11)
+	b := MonteCarlo(withL1(baseSpec(), 100), fm, cfg, 5, 11)
+	for i := range a {
+		if a[i].WallSec != b[i].WallSec {
+			t.Fatal("MC not reproducible")
+		}
+	}
+}
+
+func TestOptimalPeriodTradeoffVisible(t *testing.T) {
+	// Very frequent checkpointing and very rare checkpointing should
+	// both lose to a moderate period — the Young/Daly trade-off.
+	fm := FaultModel{Nodes: 64, FaultsPerNodeHour: 0.4, HardFraction: 0.2}
+	wall := func(period int) float64 {
+		return MeanWall(MonteCarlo(withL1(baseSpec(), period), fm, cfg, 60, 13))
+	}
+	tooOften := wall(2)
+	moderate := wall(60)
+	tooRare := wall(950)
+	if moderate >= tooOften {
+		t.Fatalf("period 60 (%v) should beat period 2 (%v)", moderate, tooOften)
+	}
+	if moderate >= tooRare {
+		t.Fatalf("period 60 (%v) should beat period 950 (%v)", moderate, tooRare)
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	cases := []func(){
+		func() { Run(JobSpec{}, FaultModel{Nodes: 1}, cfg, stats.NewRNG(1)) },
+		func() { Run(baseSpec(), FaultModel{Nodes: 0}, cfg, stats.NewRNG(1)) },
+		func() { MonteCarlo(baseSpec(), FaultModel{Nodes: 1}, cfg, 0, 1) },
+		func() {
+			s := baseSpec()
+			s.Schedules = []CkptSchedule{{Level: fti.L1, Period: 10}}
+			Run(s, FaultModel{Nodes: 1}, cfg, stats.NewRNG(1)) // missing cost fns
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,317 @@
+package fti
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"besst/internal/machine"
+)
+
+func caseStudyConfig() Config { return Config{GroupSize: 4, NodeSize: 2} }
+
+func testCostModel() *CostModel {
+	return NewCostModel(machine.Quartz(), caseStudyConfig())
+}
+
+func TestLevelStrings(t *testing.T) {
+	for l := L1; l <= L4; l++ {
+		if !l.Valid() {
+			t.Fatalf("level %d should be valid", l)
+		}
+		if s := l.String(); s == "" || strings.Contains(s, "invalid") {
+			t.Fatalf("bad string for %d: %q", l, s)
+		}
+	}
+	if Level(0).Valid() || Level(5).Valid() {
+		t.Fatal("out-of-range levels reported valid")
+	}
+}
+
+func TestCheckRanksDivisibility(t *testing.T) {
+	c := caseStudyConfig() // unit = 8
+	// Paper: every perfect cube divisible by 8 works.
+	for _, r := range []int{8, 64, 216, 512, 1000} {
+		if err := c.CheckRanks(r); err != nil {
+			t.Fatalf("ranks %d should be accepted: %v", r, err)
+		}
+	}
+	for _, r := range []int{0, -8, 27, 125, 343} { // odd cubes not divisible by 8
+		if err := c.CheckRanks(r); err == nil {
+			t.Fatalf("ranks %d should be rejected", r)
+		}
+	}
+}
+
+func TestNodesForAndGroups(t *testing.T) {
+	c := caseStudyConfig()
+	if c.NodesFor(64) != 32 {
+		t.Fatalf("nodes = %d, want 32", c.NodesFor(64))
+	}
+	if c.Groups(64) != 8 {
+		t.Fatalf("groups = %d, want 8", c.Groups(64))
+	}
+}
+
+func TestPartnerRing(t *testing.T) {
+	c := caseStudyConfig()
+	// Group 0 holds nodes 0..3; the ring wraps.
+	if c.PartnerOf(0) != 1 || c.PartnerOf(1) != 2 || c.PartnerOf(3) != 0 {
+		t.Fatal("partner ring wrong in group 0")
+	}
+	// Group 1 holds nodes 4..7.
+	if c.PartnerOf(7) != 4 {
+		t.Fatalf("partner of 7 = %d, want 4", c.PartnerOf(7))
+	}
+	if c.GroupOf(5) != 1 {
+		t.Fatal("group assignment wrong")
+	}
+}
+
+func TestPartnerStaysInGroupProperty(t *testing.T) {
+	c := Config{GroupSize: 5, NodeSize: 3}
+	f := func(nRaw uint16) bool {
+		n := int(nRaw % 1000)
+		return c.GroupOf(c.PartnerOf(n)) == c.GroupOf(n) && c.PartnerOf(n) != n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParityShards(t *testing.T) {
+	if (Config{GroupSize: 4, NodeSize: 1}).ParityShards() != 2 {
+		t.Fatal("group 4 should give 2 parity shards")
+	}
+	if (Config{GroupSize: 5, NodeSize: 1}).ParityShards() != 2 {
+		t.Fatal("group 5 should give 2 parity shards")
+	}
+}
+
+func TestL3CoderMatchesGroup(t *testing.T) {
+	c := caseStudyConfig()
+	coder := c.L3Coder()
+	if coder.DataShards()+coder.ParityShards() != c.GroupSize {
+		t.Fatal("coder shards should sum to group size")
+	}
+	if coder.ParityShards() != c.ParityShards() {
+		t.Fatal("parity mismatch")
+	}
+}
+
+func TestInstanceTimeLevelOrdering(t *testing.T) {
+	cm := testCostModel()
+	const bytesPerRank = 50 << 20
+	// At scale the paper's "overhead grows with level" ordering holds
+	// strictly: the PFS is shared by every rank while L1-L3 costs are
+	// group-local.
+	const ranks = 1000
+	t1 := cm.InstanceTime(L1, ranks, bytesPerRank)
+	t2 := cm.InstanceTime(L2, ranks, bytesPerRank)
+	t3 := cm.InstanceTime(L3, ranks, bytesPerRank)
+	t4 := cm.InstanceTime(L4, ranks, bytesPerRank)
+	if !(t1 < t2 && t2 < t3 && t3 < t4) {
+		t.Fatalf("level ordering violated at scale: %v %v %v %v", t1, t2, t3, t4)
+	}
+	// At small scale L4 may legitimately be cheap (few writers on a
+	// large PFS), but L1 < L2 < L3 is scale-independent and L1 is
+	// always the cheapest level.
+	for _, small := range []int{8, 64} {
+		s1 := cm.InstanceTime(L1, small, bytesPerRank)
+		s2 := cm.InstanceTime(L2, small, bytesPerRank)
+		s3 := cm.InstanceTime(L3, small, bytesPerRank)
+		s4 := cm.InstanceTime(L4, small, bytesPerRank)
+		if !(s1 < s2 && s2 < s3) {
+			t.Fatalf("ranks %d: L1..L3 ordering violated: %v %v %v", small, s1, s2, s3)
+		}
+		if s4 <= s1 {
+			t.Fatalf("ranks %d: L4 %v should still exceed L1 %v", small, s4, s1)
+		}
+	}
+}
+
+func TestInstanceTimeGrowsWithData(t *testing.T) {
+	cm := testCostModel()
+	for l := L1; l <= L4; l++ {
+		small := cm.InstanceTime(l, 64, 10<<20)
+		big := cm.InstanceTime(l, 64, 100<<20)
+		if big <= small {
+			t.Fatalf("level %d not monotone in data size", l)
+		}
+	}
+}
+
+func TestInstanceTimeGrowsWithRanks(t *testing.T) {
+	cm := testCostModel()
+	for l := L1; l <= L4; l++ {
+		few := cm.InstanceTime(l, 8, 50<<20)
+		many := cm.InstanceTime(l, 1000, 50<<20)
+		if many < few {
+			t.Fatalf("level %d decreased with ranks: %v -> %v", l, few, many)
+		}
+	}
+	// L4 must grow substantially with ranks (PFS sharing).
+	if cm.InstanceTime(L4, 1000, 50<<20) < 2*cm.InstanceTime(L4, 8, 50<<20) {
+		t.Fatal("L4 should be strongly rank-dependent")
+	}
+}
+
+func TestInstanceTimeBadArgsPanics(t *testing.T) {
+	cm := testCostModel()
+	cases := []func(){
+		func() { cm.InstanceTime(Level(9), 64, 1) },
+		func() { cm.InstanceTime(L1, 64, -1) },
+		func() { cm.InstanceTime(L1, 7, 1) }, // not multiple of 8
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRestartTimeIncludesRecovery(t *testing.T) {
+	cm := testCostModel()
+	for l := L1; l <= L4; l++ {
+		rt := cm.RestartTime(l, 64, 50<<20)
+		if rt < cm.Machine.RecoverySeconds {
+			t.Fatalf("level %d restart %v below base recovery", l, rt)
+		}
+	}
+}
+
+func TestRecoverableL1(t *testing.T) {
+	c := caseStudyConfig()
+	if !c.Recoverable(L1, []Failure{{Node: 3, Kind: SoftFailure}}) {
+		t.Fatal("L1 should survive soft failure")
+	}
+	if c.Recoverable(L1, []Failure{{Node: 3, Kind: HardFailure}}) {
+		t.Fatal("L1 should not survive hard failure")
+	}
+	if !c.Recoverable(L1, nil) {
+		t.Fatal("no failures is always recoverable")
+	}
+}
+
+func TestRecoverableL2PartnerSemantics(t *testing.T) {
+	c := caseStudyConfig()
+	// Node 0 dies hard; partner (node 1) alive -> recoverable.
+	if !c.Recoverable(L2, []Failure{{Node: 0, Kind: HardFailure}}) {
+		t.Fatal("L2 should survive single hard failure")
+	}
+	// Node 0 and its partner node 1 both die hard -> copy lost.
+	if c.Recoverable(L2, []Failure{
+		{Node: 0, Kind: HardFailure}, {Node: 1, Kind: HardFailure},
+	}) {
+		t.Fatal("L2 should fail when partner also dies")
+	}
+	// Node 0 hard + node 2 hard (not partners) -> both copies live.
+	if !c.Recoverable(L2, []Failure{
+		{Node: 0, Kind: HardFailure}, {Node: 2, Kind: HardFailure},
+	}) {
+		t.Fatal("L2 should survive non-adjacent hard failures")
+	}
+	// Partner only soft-failed: its storage survives.
+	if !c.Recoverable(L2, []Failure{
+		{Node: 0, Kind: HardFailure}, {Node: 1, Kind: SoftFailure},
+	}) {
+		t.Fatal("L2 should survive when partner fails softly")
+	}
+}
+
+func TestRecoverableL3GroupThreshold(t *testing.T) {
+	c := caseStudyConfig() // groups of 4, parity 2
+	two := []Failure{{Node: 0, Kind: HardFailure}, {Node: 1, Kind: HardFailure}}
+	if !c.Recoverable(L3, two) {
+		t.Fatal("L3 should survive 2 failures in a group of 4")
+	}
+	three := append(two, Failure{Node: 2, Kind: HardFailure})
+	if c.Recoverable(L3, three) {
+		t.Fatal("L3 should not survive 3 failures in a group of 4")
+	}
+	// Two failures in each of two different groups: fine.
+	spread := []Failure{
+		{Node: 0, Kind: HardFailure}, {Node: 1, Kind: HardFailure},
+		{Node: 4, Kind: HardFailure}, {Node: 5, Kind: HardFailure},
+	}
+	if !c.Recoverable(L3, spread) {
+		t.Fatal("L3 should survive per-group-bounded failures")
+	}
+}
+
+func TestRecoverableL4Always(t *testing.T) {
+	c := caseStudyConfig()
+	lots := make([]Failure, 20)
+	for i := range lots {
+		lots[i] = Failure{Node: i, Kind: HardFailure}
+	}
+	if !c.Recoverable(L4, lots) {
+		t.Fatal("L4 should survive anything")
+	}
+}
+
+func TestRecoverableLevelMonotoneProperty(t *testing.T) {
+	// If a lower level can recover a failure set, L4 always can; and
+	// L3 recovery implies L4 recovery trivially. Check the specific
+	// monotonicity L1 => L2 (partner copy only adds protection).
+	c := caseStudyConfig()
+	f := func(nodesRaw []uint8, kindsRaw []bool) bool {
+		n := len(nodesRaw)
+		if len(kindsRaw) < n {
+			n = len(kindsRaw)
+		}
+		fs := make([]Failure, 0, n)
+		for i := 0; i < n; i++ {
+			k := SoftFailure
+			if kindsRaw[i] {
+				k = HardFailure
+			}
+			fs = append(fs, Failure{Node: int(nodesRaw[i] % 32), Kind: k})
+		}
+		if c.Recoverable(L1, fs) && !c.Recoverable(L2, fs) {
+			return false
+		}
+		return c.Recoverable(L4, fs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestRecoveryLevel(t *testing.T) {
+	c := caseStudyConfig()
+	enabled := []Level{L1, L2, L4}
+	soft := []Failure{{Node: 0, Kind: SoftFailure}}
+	if got := c.BestRecoveryLevel(enabled, soft); got != L1 {
+		t.Fatalf("got %v, want L1", got)
+	}
+	hard := []Failure{{Node: 0, Kind: HardFailure}}
+	if got := c.BestRecoveryLevel(enabled, hard); got != L2 {
+		t.Fatalf("got %v, want L2", got)
+	}
+	both := []Failure{{Node: 0, Kind: HardFailure}, {Node: 1, Kind: HardFailure}}
+	if got := c.BestRecoveryLevel(enabled, both); got != L4 {
+		t.Fatalf("got %v, want L4", got)
+	}
+	if got := c.BestRecoveryLevel([]Level{L1}, hard); got != 0 {
+		t.Fatalf("got %v, want 0 (unrecoverable)", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, c := range []Config{{GroupSize: 1, NodeSize: 1}, {GroupSize: 4, NodeSize: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %+v", c)
+				}
+			}()
+			c.Validate()
+		}()
+	}
+}

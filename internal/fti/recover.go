@@ -1,0 +1,111 @@
+package fti
+
+import "fmt"
+
+// FailureKind distinguishes failures that keep node-local storage
+// readable (process crash, soft reboot) from failures that lose it
+// (hardware replacement). Level 1 can only recover from the former.
+type FailureKind int
+
+const (
+	// SoftFailure halts the node's progress but its local storage
+	// survives (the paper's L1 recovery scenario: "restart from the
+	// most recent successful checkpoint on all nodes").
+	SoftFailure FailureKind = iota
+	// HardFailure loses the node and everything stored on it.
+	HardFailure
+)
+
+func (k FailureKind) String() string {
+	if k == SoftFailure {
+		return "soft"
+	}
+	return "hard"
+}
+
+// Failure records one failed node.
+type Failure struct {
+	Node int
+	Kind FailureKind
+}
+
+// Recoverable reports whether a checkpoint taken at the given level can
+// restore the application after the given concurrent failures, under
+// FTI's semantics:
+//
+//	L1: survives soft failures only (local files must still be readable).
+//	L2: additionally survives hard failures whose partner node (the
+//	    ring successor holding the copy) is still alive.
+//	L3: survives up to ParityShards() hard failures per group.
+//	L4: survives any node failures (checkpoints live on the PFS).
+func (c Config) Recoverable(level Level, failures []Failure) bool {
+	if !level.Valid() {
+		panic(fmt.Sprintf("fti: %v", level))
+	}
+	if len(failures) == 0 {
+		return true
+	}
+	failed := make(map[int]FailureKind, len(failures))
+	for _, f := range failures {
+		if f.Node < 0 {
+			panic("fti: negative node in failure set")
+		}
+		// A hard failure dominates a soft failure of the same node.
+		if prev, ok := failed[f.Node]; !ok || prev == SoftFailure {
+			failed[f.Node] = f.Kind
+		}
+	}
+
+	switch level {
+	case L1:
+		for _, kind := range failed {
+			if kind == HardFailure {
+				return false
+			}
+		}
+		return true
+	case L2:
+		for node, kind := range failed {
+			if kind == SoftFailure {
+				continue
+			}
+			partner := c.PartnerOf(node)
+			if pk, dead := failed[partner]; dead && pk == HardFailure {
+				return false // the copy died with the partner
+			}
+		}
+		return true
+	case L3:
+		perGroup := map[int]int{}
+		for node, kind := range failed {
+			if kind == HardFailure {
+				perGroup[c.GroupOf(node)]++
+			}
+		}
+		limit := c.ParityShards()
+		for _, n := range perGroup {
+			if n > limit {
+				return false
+			}
+		}
+		return true
+	default: // L4
+		return true
+	}
+}
+
+// BestRecoveryLevel returns the lowest (cheapest) level among enabled
+// that can recover from the failures, or 0 if none can. FTI restores
+// from the cheapest sufficient level, falling back upward.
+func (c Config) BestRecoveryLevel(enabled []Level, failures []Failure) Level {
+	best := Level(0)
+	for _, l := range enabled {
+		if !l.Valid() {
+			panic(fmt.Sprintf("fti: %v", l))
+		}
+		if c.Recoverable(l, failures) && (best == 0 || l < best) {
+			best = l
+		}
+	}
+	return best
+}

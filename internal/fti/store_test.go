@@ -1,0 +1,193 @@
+package fti
+
+import (
+	"testing"
+
+	"besst/internal/stats"
+)
+
+func storeState(rng *stats.RNG, nodes, size int) [][]byte {
+	state := make([][]byte, nodes)
+	for i := range state {
+		state[i] = make([]byte, size)
+		for j := range state[i] {
+			state[i][j] = byte(rng.Intn(256))
+		}
+	}
+	return state
+}
+
+func TestStoreL1SoftFailureRecovers(t *testing.T) {
+	cfg := Config{GroupSize: 4, NodeSize: 2}
+	s := NewStore(cfg, 8)
+	state := storeState(stats.NewRNG(1), 8, 64)
+	s.Checkpoint(L1, state)
+	s.Fail([]Failure{{Node: 3, Kind: SoftFailure}})
+	got, err := s.Recover(L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(got, state) {
+		t.Fatal("recovered state mismatch")
+	}
+}
+
+func TestStoreL1HardFailureFails(t *testing.T) {
+	cfg := Config{GroupSize: 4, NodeSize: 2}
+	s := NewStore(cfg, 8)
+	s.Checkpoint(L1, storeState(stats.NewRNG(2), 8, 32))
+	s.Fail([]Failure{{Node: 0, Kind: HardFailure}})
+	if _, err := s.Recover(L1); err == nil {
+		t.Fatal("L1 should not survive hard failure")
+	}
+}
+
+func TestStoreL2PartnerRecovery(t *testing.T) {
+	cfg := Config{GroupSize: 4, NodeSize: 2}
+	s := NewStore(cfg, 8)
+	state := storeState(stats.NewRNG(3), 8, 50)
+	s.Checkpoint(L2, state)
+	s.Fail([]Failure{{Node: 0, Kind: HardFailure}, {Node: 5, Kind: HardFailure}})
+	got, err := s.Recover(L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(got, state) {
+		t.Fatal("L2 recovery mismatch")
+	}
+}
+
+func TestStoreL2PartnerPairLost(t *testing.T) {
+	cfg := Config{GroupSize: 4, NodeSize: 2}
+	s := NewStore(cfg, 8)
+	s.Checkpoint(L2, storeState(stats.NewRNG(4), 8, 50))
+	// Node 0's copy lives on node 1; kill both.
+	s.Fail([]Failure{{Node: 0, Kind: HardFailure}, {Node: 1, Kind: HardFailure}})
+	if _, err := s.Recover(L2); err == nil {
+		t.Fatal("L2 should fail when a node and its partner both die")
+	}
+}
+
+func TestStoreL3RecoversUpToParity(t *testing.T) {
+	cfg := Config{GroupSize: 4, NodeSize: 2} // parity 2 per group
+	s := NewStore(cfg, 8)
+	state := storeState(stats.NewRNG(5), 8, 100)
+	s.Checkpoint(L3, state)
+	// Two hard failures in group 0 (its parity budget), one in group 1.
+	s.Fail([]Failure{
+		{Node: 0, Kind: HardFailure}, {Node: 1, Kind: HardFailure},
+		{Node: 4, Kind: HardFailure},
+	})
+	got, err := s.Recover(L3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data nodes (first k=2 of each group) must round-trip exactly.
+	for _, n := range []int{0, 1, 4, 5} {
+		if len(got[n]) < len(state[n]) || string(got[n][:len(state[n])]) != string(state[n]) {
+			t.Fatalf("node %d data not recovered", n)
+		}
+	}
+}
+
+func TestStoreL3BeyondParityFails(t *testing.T) {
+	cfg := Config{GroupSize: 4, NodeSize: 2}
+	s := NewStore(cfg, 8)
+	s.Checkpoint(L3, storeState(stats.NewRNG(6), 8, 100))
+	s.Fail([]Failure{
+		{Node: 0, Kind: HardFailure}, {Node: 1, Kind: HardFailure},
+		{Node: 2, Kind: HardFailure},
+	})
+	if _, err := s.Recover(L3); err == nil {
+		t.Fatal("3 losses in a 4-group should defeat L3")
+	}
+}
+
+func TestStoreL3RepairedParitySurvivesNextRound(t *testing.T) {
+	cfg := Config{GroupSize: 4, NodeSize: 2}
+	s := NewStore(cfg, 8)
+	state := storeState(stats.NewRNG(7), 8, 80)
+	s.Checkpoint(L3, state)
+	// Round 1: lose a parity node; recovery re-encodes it.
+	s.Fail([]Failure{{Node: 3, Kind: HardFailure}})
+	if _, err := s.Recover(L3); err != nil {
+		t.Fatal(err)
+	}
+	// Round 2: lose two different nodes; full redundancy must be back.
+	s.Fail([]Failure{{Node: 0, Kind: HardFailure}, {Node: 2, Kind: HardFailure}})
+	got, err := s.Recover(L3)
+	if err != nil {
+		t.Fatalf("repaired group should survive a second round: %v", err)
+	}
+	if len(got[0]) < len(state[0]) || string(got[0][:len(state[0])]) != string(state[0]) {
+		t.Fatal("node 0 data wrong after second recovery")
+	}
+}
+
+func TestStoreL4SurvivesEverything(t *testing.T) {
+	cfg := Config{GroupSize: 4, NodeSize: 2}
+	s := NewStore(cfg, 8)
+	state := storeState(stats.NewRNG(8), 8, 40)
+	s.Checkpoint(L4, state)
+	var all []Failure
+	for n := 0; n < 8; n++ {
+		all = append(all, Failure{Node: n, Kind: HardFailure})
+	}
+	s.Fail(all)
+	got, err := s.Recover(L4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(got, state) {
+		t.Fatal("PFS recovery mismatch")
+	}
+}
+
+func TestStoreRecoverWithoutCheckpoint(t *testing.T) {
+	cfg := Config{GroupSize: 4, NodeSize: 2}
+	s := NewStore(cfg, 8)
+	if _, err := s.Recover(L1); err == nil {
+		t.Fatal("recover before any checkpoint should fail")
+	}
+}
+
+// TestStoreAgreesWithRecoverable is the integration property: for
+// random failure sets, the functional store recovers exactly when the
+// analytical Recoverable predicate says it should (for data-complete
+// levels L1, L3, L4; L2's predicate conservatively ignores that a
+// node's own local copy can also be lost to its partner's position).
+func TestStoreAgreesWithRecoverable(t *testing.T) {
+	cfg := Config{GroupSize: 4, NodeSize: 2}
+	rng := stats.NewRNG(9)
+	for trial := 0; trial < 200; trial++ {
+		var fs []Failure
+		for n := 0; n < 8; n++ {
+			switch rng.Intn(3) {
+			case 0:
+				fs = append(fs, Failure{Node: n, Kind: HardFailure})
+			case 1:
+				fs = append(fs, Failure{Node: n, Kind: SoftFailure})
+			}
+		}
+		for _, level := range []Level{L1, L3, L4} {
+			s := NewStore(cfg, 8)
+			s.Checkpoint(level, storeState(rng, 8, 30))
+			s.Fail(fs)
+			_, err := s.Recover(level)
+			want := cfg.Recoverable(level, fs)
+			if (err == nil) != want {
+				t.Fatalf("trial %d level %d: store=%v predicate=%v failures=%v",
+					trial, int(level), err == nil, want, fs)
+			}
+		}
+	}
+}
+
+func TestNewStorePanicsOnBadNodeCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStore(Config{GroupSize: 4, NodeSize: 2}, 6)
+}

@@ -1,0 +1,295 @@
+// Package groundtruth is the synthetic "real machine" of this
+// reproduction. The paper benchmarks LULESH and FTI on LLNL's Quartz
+// and feeds the timing samples into the BE-SST Model Development phase;
+// we have no Quartz, so this package emulates one: first-principles
+// cost functions over the machine description (compute rate, disk, PFS,
+// network, FTI protocol costs) with multiplicative log-normal noise and
+// mild structural effects (cache-capacity and bandwidth-degradation
+// kinks) that a fitted model cannot capture exactly — so model
+// validation produces honest, non-zero MAPE values like the paper's.
+//
+// Everything downstream treats this package as the measured side:
+// benchmarking campaigns sample it, and full-system validation runs it
+// event by event.
+package groundtruth
+
+import (
+	"math"
+
+	"besst/internal/fti"
+	"besst/internal/lulesh"
+	"besst/internal/machine"
+	"besst/internal/network"
+	"besst/internal/stats"
+)
+
+// Emulator produces "measured" timings for one machine.
+type Emulator struct {
+	M    *machine.Machine
+	Cost *fti.CostModel
+	net  *network.Model // cached cost model (topology diameter is expensive)
+
+	// TimestepSigma and CkptSigma are the log-normal noise levels of
+	// compute blocks and checkpoint instances. Checkpointing is far
+	// noisier in practice (storage and interconnect interference),
+	// which is why the paper's checkpoint models carry ~2.5x the
+	// timestep model error.
+	TimestepSigma float64
+	CkptSigma     float64
+	CommSigma     float64
+
+	// FlopsPerElement is the per-element, per-timestep work of the
+	// LULESH kernel bundle.
+	FlopsPerElement float64
+	// JitterPerLog2Ranks is the fractional compute slowdown per
+	// doubling of ranks (OS noise and imbalance amplification at
+	// scale) — the source of the timestep function's slight rank
+	// scaling in Fig 6.
+	JitterPerLog2Ranks float64
+	// CmtFlopsPerElement is the per-element CMT-bone cost.
+	CmtFlopsPerElement float64
+}
+
+// NewQuartz returns the emulator standing in for the paper's Quartz
+// measurements, with the case study's FTI configuration (group size 4,
+// node size 2).
+func NewQuartz() *Emulator {
+	m := machine.Quartz()
+	return &Emulator{
+		M:                  m,
+		Cost:               fti.NewCostModel(m, fti.Config{GroupSize: 4, NodeSize: 2}),
+		net:                m.Network(),
+		TimestepSigma:      0.05,
+		CkptSigma:          0.12,
+		CommSigma:          0.10,
+		FlopsPerElement:    3500,
+		JitterPerLog2Ranks: 0.015,
+		CmtFlopsPerElement: 2.2e6,
+	}
+}
+
+// NewVulcan returns the emulator standing in for the Fig 1 Vulcan
+// measurements.
+func NewVulcan() *Emulator {
+	m := machine.Vulcan()
+	return &Emulator{
+		M:                  m,
+		Cost:               fti.NewCostModel(m, fti.Config{GroupSize: 4, NodeSize: 2}),
+		net:                m.Network(),
+		TimestepSigma:      0.06,
+		CkptSigma:          0.12,
+		CommSigma:          0.10,
+		FlopsPerElement:    3500,
+		JitterPerLog2Ranks: 0.012,
+		CmtFlopsPerElement: 2.2e6,
+	}
+}
+
+func log2(x float64) float64 { return math.Log2(x) }
+
+// LuleshTimestepMean returns the noise-free mean runtime in seconds of
+// one LULESH timestep function (the instrumented block: element kernels
+// plus intra-step halo exchange) for a problem size and rank count.
+func (e *Emulator) LuleshTimestepMean(epr, ranks int) float64 {
+	elems := float64(lulesh.Elements(epr))
+	compute := elems * e.FlopsPerElement / (e.M.CoreGFLOPS * 1e9)
+	// Cache-capacity kink: once the working set spills further out of
+	// cache the per-element cost rises. A structural effect the
+	// symbolic models only approximate — part of the honest model
+	// error budget.
+	if epr >= 20 {
+		compute *= 1.12
+	} else if epr >= 15 {
+		compute *= 1.05
+	}
+	// Scale jitter: stragglers amplify with parallelism.
+	if ranks > 1 {
+		compute *= 1 + e.JitterPerLog2Ranks*log2(float64(ranks))
+	}
+	halo := e.net.NearestNeighbor(6, lulesh.HaloBytes(epr))
+	return compute + halo
+}
+
+// MeasureLuleshTimestep draws one noisy "benchmark run" of the timestep
+// function.
+func (e *Emulator) MeasureLuleshTimestep(epr, ranks int, rng *stats.RNG) float64 {
+	return e.LuleshTimestepMean(epr, ranks) * rng.LogNormal(0, e.TimestepSigma)
+}
+
+// ABFTOverheadFactor is the direct compute overhead of the checksummed
+// (algorithm-based fault-tolerant) timestep variant.
+const ABFTOverheadFactor = 1.18
+
+// LuleshTimestepABFTMean returns the mean runtime of the ABFT timestep
+// variant: the baseline kernels plus checksum maintenance (a
+// proportional compute term plus a surface-proportional verification
+// pass). Unlike checkpointing, the overhead is rank-independent — the
+// trade the algorithmic-DSE extension explores.
+func (e *Emulator) LuleshTimestepABFTMean(epr, ranks int) float64 {
+	base := e.LuleshTimestepMean(epr, ranks)
+	surface := float64(epr) * float64(epr) * 6 * 40 / (e.M.CoreGFLOPS * 1e9)
+	return base*ABFTOverheadFactor + surface
+}
+
+// MeasureLuleshTimestepABFT draws one noisy ABFT timestep measurement.
+func (e *Emulator) MeasureLuleshTimestepABFT(epr, ranks int, rng *stats.RNG) float64 {
+	return e.LuleshTimestepABFTMean(epr, ranks) * rng.LogNormal(0, e.TimestepSigma)
+}
+
+// ckptStructural is the bandwidth-degradation kink of local storage:
+// node-level checkpoint files past the write-cache capacity stream
+// slower. Again deliberately outside the fitted models' vocabulary.
+func (e *Emulator) ckptStructural(level fti.Level, epr int) float64 {
+	nodeBytes := lulesh.CheckpointBytes(epr) * int64(e.Cost.Config.NodeSize)
+	switch {
+	case nodeBytes > 6<<20:
+		return 1.10
+	case nodeBytes > 2<<20:
+		return 1.04
+	default:
+		return 1.0
+	}
+}
+
+// CkptMean returns the noise-free mean runtime of one checkpoint
+// instance at the given level for LULESH state of the given problem
+// size across `ranks` ranks.
+func (e *Emulator) CkptMean(level fti.Level, epr, ranks int) float64 {
+	base := e.Cost.InstanceTime(level, ranks, lulesh.CheckpointBytes(epr))
+	return base * e.ckptStructural(level, epr)
+}
+
+// MeasureCkpt draws one noisy checkpoint-instance measurement.
+func (e *Emulator) MeasureCkpt(level fti.Level, epr, ranks int, rng *stats.RNG) float64 {
+	return e.CkptMean(level, epr, ranks) * rng.LogNormal(0, e.CkptSigma)
+}
+
+// AllreduceMean returns the mean cost of LULESH's per-step dt
+// allreduce.
+func (e *Emulator) AllreduceMean(ranks int) float64 {
+	return e.net.Allreduce(ranks, 8)
+}
+
+// MeasureAllreduce draws one noisy allreduce measurement.
+func (e *Emulator) MeasureAllreduce(ranks int, rng *stats.RNG) float64 {
+	return e.AllreduceMean(ranks) * rng.LogNormal(0, e.CommSigma)
+}
+
+// MaxRankDraws caps how many per-rank noise draws FullRun and the
+// simulator's direct mode evaluate per timestep; beyond this many ranks
+// the per-step maximum is taken over a representative subsample.
+const MaxRankDraws = 65536
+
+// StepMax returns one "machine step time": the maximum of `ranks`
+// independent noisy draws around mean (each rank's compute time varies;
+// the step completes when the slowest rank arrives at the allreduce).
+// The same semantics are used by the BE-SST simulator so that model
+// error, not synchronization-semantics mismatch, dominates validation
+// error.
+func StepMax(mean, sigma float64, ranks int, rng *stats.RNG) float64 {
+	n := ranks
+	if n > MaxRankDraws {
+		n = MaxRankDraws
+	}
+	if n < 1 {
+		n = 1
+	}
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		if v := rng.LogNormal(0, sigma); v > worst {
+			worst = v
+		}
+	}
+	return mean * worst
+}
+
+// FullRun executes a complete LULESH+FTI run "on the machine",
+// timestep by timestep — the measured side of the paper's Figs 7-8
+// full-system validation. Compute blocks take the per-step maximum over
+// per-rank noise draws (the step ends when the slowest rank reaches the
+// allreduce); checkpoint instances take one coordinated, instance-level
+// draw. It returns the cumulative runtime after each timestep.
+func (e *Emulator) FullRun(epr, ranks, timesteps int, sc lulesh.Scenario, rng *stats.RNG) []float64 {
+	cum := make([]float64, timesteps)
+	total := 0.0
+	tsMean := e.LuleshTimestepMean(epr, ranks)
+	for step := 0; step < timesteps; step++ {
+		total += StepMax(tsMean, e.TimestepSigma, ranks, rng)
+		total += e.MeasureAllreduce(ranks, rng)
+		for _, s := range sc.Schedules {
+			if step%s.Period == s.Period-1 {
+				total += e.MeasureCkpt(s.Level, epr, ranks, rng)
+			}
+		}
+		cum[step] = total
+	}
+	return cum
+}
+
+// CGIterationMean returns the mean cost of one miniCG iteration for a
+// local grid size n and rank count: a memory-bound 27-point SpMV plus
+// vector updates. CG is bandwidth-limited, so the per-row cost is set
+// by sustained memory bandwidth (approximated from the compute rate),
+// with the same scale-jitter amplification as other kernels.
+func (e *Emulator) CGIterationMean(n, ranks int) float64 {
+	rows := float64(minicgRows(n))
+	// 27 nonzeros x 16 bytes (value+index) + 5 vector touches x 8B.
+	bytesPerRow := 27.0*16 + 5*8
+	memBW := e.M.CoreGFLOPS * 1e9 / 2 // bytes/s, DRAM-bound estimate
+	iter := rows * bytesPerRow / memBW
+	if ranks > 1 {
+		iter *= 1 + e.JitterPerLog2Ranks*log2(float64(ranks))
+	}
+	halo := e.net.NearestNeighbor(6, int64(n)*int64(n)*8)
+	return iter + halo
+}
+
+func minicgRows(n int) int64 {
+	if n <= 0 {
+		panic("groundtruth: non-positive CG problem size")
+	}
+	v := int64(n)
+	return v * v * v
+}
+
+// MeasureCGIteration draws one noisy miniCG iteration measurement.
+func (e *Emulator) MeasureCGIteration(n, ranks int, rng *stats.RNG) float64 {
+	return e.CGIterationMean(n, ranks) * rng.LogNormal(0, e.TimestepSigma)
+}
+
+// CmtTimestepMean returns the mean CMT-bone timestep cost for a
+// problem size (elements per rank) and rank count.
+func (e *Emulator) CmtTimestepMean(psize, ranks int) float64 {
+	elems := float64(cmtElements(psize))
+	compute := elems * e.CmtFlopsPerElement / (e.M.CoreGFLOPS * 1e9)
+	if ranks > 1 {
+		compute *= 1 + e.JitterPerLog2Ranks*log2(float64(ranks))
+	}
+	face := e.net.NearestNeighbor(6, 5*5*5*8)
+	all := e.net.Allreduce(ranks, 8)
+	return compute + face + all
+}
+
+func cmtElements(psize int) int64 {
+	if psize <= 0 {
+		panic("groundtruth: non-positive CMT-bone problem size")
+	}
+	return int64(psize)
+}
+
+// MeasureCmtTimestep draws one noisy CMT-bone timestep measurement.
+func (e *Emulator) MeasureCmtTimestep(psize, ranks int, rng *stats.RNG) float64 {
+	return e.CmtTimestepMean(psize, ranks) * rng.LogNormal(0, e.TimestepSigma)
+}
+
+// CmtFullRun measures a complete CMT-bone run of the given length, with
+// the same per-step slowest-rank semantics as FullRun. It returns the
+// total runtime — the measured side of Fig 1's benchmark points.
+func (e *Emulator) CmtFullRun(psize, ranks, timesteps int, rng *stats.RNG) float64 {
+	mean := e.CmtTimestepMean(psize, ranks)
+	total := 0.0
+	for step := 0; step < timesteps; step++ {
+		total += StepMax(mean, e.TimestepSigma, ranks, rng)
+	}
+	return total
+}

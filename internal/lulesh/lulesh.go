@@ -1,0 +1,177 @@
+// Package lulesh generates the AppBEO for the Livermore Unstructured
+// Lagrangian Explicit Shock Hydrodynamics proxy application used in the
+// paper's case study. It encodes LULESH's parameter rules (one cubic
+// subdomain per rank, so the rank count must be a perfect cube; the
+// problem size is elements per rank, epr, the edge length of each
+// rank's cubic subdomain) and its control flow: a timestep loop of
+// compute-dominant work with a small halo exchange and the global
+// time-constraint allreduce, plus optional FTI checkpoint blocks — the
+// Fig 3 "fault-tolerance aware iterative solver" structure.
+package lulesh
+
+import (
+	"fmt"
+	"math"
+
+	"besst/internal/beo"
+	"besst/internal/fti"
+	"besst/internal/perfmodel"
+)
+
+// Op names bound in the ArchBEO.
+const (
+	OpTimestep = "lulesh_timestep"
+	// OpTimestepABFT is the algorithm-based fault-tolerant timestep
+	// variant: checksummed element kernels that detect/correct silent
+	// data corruption at extra compute cost, the alternate-algorithm
+	// DSE axis of the paper's Co-Design discussion.
+	OpTimestepABFT = "lulesh_timestep_abft"
+	OpCkptL1       = "fti_ckpt_l1"
+	OpCkptL2       = "fti_ckpt_l2"
+	OpCkptL3       = "fti_ckpt_l3"
+	OpCkptL4       = "fti_ckpt_l4"
+)
+
+// CkptOp returns the op name for an FTI level.
+func CkptOp(l fti.Level) string {
+	switch l {
+	case fti.L1:
+		return OpCkptL1
+	case fti.L2:
+		return OpCkptL2
+	case fti.L3:
+		return OpCkptL3
+	case fti.L4:
+		return OpCkptL4
+	default:
+		panic(fmt.Sprintf("lulesh: %v", l))
+	}
+}
+
+// IsPerfectCube reports whether n is a positive perfect cube — LULESH's
+// rank-count requirement ("8, 27, 64, ...").
+func IsPerfectCube(n int) bool {
+	if n <= 0 {
+		return false
+	}
+	r := int(math.Round(math.Cbrt(float64(n))))
+	for _, c := range []int{r - 1, r, r + 1} {
+		if c > 0 && c*c*c == n {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidRanks returns the rank counts up to max that satisfy both
+// LULESH's perfect-cube rule and FTI's divisibility rule (a multiple of
+// group_size*node_size) — the paper's "every perfect cube number of
+// ranks that is evenly divisible by 8".
+func ValidRanks(max int, cfg fti.Config) []int {
+	var out []int
+	for c := 1; c*c*c <= max; c++ {
+		r := c * c * c
+		if cfg.CheckRanks(r) == nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Elements returns the element count per rank for a problem size:
+// epr^3 elements in each rank's cubic subdomain.
+func Elements(epr int) int64 {
+	if epr <= 0 {
+		panic("lulesh: non-positive problem size")
+	}
+	e := int64(epr)
+	return e * e * e
+}
+
+// CheckpointBytes returns the protected state per rank FTI must persist
+// for a problem size: element-centered fields (~13 doubles per element)
+// plus node-centered fields (~7 three-vectors of doubles on the
+// (epr+1)^3 nodal grid), matching the LULESH_FTI protect list.
+func CheckpointBytes(epr int) int64 {
+	elems := Elements(epr)
+	n := int64(epr + 1)
+	nodes := n * n * n
+	return elems*13*8 + nodes*7*3*8
+}
+
+// HaloBytes returns the per-neighbor halo-exchange payload of one
+// timestep: three nodal fields on one face of the subdomain.
+func HaloBytes(epr int) int64 {
+	n := int64(epr + 1)
+	return n * n * 3 * 8
+}
+
+// CkptSchedule configures one checkpoint level within a scenario.
+type CkptSchedule struct {
+	Level  fti.Level
+	Period int // timesteps between checkpoints
+}
+
+// Scenario is one fault-tolerance configuration of the case study:
+// which levels checkpoint, and how often.
+type Scenario struct {
+	Name      string
+	Schedules []CkptSchedule
+}
+
+// The paper's three full-system scenarios (Figs 7-8): no fault
+// tolerance, Level 1 checkpointing, and Levels 1 & 2 — all with a
+// checkpoint period of 40 timesteps.
+var (
+	ScenarioNoFT = Scenario{Name: "No FT"}
+	ScenarioL1   = Scenario{Name: "L1", Schedules: []CkptSchedule{{Level: fti.L1, Period: 40}}}
+	ScenarioL1L2 = Scenario{Name: "L1 & L2", Schedules: []CkptSchedule{
+		{Level: fti.L1, Period: 40}, {Level: fti.L2, Period: 40},
+	}}
+)
+
+// App builds the LULESH AppBEO for the given problem size, rank count,
+// timestep count, and fault-tolerance scenario. It panics on parameter
+// combinations LULESH or FTI reject, mirroring the real launchers.
+func App(epr, ranks, timesteps int, sc Scenario, cfg fti.Config) *beo.AppBEO {
+	if !IsPerfectCube(ranks) {
+		panic(fmt.Sprintf("lulesh: ranks %d is not a perfect cube", ranks))
+	}
+	if len(sc.Schedules) > 0 {
+		if err := cfg.CheckRanks(ranks); err != nil {
+			panic(err)
+		}
+	}
+	if timesteps <= 0 {
+		panic("lulesh: non-positive timestep count")
+	}
+	params := perfmodel.Params{"epr": float64(epr), "ranks": float64(ranks)}
+
+	body := []beo.Instr{
+		beo.Comp{Op: OpTimestep, Params: params},
+		// Face-neighbor halo exchange (up to 6 neighbors) and the
+		// global dt allreduce every timestep.
+		beo.Comm{Pattern: beo.Halo, Bytes: HaloBytes(epr), Neighbors: 6},
+		beo.Comm{Pattern: beo.Allreduce, Bytes: 8},
+	}
+	for _, s := range sc.Schedules {
+		if s.Period <= 0 {
+			panic("lulesh: non-positive checkpoint period")
+		}
+		body = append(body, beo.Periodic{
+			Period: s.Period,
+			// Checkpoint at the END of each period (iterations
+			// period-1, 2*period-1, ...), not at timestep 0.
+			Offset: s.Period - 1,
+			Body: []beo.Instr{
+				beo.Ckpt{Op: CkptOp(s.Level), Level: s.Level, Params: params},
+			},
+		})
+	}
+
+	return &beo.AppBEO{
+		Name:    fmt.Sprintf("LULESH_FTI(epr=%d, ranks=%d, %s)", epr, ranks, sc.Name),
+		Ranks:   ranks,
+		Program: []beo.Instr{beo.Loop{Count: timesteps, Body: body}},
+	}
+}

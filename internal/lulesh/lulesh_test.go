@@ -1,0 +1,157 @@
+package lulesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"besst/internal/beo"
+	"besst/internal/fti"
+)
+
+var cfg = fti.Config{GroupSize: 4, NodeSize: 2}
+
+func TestIsPerfectCube(t *testing.T) {
+	for _, n := range []int{1, 8, 27, 64, 216, 512, 1000, 1331} {
+		if !IsPerfectCube(n) {
+			t.Fatalf("%d should be a cube", n)
+		}
+	}
+	for _, n := range []int{0, -8, 2, 9, 100, 999} {
+		if IsPerfectCube(n) {
+			t.Fatalf("%d should not be a cube", n)
+		}
+	}
+}
+
+func TestIsPerfectCubeProperty(t *testing.T) {
+	f := func(c uint8) bool {
+		n := int(c%100) + 1
+		return IsPerfectCube(n * n * n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidRanksMatchesPaper(t *testing.T) {
+	// Paper Table II: every perfect cube divisible by 8, up to 1000.
+	got := ValidRanks(1000, cfg)
+	want := []int{8, 64, 216, 512, 1000}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestElementsAndBytes(t *testing.T) {
+	if Elements(5) != 125 {
+		t.Fatalf("elements = %d", Elements(5))
+	}
+	// Checkpoint bytes grow strictly with epr and are cubic-ish.
+	prev := int64(0)
+	for epr := 5; epr <= 30; epr += 5 {
+		b := CheckpointBytes(epr)
+		if b <= prev {
+			t.Fatalf("checkpoint bytes not increasing at epr %d", epr)
+		}
+		prev = b
+	}
+	r := float64(CheckpointBytes(20)) / float64(CheckpointBytes(10))
+	if r < 6 || r > 10 { // ~2^3 with nodal correction
+		t.Fatalf("checkpoint scaling ratio %v not cubic-like", r)
+	}
+}
+
+func TestHaloBytesQuadratic(t *testing.T) {
+	r := float64(HaloBytes(20)) / float64(HaloBytes(10))
+	if r < 3 || r > 5 {
+		t.Fatalf("halo scaling %v not quadratic-like", r)
+	}
+}
+
+func TestCkptOpNames(t *testing.T) {
+	if CkptOp(fti.L1) != OpCkptL1 || CkptOp(fti.L4) != OpCkptL4 {
+		t.Fatal("op name mapping wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CkptOp(fti.Level(9))
+}
+
+func TestAppNoFT(t *testing.T) {
+	app := App(15, 64, 200, ScenarioNoFT, cfg)
+	if app.Ranks != 64 {
+		t.Fatal("ranks wrong")
+	}
+	ops := app.Ops()
+	if !ops[OpTimestep] {
+		t.Fatal("timestep op missing")
+	}
+	if ops[OpCkptL1] || ops[OpCkptL2] {
+		t.Fatal("no-FT scenario should have no checkpoint ops")
+	}
+	// 200 * (timestep + halo + allreduce).
+	if got := app.CountInstr(); got != 600 {
+		t.Fatalf("instr count = %d, want 600", got)
+	}
+}
+
+func TestAppL1CheckpointCadence(t *testing.T) {
+	app := App(10, 64, 200, ScenarioL1, cfg)
+	// 200 timesteps, period 40, offset 39 -> checkpoints at 39, 79,
+	// 119, 159, 199: 5 instances.
+	want := 600 + 5
+	if got := app.CountInstr(); got != want {
+		t.Fatalf("instr count = %d, want %d", got, want)
+	}
+}
+
+func TestAppL1L2BothLevels(t *testing.T) {
+	app := App(10, 64, 200, ScenarioL1L2, cfg)
+	ops := app.Ops()
+	if !ops[OpCkptL1] || !ops[OpCkptL2] {
+		t.Fatal("both checkpoint levels should appear")
+	}
+	want := 600 + 10 // 5 instances each of L1 and L2
+	if got := app.CountInstr(); got != want {
+		t.Fatalf("instr count = %d, want %d", got, want)
+	}
+}
+
+func TestAppRejectsNonCubeRanks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	App(10, 100, 10, ScenarioNoFT, cfg)
+}
+
+func TestAppRejectsFTIIncompatibleRanks(t *testing.T) {
+	// 27 is a cube but not a multiple of 8: fine without FT,
+	// rejected with checkpointing.
+	App(10, 27, 10, ScenarioNoFT, cfg) // should not panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	App(10, 27, 10, ScenarioL1, cfg)
+}
+
+func TestAppParamsPropagate(t *testing.T) {
+	app := App(20, 512, 10, ScenarioL1, cfg)
+	var comp beo.Comp
+	loop := app.Program[0].(beo.Loop)
+	comp = loop.Body[0].(beo.Comp)
+	if comp.Params.Get("epr") != 20 || comp.Params.Get("ranks") != 512 {
+		t.Fatalf("params = %v", comp.Params)
+	}
+}

@@ -1,0 +1,209 @@
+// Package machine holds the system descriptions FT-BESST simulates:
+// LLNL Quartz (the paper's case-study target), a Vulcan-like BlueGene/Q
+// (the Fig 1 validation target), and a builder for notional machines —
+// hypothetical systems extrapolated from a validated base, the DSE
+// capability highlighted in the paper.
+package machine
+
+import (
+	"fmt"
+
+	"besst/internal/network"
+	"besst/internal/storage"
+	"besst/internal/topo"
+)
+
+// Machine is a complete coarse-grained system description: the
+// architecture side of an ArchBEO. Performance models are attached
+// separately (package beo); Machine carries only physical parameters.
+type Machine struct {
+	Name         string
+	Nodes        int
+	CoresPerNode int
+	MemPerNode   int64 // bytes
+
+	Topology topo.Topology
+	Net      network.Params
+	Disk     storage.LocalDisk
+	PFS      storage.PFS
+
+	// CoreGFLOPS is the per-core sustained compute rate used by
+	// ground-truth cost functions, in GFLOP/s.
+	CoreGFLOPS float64
+
+	// NodeMTBFHours is the mean time between failures of a single
+	// node in hours, for fault-injection studies (Cases 2 and 4 of
+	// the paper's Fig 4).
+	NodeMTBFHours float64
+
+	// RecoverySeconds is the time to replace/reboot a failed node and
+	// relaunch the job, before any checkpoint restore I/O.
+	RecoverySeconds float64
+}
+
+// Validate panics if the description is not usable.
+func (m *Machine) Validate() {
+	if m.Nodes <= 0 || m.CoresPerNode <= 0 || m.MemPerNode <= 0 {
+		panic(fmt.Sprintf("machine %q: non-positive size parameter", m.Name))
+	}
+	if m.Topology == nil {
+		panic(fmt.Sprintf("machine %q: nil topology", m.Name))
+	}
+	if m.Topology.Nodes() < m.Nodes {
+		panic(fmt.Sprintf("machine %q: topology smaller than node count", m.Name))
+	}
+	if m.CoreGFLOPS <= 0 {
+		panic(fmt.Sprintf("machine %q: non-positive compute rate", m.Name))
+	}
+	m.Net.Validate()
+	m.Disk.Validate()
+	m.PFS.Validate()
+}
+
+// TotalCores returns Nodes * CoresPerNode.
+func (m *Machine) TotalCores() int { return m.Nodes * m.CoresPerNode }
+
+// Network returns the machine's network cost model.
+func (m *Machine) Network() *network.Model {
+	return network.New(m.Topology, m.Net)
+}
+
+// NodeOfRank maps an MPI rank to its node under block placement with
+// ranksPerNode ranks packed per node.
+func (m *Machine) NodeOfRank(rank, ranksPerNode int) int {
+	if ranksPerNode <= 0 {
+		panic("machine: non-positive ranks per node")
+	}
+	return rank / ranksPerNode
+}
+
+// Quartz returns the description of LLNL's Quartz used in the case
+// study: 2,988 nodes, 2x Intel Xeon E5-2695v4 (36 cores total), 128 GB
+// per node, two-stage bidirectional fat tree with Omni-Path (100 Gb/s).
+func Quartz() *Machine {
+	const nodesPerEdge = 32
+	edges := (2988 + nodesPerEdge - 1) / nodesPerEdge // 94 edge switches
+	m := &Machine{
+		Name:         "Quartz",
+		Nodes:        2988,
+		CoresPerNode: 36,
+		MemPerNode:   128 << 30,
+		Topology:     topo.NewFatTree(nodesPerEdge, edges, 16),
+		Net: network.Params{
+			InjectionOverhead: 1.2e-6,
+			HopLatency:        110e-9,
+			LinkBandwidth:     12.5e9, // 100 Gb/s Omni-Path
+			EagerLimit:        8192,
+		},
+		Disk: storage.LocalDisk{
+			Latency:   0.8e-3,
+			Bandwidth: 0.9e9, // node-local scratch SSD-class
+			// Small checkpoint bursts absorb into the device write
+			// cache; large files stream at raw bandwidth.
+			CacheBytes:   3 << 20,
+			CacheSpeedup: 6,
+		},
+		PFS: storage.PFS{
+			Latency:            6e-3,
+			AggregateBandwidth: 80e9, // Lustre-class aggregate
+			PerClientBandwidth: 2.5e9,
+		},
+		CoreGFLOPS:      16, // E5-2695v4 sustained per-core
+		NodeMTBFHours:   20000,
+		RecoverySeconds: 120,
+	}
+	m.Validate()
+	return m
+}
+
+// Vulcan returns a BlueGene/Q-like description of LLNL's Vulcan (24,576
+// nodes, 16 cores each, 5-D torus), used for the Fig 1 reproduction.
+func Vulcan() *Machine {
+	m := &Machine{
+		Name:         "Vulcan",
+		Nodes:        24576,
+		CoresPerNode: 16,
+		MemPerNode:   16 << 30,
+		Topology:     topo.NewTorus(8, 8, 8, 8, 6), // 24576 nodes
+		Net: network.Params{
+			InjectionOverhead: 2.0e-6,
+			HopLatency:        40e-9,
+			LinkBandwidth:     2e9, // 2 GB/s per BG/Q torus link
+			EagerLimit:        512,
+		},
+		Disk: storage.LocalDisk{
+			Latency:      1.5e-3,
+			Bandwidth:    0.4e9,
+			CacheBytes:   2 << 20,
+			CacheSpeedup: 4,
+		},
+		PFS: storage.PFS{
+			Latency:            8e-3,
+			AggregateBandwidth: 40e9,
+			PerClientBandwidth: 1.2e9,
+		},
+		CoreGFLOPS:      12.8,
+		NodeMTBFHours:   50000, // BG/Q was famously reliable
+		RecoverySeconds: 300,
+	}
+	m.Validate()
+	return m
+}
+
+// Notional derives a hypothetical machine from base by scaling its node
+// count and per-node memory — the "notional system" DSE move the paper
+// demonstrates (simulating beyond the physical machine size, or with
+// more memory per node for larger problem sizes). The topology is
+// rebuilt to fit.
+func Notional(base *Machine, nodes int, memPerNode int64) *Machine {
+	if nodes <= 0 {
+		panic("machine: non-positive notional node count")
+	}
+	m := *base // shallow copy; immutable sub-configs are safe to share
+	m.Name = fmt.Sprintf("%s-notional(%d nodes)", base.Name, nodes)
+	m.Nodes = nodes
+	if memPerNode > 0 {
+		m.MemPerNode = memPerNode
+	}
+	switch bt := base.Topology.(type) {
+	case *topo.FatTree:
+		nodesPerEdge := 32
+		edges := (nodes + nodesPerEdge - 1) / nodesPerEdge
+		spines := bt.SpineSwitches()
+		if spines < edges/8 {
+			spines = edges / 8
+		}
+		if spines < 1 {
+			spines = 1
+		}
+		m.Topology = topo.NewFatTree(nodesPerEdge, edges, spines)
+	case *topo.Torus:
+		m.Topology = growTorus(bt, nodes)
+	default:
+		panic(fmt.Sprintf("machine: cannot grow topology %T", base.Topology))
+	}
+	m.Validate()
+	return &m
+}
+
+// growTorus returns a torus with at least wantNodes nodes, grown by
+// repeatedly doubling the smallest dimension of the base shape.
+func growTorus(base *topo.Torus, wantNodes int) *topo.Torus {
+	dims := base.Dims()
+	for {
+		n := 1
+		for _, d := range dims {
+			n *= d
+		}
+		if n >= wantNodes {
+			return topo.NewTorus(dims...)
+		}
+		smallest := 0
+		for i, d := range dims {
+			if d < dims[smallest] {
+				smallest = i
+			}
+		}
+		dims[smallest] *= 2
+	}
+}

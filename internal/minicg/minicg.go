@@ -1,0 +1,89 @@
+// Package minicg generates the AppBEO for a conjugate-gradient solver
+// proxy (a miniFE/HPCG-like sparse iterative kernel). It is the second
+// application of this reproduction, demonstrating that the FT-aware
+// workflow is application-agnostic (the paper: "BE-SST is already being
+// used to study multiple applications").
+//
+// CG's profile contrasts with LULESH's: each iteration is a sparse
+// matrix-vector product (memory-bound, modest flops) plus TWO global
+// dot-product allreduces, so communication grows with scale much faster
+// than LULESH's single allreduce; and its protected state (three
+// vectors) is far smaller than LULESH's field set, so checkpointing is
+// comparatively cheap — a different corner of the FT design space.
+package minicg
+
+import (
+	"fmt"
+
+	"besst/internal/beo"
+	"besst/internal/fti"
+	"besst/internal/perfmodel"
+)
+
+// Op names bound in the ArchBEO.
+const (
+	OpIteration = "minicg_iteration"
+	OpCkptL1    = "fti_ckpt_l1" // shares the FTI instance models
+)
+
+// RowsPerRank is the local matrix dimension for a problem-size
+// parameter n (n^3 grid points per rank, 27-point stencil).
+func RowsPerRank(n int) int64 {
+	if n <= 0 {
+		panic("minicg: non-positive problem size")
+	}
+	v := int64(n)
+	return v * v * v
+}
+
+// CheckpointBytes returns the protected state per rank: the solution,
+// residual, and search-direction vectors (three doubles per row).
+func CheckpointBytes(n int) int64 {
+	return RowsPerRank(n) * 3 * 8
+}
+
+// HaloBytes returns the per-neighbor halo payload of the SpMV: one
+// face of the local grid.
+func HaloBytes(n int) int64 {
+	v := int64(n)
+	return v * v * 8
+}
+
+// App builds the CG AppBEO: iterations of SpMV + halo + two dot-product
+// allreduces, with optional L1 checkpointing every `period` iterations
+// (0 disables checkpointing).
+func App(n, ranks, iterations, period int, cfg fti.Config) *beo.AppBEO {
+	if ranks <= 0 || iterations <= 0 {
+		panic("minicg: non-positive ranks or iterations")
+	}
+	RowsPerRank(n) // validates n
+	if period > 0 {
+		if err := cfg.CheckRanks(ranks); err != nil {
+			panic(err)
+		}
+	}
+	params := perfmodel.Params{"n": float64(n), "ranks": float64(ranks)}
+	body := []beo.Instr{
+		beo.Comp{Op: OpIteration, Params: params},
+		beo.Comm{Pattern: beo.Halo, Bytes: HaloBytes(n), Neighbors: 6},
+		// CG needs two global reductions per iteration (alpha and
+		// beta), which is what makes it communication-sensitive.
+		beo.Comm{Pattern: beo.Allreduce, Bytes: 8},
+		beo.Comm{Pattern: beo.Allreduce, Bytes: 8},
+	}
+	if period > 0 {
+		body = append(body, beo.Periodic{
+			Period: period,
+			Offset: period - 1,
+			Body: []beo.Instr{
+				beo.Ckpt{Op: OpCkptL1, Level: fti.L1, Params: params},
+			},
+		})
+	}
+	name := fmt.Sprintf("miniCG(n=%d, ranks=%d)", n, ranks)
+	return &beo.AppBEO{
+		Name:    name,
+		Ranks:   ranks,
+		Program: []beo.Instr{beo.Loop{Count: iterations, Body: body}},
+	}
+}

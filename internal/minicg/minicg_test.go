@@ -1,0 +1,122 @@
+package minicg
+
+import (
+	"testing"
+
+	"besst/internal/benchdata"
+	"besst/internal/beo"
+	"besst/internal/besst"
+	"besst/internal/fti"
+	"besst/internal/groundtruth"
+	"besst/internal/lulesh"
+	"besst/internal/perfmodel"
+	"besst/internal/stats"
+	"besst/internal/workflow"
+)
+
+var cfg = fti.Config{GroupSize: 4, NodeSize: 2}
+
+func TestSizes(t *testing.T) {
+	if RowsPerRank(10) != 1000 {
+		t.Fatal("rows wrong")
+	}
+	if CheckpointBytes(10) != 1000*24 {
+		t.Fatal("checkpoint bytes wrong")
+	}
+	if HaloBytes(10) != 100*8 {
+		t.Fatal("halo bytes wrong")
+	}
+}
+
+func TestAppStructure(t *testing.T) {
+	app := App(16, 64, 100, 25, cfg)
+	if app.Ranks != 64 {
+		t.Fatal("ranks wrong")
+	}
+	ops := app.Ops()
+	if !ops[OpIteration] || !ops[OpCkptL1] {
+		t.Fatalf("ops = %v", ops)
+	}
+	// 100*(iter + halo + 2 allreduce) + 4 checkpoints.
+	if got := app.CountInstr(); got != 404 {
+		t.Fatalf("count = %d, want 404", got)
+	}
+}
+
+func TestAppNoCheckpoint(t *testing.T) {
+	app := App(16, 64, 50, 0, cfg)
+	if app.Ops()[OpCkptL1] {
+		t.Fatal("period 0 should disable checkpointing")
+	}
+}
+
+func TestAppPanics(t *testing.T) {
+	cases := []func(){
+		func() { App(0, 64, 10, 0, cfg) },
+		func() { App(16, 0, 10, 0, cfg) },
+		func() { App(16, 64, 0, 0, cfg) },
+		func() { App(16, 27, 10, 5, cfg) }, // 27 not FTI-divisible
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestCGEndToEnd runs the whole workflow on the second application:
+// benchmark the CG iteration on the ground truth, fit a model, and
+// simulate a checkpointed run — demonstrating application-agnosticism.
+func TestCGEndToEnd(t *testing.T) {
+	em := groundtruth.NewQuartz()
+	campaign := &benchdata.Campaign{}
+	rng := stats.NewRNG(77)
+	for _, n := range []int{8, 16, 24} {
+		for _, ranks := range []int{8, 64, 512} {
+			p := perfmodel.Params{"n": float64(n), "ranks": float64(ranks)}
+			for i := 0; i < 6; i++ {
+				campaign.Add(OpIteration, p, em.MeasureCGIteration(n, ranks, rng))
+				campaign.Add(OpCkptL1, p,
+					em.Cost.InstanceTime(fti.L1, ranks, CheckpointBytes(n)))
+			}
+		}
+	}
+	models := workflow.Develop(campaign, workflow.SymbolicRegression, []string{"n", "ranks"}, 5)
+	iterRep := models.Report(OpIteration)
+	if iterRep.ValidationMAPE > 12 {
+		t.Fatalf("CG iteration model MAPE %v out of band", iterRep.ValidationMAPE)
+	}
+
+	app := App(16, 64, 100, 25, cfg)
+	arch := beo.NewArchBEO(em.M, cfg.NodeSize)
+	for op, m := range models.ByOp {
+		arch.Bind(op, m)
+	}
+	res := besst.Simulate(app, arch, besst.Options{Mode: besst.DES})
+	if res.Makespan <= 0 || len(res.CkptTimes) != 4 {
+		t.Fatalf("bad result: makespan %v, %d ckpts", res.Makespan, len(res.CkptTimes))
+	}
+	// CG's two allreduces per iteration make comm a visible share.
+	if res.Breakdown.CommSec <= 0 {
+		t.Fatal("comm share missing")
+	}
+}
+
+// TestCGCheckpointCheaperThanLulesh confirms the contrast the package
+// exists to show: CG's protected state (3 vectors) is far smaller than
+// LULESH's field set at comparable local sizes, so its L1 instance is
+// far cheaper — a different corner of the FT design space.
+func TestCGCheckpointCheaperThanLulesh(t *testing.T) {
+	em := groundtruth.NewQuartz()
+	// Comparable local volumes: epr 20 -> 8000 elements; n 20 -> 8000 rows.
+	cg := em.Cost.InstanceTime(fti.L1, 512, CheckpointBytes(20))
+	lu := em.Cost.InstanceTime(fti.L1, 512, lulesh.CheckpointBytes(20))
+	if cg >= lu {
+		t.Fatalf("CG checkpoint %v should undercut LULESH's %v", cg, lu)
+	}
+}

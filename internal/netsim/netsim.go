@@ -1,0 +1,231 @@
+// Package netsim is a flow-level network simulator: the "finer-grained
+// simulator" tier of the paper's MODSIM spectrum, one step below the
+// analytic alpha-beta model of package network. Flows share link
+// bandwidth max-min fairly; as flows finish, capacity is redistributed
+// and remaining flows speed up — the dynamics the coarse model's
+// "most-contended link" approximation ignores.
+//
+// BE-SST's workflow uses exactly this kind of tool to re-examine the
+// design-space regions the coarse models flag (the Figs 5A/5D/6D
+// discussion); the ablation bench compares the two tiers directly.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"besst/internal/topo"
+)
+
+// Flow describes one transfer.
+type Flow struct {
+	Src, Dst int
+	Bytes    int64
+	// Start is the injection time in seconds (flows may stagger).
+	Start float64
+}
+
+// Result reports one flow's outcome.
+type Result struct {
+	Flow
+	// FinishSec is the completion time (transfer end plus propagation).
+	FinishSec float64
+}
+
+// Config parameterizes the fabric.
+type Config struct {
+	// LinkBandwidth is each link's capacity in bytes/second.
+	LinkBandwidth float64
+	// BaseLatency is the fixed per-flow latency in seconds (injection
+	// plus propagation), added to the bandwidth-sharing time.
+	BaseLatency float64
+}
+
+// Validate panics on nonsense.
+func (c Config) Validate() {
+	if c.LinkBandwidth <= 0 || c.BaseLatency < 0 {
+		panic("netsim: invalid Config")
+	}
+}
+
+type simFlow struct {
+	idx       int
+	route     []topo.LinkID
+	remaining float64 // bytes
+	start     float64
+	finish    float64
+	rate      float64
+	done      bool
+	started   bool
+}
+
+// Simulate runs all flows to completion over the topology and returns
+// per-flow finish times. Intra-node flows (src == dst) complete at
+// BaseLatency. The algorithm is progressive filling: at each event
+// (flow arrival or completion) rates are recomputed max-min fairly and
+// time advances to the next event.
+func Simulate(t topo.Topology, cfg Config, flows []Flow) []Result {
+	cfg.Validate()
+	sims := make([]*simFlow, len(flows))
+	for i, f := range flows {
+		if f.Bytes < 0 || f.Start < 0 {
+			panic(fmt.Sprintf("netsim: invalid flow %+v", f))
+		}
+		sims[i] = &simFlow{
+			idx:       i,
+			route:     t.Route(f.Src, f.Dst),
+			remaining: float64(f.Bytes),
+			start:     f.Start,
+		}
+	}
+
+	now := 0.0
+	for {
+		// Activate arrivals, collect running flows.
+		var running []*simFlow
+		nextArrival := math.Inf(1)
+		for _, s := range sims {
+			if s.done {
+				continue
+			}
+			if s.start > now {
+				if s.start < nextArrival {
+					nextArrival = s.start
+				}
+				continue
+			}
+			s.started = true
+			if len(s.route) == 0 || s.remaining == 0 {
+				// Intra-node or empty flow: completes at base latency.
+				s.done = true
+				s.finish = s.start + cfg.BaseLatency
+				continue
+			}
+			running = append(running, s)
+		}
+		if len(running) == 0 {
+			if math.IsInf(nextArrival, 1) {
+				break // all done
+			}
+			now = nextArrival
+			continue
+		}
+
+		maxMinRates(running, cfg.LinkBandwidth)
+
+		// Advance to the earliest completion or arrival.
+		nextEvent := nextArrival
+		for _, s := range running {
+			if c := now + s.remaining/s.rate; c < nextEvent {
+				nextEvent = c
+			}
+		}
+		dt := nextEvent - now
+		for _, s := range running {
+			s.remaining -= s.rate * dt
+			if s.remaining <= 1e-6 {
+				s.remaining = 0
+				s.done = true
+				s.finish = nextEvent + cfg.BaseLatency
+			}
+		}
+		now = nextEvent
+	}
+
+	out := make([]Result, len(flows))
+	for i, s := range sims {
+		out[i] = Result{Flow: flows[i], FinishSec: s.finish}
+	}
+	return out
+}
+
+// maxMinRates assigns max-min fair rates to the running flows:
+// repeatedly find the bottleneck link (smallest equal share among its
+// unfrozen flows), freeze its flows at that share, subtract, repeat.
+func maxMinRates(running []*simFlow, linkBW float64) {
+	type linkState struct {
+		capacity float64
+		flows    []*simFlow
+	}
+	links := map[topo.LinkID]*linkState{}
+	for _, s := range running {
+		s.rate = 0
+		for _, l := range s.route {
+			ls := links[l]
+			if ls == nil {
+				ls = &linkState{capacity: linkBW}
+				links[l] = ls
+			}
+			ls.flows = append(ls.flows, s)
+		}
+	}
+	frozen := map[*simFlow]bool{}
+	for len(frozen) < len(running) {
+		// Find the bottleneck link.
+		var bottleneck *linkState
+		bottleneckShare := math.Inf(1)
+		for _, ls := range links {
+			n := 0
+			for _, f := range ls.flows {
+				if !frozen[f] {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			share := ls.capacity / float64(n)
+			if share < bottleneckShare {
+				bottleneckShare = share
+				bottleneck = ls
+			}
+		}
+		if bottleneck == nil {
+			// Flows with no unfrozen constrained links (cannot happen
+			// while every running flow has a route); guard anyway.
+			for _, s := range running {
+				if !frozen[s] {
+					s.rate = linkBW
+					frozen[s] = true
+				}
+			}
+			break
+		}
+		// Freeze this link's unfrozen flows at the bottleneck share.
+		for _, f := range bottleneck.flows {
+			if frozen[f] {
+				continue
+			}
+			f.rate = bottleneckShare
+			frozen[f] = true
+			// Subtract its rate from every other link it crosses.
+			for _, l := range f.route {
+				ls := links[l]
+				if ls != bottleneck {
+					ls.capacity -= bottleneckShare
+					if ls.capacity < 0 {
+						ls.capacity = 0
+					}
+				}
+			}
+		}
+		bottleneck.capacity = 0
+	}
+}
+
+// Makespan returns the latest finish time of the results.
+func Makespan(rs []Result) float64 {
+	worst := 0.0
+	for _, r := range rs {
+		if r.FinishSec > worst {
+			worst = r.FinishSec
+		}
+	}
+	return worst
+}
+
+// SortByFinish orders results by completion time (diagnostics).
+func SortByFinish(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].FinishSec < rs[j].FinishSec })
+}

@@ -1,0 +1,176 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"besst/internal/network"
+	"besst/internal/stats"
+	"besst/internal/topo"
+)
+
+var testCfg = Config{LinkBandwidth: 1e9, BaseLatency: 1e-6}
+
+func fat() *topo.FatTree { return topo.NewFatTree(4, 4, 2) }
+
+func TestSingleFlowBandwidthBound(t *testing.T) {
+	rs := Simulate(fat(), testCfg, []Flow{{Src: 0, Dst: 1, Bytes: 1e9}})
+	// 1 GB at 1 GB/s over uncontended links + latency.
+	want := 1.0 + 1e-6
+	if math.Abs(rs[0].FinishSec-want) > 1e-9 {
+		t.Fatalf("finish = %v, want %v", rs[0].FinishSec, want)
+	}
+}
+
+func TestIntraNodeFlowIsLatencyOnly(t *testing.T) {
+	rs := Simulate(fat(), testCfg, []Flow{{Src: 2, Dst: 2, Bytes: 1e12}})
+	if rs[0].FinishSec != 1e-6 {
+		t.Fatalf("finish = %v", rs[0].FinishSec)
+	}
+}
+
+func TestTwoFlowsShareSourceUplink(t *testing.T) {
+	// Same source node: both flows cross the node's uplink.
+	rs := Simulate(fat(), testCfg, []Flow{
+		{Src: 0, Dst: 4, Bytes: 1e9},
+		{Src: 0, Dst: 8, Bytes: 1e9},
+	})
+	// Fair share halves the rate: both finish at ~2s.
+	for _, r := range rs {
+		if math.Abs(r.FinishSec-2.0) > 1e-3 {
+			t.Fatalf("finish = %v, want ~2", r.FinishSec)
+		}
+	}
+}
+
+func TestShortFlowFreesCapacity(t *testing.T) {
+	// A short and a long flow share the uplink; once the short one
+	// finishes, the long one speeds up. Total: the pair moves 1.5 GB
+	// through a 1 GB/s link -> the long flow finishes at ~1.5s, far
+	// below the naive always-halved estimate of 2s.
+	rs := Simulate(fat(), testCfg, []Flow{
+		{Src: 0, Dst: 4, Bytes: 5e8},
+		{Src: 0, Dst: 8, Bytes: 1e9},
+	})
+	if math.Abs(rs[0].FinishSec-1.0) > 1e-3 { // short: 0.5GB at half rate
+		t.Fatalf("short flow finish = %v, want ~1", rs[0].FinishSec)
+	}
+	if math.Abs(rs[1].FinishSec-1.5) > 1e-3 {
+		t.Fatalf("long flow finish = %v, want ~1.5", rs[1].FinishSec)
+	}
+}
+
+func TestStaggeredArrival(t *testing.T) {
+	rs := Simulate(fat(), testCfg, []Flow{
+		{Src: 0, Dst: 4, Bytes: 1e9},
+		{Src: 0, Dst: 8, Bytes: 1e9, Start: 10},
+	})
+	// First flow finishes alone at ~1s, well before the second starts.
+	if math.Abs(rs[0].FinishSec-1.0) > 1e-3 {
+		t.Fatalf("first = %v", rs[0].FinishSec)
+	}
+	if math.Abs(rs[1].FinishSec-11.0) > 1e-3 {
+		t.Fatalf("second = %v", rs[1].FinishSec)
+	}
+}
+
+func TestDisjointFlowsFullRate(t *testing.T) {
+	rs := Simulate(fat(), testCfg, []Flow{
+		{Src: 0, Dst: 1, Bytes: 1e9},
+		{Src: 4, Dst: 5, Bytes: 1e9},
+	})
+	for _, r := range rs {
+		if math.Abs(r.FinishSec-(1.0+1e-6)) > 1e-6 {
+			t.Fatalf("disjoint flow slowed: %v", r.FinishSec)
+		}
+	}
+}
+
+func TestMaxMinClassicExample(t *testing.T) {
+	// Three flows on a 2-link line topology built from a torus ring:
+	// flow A crosses links 1-2, flow B link 1, flow C link 2. Max-min:
+	// each link splits between 2 flows -> all rates 0.5.
+	tor := topo.NewTorus(4)
+	// node 0 -> 2 crosses links (0->1),(1->2); 0->1 crosses first;
+	// 1->2 crosses second.
+	rs := Simulate(tor, Config{LinkBandwidth: 1e9}, []Flow{
+		{Src: 0, Dst: 2, Bytes: 1e9},
+		{Src: 0, Dst: 1, Bytes: 1e9},
+		{Src: 1, Dst: 2, Bytes: 1e9},
+	})
+	// B and C share with A; when they finish (at 2s), A has 0 left...
+	// all three at rate 0.5 finish together at ~2s.
+	for i, r := range rs {
+		if math.Abs(r.FinishSec-2.0) > 1e-3 {
+			t.Fatalf("flow %d finish = %v, want ~2", i, r.FinishSec)
+		}
+	}
+}
+
+func TestZeroByteFlow(t *testing.T) {
+	rs := Simulate(fat(), testCfg, []Flow{{Src: 0, Dst: 4, Bytes: 0}})
+	if rs[0].FinishSec != 1e-6 {
+		t.Fatalf("finish = %v", rs[0].FinishSec)
+	}
+}
+
+func TestSimulateNeverSlowerThanAnalyticBound(t *testing.T) {
+	// The analytic model (package network) charges every flow its
+	// most-contended link's full serialization for the whole transfer;
+	// max-min sharing with capacity reuse can only do better (to
+	// within latency-term differences). Property-check on random flow
+	// sets.
+	ft := topo.NewFatTree(8, 8, 4)
+	params := network.Params{
+		InjectionOverhead: 0, HopLatency: 0,
+		LinkBandwidth: 1e9, EagerLimit: 0,
+	}
+	analytic := network.New(ft, params)
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(12) + 2
+		flows := make([]Flow, n)
+		aflows := make([]network.Flow, n)
+		for i := range flows {
+			src := rng.Intn(ft.Nodes())
+			dst := rng.Intn(ft.Nodes())
+			if dst == src {
+				dst = (dst + 1) % ft.Nodes()
+			}
+			bytes := int64(rng.Intn(1<<24) + 1<<16)
+			flows[i] = Flow{Src: src, Dst: dst, Bytes: bytes}
+			aflows[i] = network.Flow{Src: src, Dst: dst, Bytes: bytes}
+		}
+		simMk := Makespan(Simulate(ft, Config{LinkBandwidth: 1e9}, flows))
+		anaMk := analytic.Congested(aflows)
+		if simMk > anaMk*1.001 {
+			t.Fatalf("trial %d: flow-level %v exceeds analytic bound %v", trial, simMk, anaMk)
+		}
+	}
+}
+
+func TestSortByFinish(t *testing.T) {
+	rs := []Result{{FinishSec: 3}, {FinishSec: 1}, {FinishSec: 2}}
+	SortByFinish(rs)
+	if rs[0].FinishSec != 1 || rs[2].FinishSec != 3 {
+		t.Fatalf("sort broken: %v", rs)
+	}
+}
+
+func TestInvalidInputsPanic(t *testing.T) {
+	cases := []func(){
+		func() { Simulate(fat(), Config{}, nil) },
+		func() { Simulate(fat(), testCfg, []Flow{{Src: 0, Dst: 1, Bytes: -1}}) },
+		func() { Simulate(fat(), testCfg, []Flow{{Src: 0, Dst: 1, Bytes: 1, Start: -1}}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

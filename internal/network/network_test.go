@@ -1,0 +1,217 @@
+package network
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"besst/internal/topo"
+)
+
+func testModel() *Model {
+	return New(topo.NewFatTree(4, 4, 2), Params{
+		InjectionOverhead: 1e-6,
+		HopLatency:        100e-9,
+		LinkBandwidth:     12.5e9, // ~100 Gb/s Omni-Path
+		EagerLimit:        4096,
+	})
+}
+
+func TestPointToPointLatencyOnly(t *testing.T) {
+	m := testModel()
+	// Small message below eager limit: alpha + hops*hop.
+	got := m.PointToPoint(0, 1, 64)
+	want := 1e-6 + 2*100e-9
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestPointToPointBandwidthTerm(t *testing.T) {
+	m := testModel()
+	nbytes := int64(1 << 20)
+	got := m.PointToPoint(0, 5, nbytes) // cross-edge: 4 hops
+	want := 1e-6 + 4*100e-9 + float64(nbytes)/12.5e9
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestPointToPointSelfIsCheap(t *testing.T) {
+	m := testModel()
+	self := m.PointToPoint(3, 3, 1<<20)
+	remote := m.PointToPoint(3, 4, 1<<20)
+	if self >= remote {
+		t.Fatalf("intra-node %v should be cheaper than remote %v", self, remote)
+	}
+}
+
+func TestPointToPointMonotoneInSize(t *testing.T) {
+	m := testModel()
+	f := func(a, b uint32) bool {
+		sa, sb := int64(a), int64(b)
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		return m.PointToPoint(0, 9, sa) <= m.PointToPoint(0, 9, sb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointToPointNegativePanics(t *testing.T) {
+	m := testModel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.PointToPoint(0, 1, -1)
+}
+
+func TestCongestedSingleFlowMatchesP2P(t *testing.T) {
+	m := testModel()
+	f := []Flow{{Src: 0, Dst: 9, Bytes: 1 << 20}}
+	got := m.Congested(f)
+	want := m.PointToPoint(0, 9, 1<<20)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestCongestedSharedLinkSlowsDown(t *testing.T) {
+	m := testModel()
+	// Two large flows leaving the same source node share its uplink.
+	shared := m.Congested([]Flow{
+		{Src: 0, Dst: 8, Bytes: 1 << 24},
+		{Src: 0, Dst: 12, Bytes: 1 << 24},
+	})
+	single := m.Congested([]Flow{{Src: 0, Dst: 8, Bytes: 1 << 24}})
+	if shared < 1.9*single {
+		t.Fatalf("shared %v not ~2x single %v", shared, single)
+	}
+}
+
+func TestCongestedDisjointFlowsDoNotInterfere(t *testing.T) {
+	m := testModel()
+	// Flows within different edge switches use disjoint links.
+	pair := m.Congested([]Flow{
+		{Src: 0, Dst: 1, Bytes: 1 << 24},
+		{Src: 4, Dst: 5, Bytes: 1 << 24},
+	})
+	single := m.Congested([]Flow{{Src: 0, Dst: 1, Bytes: 1 << 24}})
+	if math.Abs(pair-single)/single > 1e-12 {
+		t.Fatalf("disjoint flows interfered: %v vs %v", pair, single)
+	}
+}
+
+func TestCongestedEmpty(t *testing.T) {
+	if got := testModel().Congested(nil); got != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBarrierScalesLog(t *testing.T) {
+	m := testModel()
+	if m.Barrier(1) != 0 {
+		t.Fatal("1-rank barrier should be free")
+	}
+	b2 := m.Barrier(2)
+	b16 := m.Barrier(16)
+	if math.Abs(b16/b2-4) > 1e-9 { // log2(16)/log2(2) = 4
+		t.Fatalf("barrier scaling %v", b16/b2)
+	}
+}
+
+func TestAllreduceGrowsWithSizeAndRanks(t *testing.T) {
+	m := testModel()
+	small := m.Allreduce(8, 1<<13)
+	big := m.Allreduce(8, 1<<20)
+	if big <= small {
+		t.Fatal("allreduce should grow with payload")
+	}
+	few := m.Allreduce(8, 1<<20)
+	many := m.Allreduce(64, 1<<20)
+	if many <= few {
+		t.Fatal("allreduce should grow with ranks")
+	}
+	if m.Allreduce(1, 1<<20) != 0 {
+		t.Fatal("1-rank allreduce should be free")
+	}
+}
+
+func TestGatherLinearBandwidth(t *testing.T) {
+	m := testModel()
+	nb := int64(1 << 20)
+	g8 := m.Gather(8, nb)
+	g16 := m.Gather(16, nb)
+	// Bandwidth term dominates at 1 MiB: should nearly double.
+	if g16 < 1.8*g8/2*2-g8 { // loose check: g16 > g8
+		t.Fatal("gather should grow with ranks")
+	}
+	if g16 <= g8 {
+		t.Fatal("gather not monotone in ranks")
+	}
+}
+
+func TestAllToAllQuadraticish(t *testing.T) {
+	m := testModel()
+	nb := int64(1 << 16)
+	a4 := m.AllToAll(4, nb)
+	a8 := m.AllToAll(8, nb)
+	ratio := a8 / a4
+	if math.Abs(ratio-7.0/3.0) > 1e-9 {
+		t.Fatalf("alltoall rounds ratio %v, want 7/3", ratio)
+	}
+}
+
+func TestNearestNeighbor(t *testing.T) {
+	m := testModel()
+	if m.NearestNeighbor(0, 1<<20) != 0 {
+		t.Fatal("0 neighbors should be free")
+	}
+	one := m.NearestNeighbor(1, 1<<20)
+	six := m.NearestNeighbor(6, 1<<20)
+	if six <= one {
+		t.Fatal("halo cost should grow with neighbor count")
+	}
+}
+
+func TestCollectivesNonNegativeProperty(t *testing.T) {
+	m := testModel()
+	f := func(pRaw uint8, nRaw uint16) bool {
+		p := int(pRaw%128) + 1
+		n := int64(nRaw)
+		return m.Barrier(p) >= 0 && m.Allreduce(p, n) >= 0 &&
+			m.Broadcast(p, n) >= 0 && m.Gather(p, n) >= 0 &&
+			m.AllToAll(p, n) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(topo.NewFatTree(1, 1, 1), Params{LinkBandwidth: 0})
+}
+
+func TestTorusBackedModel(t *testing.T) {
+	m := New(topo.NewTorus(4, 4, 2), Params{
+		InjectionOverhead: 2e-6,
+		HopLatency:        50e-9,
+		LinkBandwidth:     2e9,
+		EagerLimit:        512,
+	})
+	if m.PointToPoint(0, 1, 1<<20) <= 0 {
+		t.Fatal("torus p2p should be positive")
+	}
+	if m.Barrier(32) <= m.Barrier(2) {
+		t.Fatal("torus barrier should scale")
+	}
+}

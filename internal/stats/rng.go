@@ -1,0 +1,158 @@
+// Package stats provides the deterministic random-number generation,
+// probability distributions, and summary statistics used throughout the
+// FT-BESST simulator.
+//
+// All randomness in the simulator flows through stats.RNG so that every
+// experiment is reproducible from a single 64-bit seed. The generator is
+// xoshiro256**, seeded through splitmix64 as recommended by its authors;
+// both are implemented here so the repository has no dependency on
+// math/rand's global state or version-dependent stream behaviour.
+package stats
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator (xoshiro256**).
+// The zero value is not valid; construct with NewRNG.
+type RNG struct {
+	s [4]uint64
+	// cached second normal variate from the Box-Muller transform
+	hasGauss bool
+	gauss    float64
+}
+
+// splitmix64 advances the seed and returns the next splitmix64 output.
+// It is used only to expand a 64-bit seed into xoshiro's 256-bit state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+// Distinct seeds yield statistically independent streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// Guard against the (astronomically unlikely) all-zero state, which
+	// is the one fixed point of xoshiro256**.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split returns a new independent generator derived from r's stream.
+// It is the supported way to hand per-component or per-replication
+// streams out of a master seed without correlated sequences.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xa3cc7d5a7f2e19bf)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation would be overkill;
+	// modulo bias is negligible for the n used in this simulator, but we
+	// still reject to keep draws exactly uniform.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, via the Box-Muller transform.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return mean + stddev*r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.hasGauss = true
+	return mean + stddev*u*f
+}
+
+// LogNormal returns a log-normally distributed value where the underlying
+// normal has mean mu and standard deviation sigma (both in log space).
+// Machine timing noise in the ground-truth emulator is modelled as
+// multiplicative log-normal, matching the right-skewed distributions
+// observed in the calibration samples BE-SST consumes.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Exponential returns an exponentially distributed value with the given
+// rate lambda (mean 1/lambda). Used for fault inter-arrival times.
+func (r *RNG) Exponential(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("stats: Exponential with non-positive rate")
+	}
+	u := r.Float64()
+	// 1-u is in (0,1], avoiding Log(0).
+	return -math.Log(1-u) / lambda
+}
+
+// Weibull returns a Weibull-distributed value with shape k and scale
+// lambda. Shape k < 1 models infant-mortality failure behaviour typical
+// of HPC component field data; k = 1 degenerates to the exponential.
+func (r *RNG) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("stats: Weibull with non-positive parameter")
+	}
+	u := r.Float64()
+	return scale * math.Pow(-math.Log(1-u), 1/shape)
+}

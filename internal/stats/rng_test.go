@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestNewRNGDistinctSeeds(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct seeds produced %d identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := NewRNG(7)
+	b := a.Split()
+	c := a.Split()
+	if b.Uint64() == c.Uint64() {
+		t.Fatal("two splits produced the same first draw")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64MeanNearHalf(t *testing.T) {
+	r := NewRNG(4)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(5)
+	for n := 1; n < 20; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := NewRNG(6)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if math.Abs(float64(c-want)) > 0.1*float64(want) {
+			t.Fatalf("bucket %d count %d deviates >10%% from %d", i, c, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(8)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(9)
+	const n = 200000
+	var sum, ss float64
+	for i := 0; i < n; i++ {
+		x := r.Normal(10, 3)
+		sum += x
+		ss += x * x
+	}
+	mean := sum / n
+	std := math.Sqrt(ss/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("normal mean %v, want ~10", mean)
+	}
+	if math.Abs(std-3) > 0.05 {
+		t.Fatalf("normal std %v, want ~3", std)
+	}
+}
+
+func TestLogNormalPositiveAndMedian(t *testing.T) {
+	r := NewRNG(10)
+	const n = 100000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.LogNormal(1, 0.5)
+		if xs[i] <= 0 {
+			t.Fatalf("lognormal produced non-positive %v", xs[i])
+		}
+	}
+	// Median of LogNormal(mu, sigma) is exp(mu).
+	med := Percentile(xs, 50)
+	if math.Abs(med-math.E) > 0.05*math.E {
+		t.Fatalf("lognormal median %v, want ~e", med)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.Exponential(2)
+		if x < 0 {
+			t.Fatalf("negative exponential draw %v", x)
+		}
+		sum += x
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("exponential mean %v, want ~0.5", mean)
+	}
+}
+
+func TestExponentialPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Exponential(0)
+}
+
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	r := NewRNG(12)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Weibull(1, 2) // mean = scale * Gamma(1+1/1) = 2
+	}
+	mean := sum / n
+	if math.Abs(mean-2) > 0.05 {
+		t.Fatalf("weibull(1,2) mean %v, want ~2", mean)
+	}
+}
+
+func TestWeibullPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Weibull(-1, 1)
+}
+
+func TestWeibullMeanGeneralShape(t *testing.T) {
+	// Weibull(k=2, lambda=1) has mean Gamma(1.5) = sqrt(pi)/2.
+	r := NewRNG(13)
+	const n = 300000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Weibull(2, 1)
+	}
+	mean := sum / n
+	want := math.Sqrt(math.Pi) / 2
+	if math.Abs(mean-want) > 0.01 {
+		t.Fatalf("weibull(2,1) mean %v, want ~%v", mean, want)
+	}
+}

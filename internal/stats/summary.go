@@ -1,0 +1,221 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample set.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics of xs. It panics on an empty
+// slice: a summary of nothing is a caller bug, not a recoverable state.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty slice")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MAPE returns the Mean Absolute Percentage Error, in percent, of
+// predictions against measurements — the validation metric used
+// throughout the paper (Tables III and IV). Entries whose measured value
+// is zero are skipped; if every entry is skipped, MAPE returns NaN.
+func MAPE(measured, predicted []float64) float64 {
+	if len(measured) != len(predicted) {
+		panic("stats: MAPE length mismatch")
+	}
+	var sum float64
+	var n int
+	for i, m := range measured {
+		if m == 0 {
+			continue
+		}
+		sum += math.Abs((predicted[i] - m) / m)
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return 100 * sum / float64(n)
+}
+
+// PercentError returns the signed percent error of predicted vs measured.
+func PercentError(measured, predicted float64) float64 {
+	if measured == 0 {
+		return math.NaN()
+	}
+	return 100 * (predicted - measured) / measured
+}
+
+// RMSE returns the root-mean-square error between the two series.
+func RMSE(measured, predicted []float64) float64 {
+	if len(measured) != len(predicted) {
+		panic("stats: RMSE length mismatch")
+	}
+	if len(measured) == 0 {
+		return 0
+	}
+	var ss float64
+	for i := range measured {
+		d := predicted[i] - measured[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(measured)))
+}
+
+// R2 returns the coefficient of determination of predicted vs measured.
+func R2(measured, predicted []float64) float64 {
+	if len(measured) != len(predicted) {
+		panic("stats: R2 length mismatch")
+	}
+	mean := Mean(measured)
+	var ssRes, ssTot float64
+	for i := range measured {
+		d := measured[i] - predicted[i]
+		ssRes += d * d
+		t := measured[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Histogram bins xs into nbins equal-width bins over [min, max] and
+// returns the bin counts plus the bin edges (len nbins+1). It is used to
+// render the Monte-Carlo distribution pop-out of Fig 1.
+func Histogram(xs []float64, nbins int) (counts []int, edges []float64) {
+	if nbins <= 0 {
+		panic("stats: Histogram with non-positive bin count")
+	}
+	s := Summarize(xs)
+	lo, hi := s.Min, s.Max
+	if lo == hi { // all samples identical: single populated bin
+		hi = lo + 1
+	}
+	counts = make([]int, nbins)
+	edges = make([]float64, nbins+1)
+	width := (hi - lo) / float64(nbins)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return counts, edges
+}
+
+// KSDistance returns the two-sample Kolmogorov-Smirnov statistic: the
+// maximum vertical distance between the empirical CDFs of a and b.
+// It is used to check that Monte Carlo model draws reproduce the
+// calibration-sample distributions (the paper's Fig 1 pop-out claim),
+// not just their means. 0 = identical distributions, 1 = disjoint.
+func KSDistance(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		panic("stats: KSDistance with empty sample")
+	}
+	sa := make([]float64, len(a))
+	copy(sa, a)
+	sort.Float64s(sa)
+	sb := make([]float64, len(b))
+	copy(sb, b)
+	sort.Float64s(sb)
+	var i, j int
+	var d float64
+	for i < len(sa) && j < len(sb) {
+		// Step past every occurrence of the current smallest value in
+		// BOTH samples before comparing CDFs, so ties do not create
+		// spurious gaps.
+		x := sa[i]
+		if sb[j] < x {
+			x = sb[j]
+		}
+		for i < len(sa) && sa[i] == x {
+			i++
+		}
+		for j < len(sb) && sb[j] == x {
+			j++
+		}
+		fa := float64(i) / float64(len(sa))
+		fb := float64(j) / float64(len(sb))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}

@@ -1,0 +1,311 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	want := math.Sqrt(2.5)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std %v, want %v", s.Std, want)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestPercentileEndpoints(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7}
+	if Percentile(xs, 0) != 1 {
+		t.Fatal("p0 should be min")
+	}
+	if Percentile(xs, 100) != 9 {
+		t.Fatal("p100 should be max")
+	}
+	if Percentile(xs, 50) != 5 {
+		t.Fatal("p50 should be median")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 25); got != 2.5 {
+		t.Fatalf("p25 = %v, want 2.5", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := float64(pRaw % 101)
+		v := Percentile(xs, p)
+		s := Summarize(xs)
+		return v >= s.Min && v <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMAPEPerfectPrediction(t *testing.T) {
+	m := []float64{1, 2, 3}
+	if got := MAPE(m, m); got != 0 {
+		t.Fatalf("MAPE of perfect prediction = %v", got)
+	}
+}
+
+func TestMAPEKnownValue(t *testing.T) {
+	m := []float64{100, 200}
+	p := []float64{110, 180}
+	// |10/100| and |20/200| -> both 10% -> MAPE 10%.
+	if got := MAPE(m, p); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("MAPE = %v, want 10", got)
+	}
+}
+
+func TestMAPESkipsZeroMeasured(t *testing.T) {
+	m := []float64{0, 100}
+	p := []float64{5, 120}
+	if got := MAPE(m, p); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("MAPE = %v, want 20", got)
+	}
+}
+
+func TestMAPEAllZerosIsNaN(t *testing.T) {
+	if got := MAPE([]float64{0}, []float64{1}); !math.IsNaN(got) {
+		t.Fatalf("want NaN, got %v", got)
+	}
+}
+
+func TestMAPEPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MAPE([]float64{1}, []float64{1, 2})
+}
+
+func TestMAPENonNegativeProperty(t *testing.T) {
+	f := func(pairs []struct{ M, P float64 }) bool {
+		m := make([]float64, 0, len(pairs))
+		p := make([]float64, 0, len(pairs))
+		for _, pr := range pairs {
+			if math.IsNaN(pr.M) || math.IsNaN(pr.P) || math.IsInf(pr.M, 0) || math.IsInf(pr.P, 0) {
+				continue
+			}
+			m = append(m, pr.M)
+			p = append(p, pr.P)
+		}
+		got := MAPE(m, p)
+		return math.IsNaN(got) || got >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentError(t *testing.T) {
+	if got := PercentError(100, 120); got != 20 {
+		t.Fatalf("got %v", got)
+	}
+	if got := PercentError(100, 80); got != -20 {
+		t.Fatalf("got %v", got)
+	}
+	if !math.IsNaN(PercentError(0, 1)) {
+		t.Fatal("want NaN for zero measured")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	m := []float64{0, 0}
+	p := []float64{3, 4}
+	want := math.Sqrt((9.0 + 16.0) / 2)
+	if got := RMSE(m, p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", got, want)
+	}
+}
+
+func TestR2Perfect(t *testing.T) {
+	m := []float64{1, 2, 3}
+	if got := R2(m, m); got != 1 {
+		t.Fatalf("R2 = %v, want 1", got)
+	}
+}
+
+func TestR2MeanPredictorIsZero(t *testing.T) {
+	m := []float64{1, 2, 3}
+	p := []float64{2, 2, 2}
+	if got := R2(m, p); math.Abs(got) > 1e-12 {
+		t.Fatalf("R2 = %v, want 0", got)
+	}
+}
+
+func TestHistogramCounts(t *testing.T) {
+	xs := []float64{0, 0.1, 0.9, 1}
+	counts, edges := Histogram(xs, 2)
+	if len(counts) != 2 || len(edges) != 3 {
+		t.Fatalf("bad shapes: %v %v", counts, edges)
+	}
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("counts = %v, want [2 2]", counts)
+	}
+	if edges[0] != 0 || edges[2] != 1 {
+		t.Fatalf("edges = %v", edges)
+	}
+}
+
+func TestHistogramAllIdentical(t *testing.T) {
+	counts, _ := Histogram([]float64{5, 5, 5}, 4)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("histogram lost samples: %v", counts)
+	}
+}
+
+func TestHistogramTotalProperty(t *testing.T) {
+	f := func(raw []float64, nb uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		nbins := int(nb%10) + 1
+		counts, edges := Histogram(xs, nbins)
+		if len(edges) != nbins+1 {
+			return false
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+}
+
+func TestKSDistanceIdentical(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := KSDistance(xs, xs); got != 0 {
+		t.Fatalf("identical samples KS = %v", got)
+	}
+}
+
+func TestKSDistanceDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 20, 30}
+	if got := KSDistance(a, b); got != 1 {
+		t.Fatalf("disjoint samples KS = %v, want 1", got)
+	}
+}
+
+func TestKSDistanceSameDistribution(t *testing.T) {
+	rng := NewRNG(14)
+	a := make([]float64, 3000)
+	b := make([]float64, 3000)
+	for i := range a {
+		a[i] = rng.Normal(5, 1)
+		b[i] = rng.Normal(5, 1)
+	}
+	if got := KSDistance(a, b); got > 0.06 {
+		t.Fatalf("same-distribution KS = %v too large", got)
+	}
+}
+
+func TestKSDistanceShiftedDistribution(t *testing.T) {
+	rng := NewRNG(15)
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	for i := range a {
+		a[i] = rng.Normal(5, 1)
+		b[i] = rng.Normal(7, 1)
+	}
+	if got := KSDistance(a, b); got < 0.5 {
+		t.Fatalf("shifted-distribution KS = %v too small", got)
+	}
+}
+
+func TestKSDistanceSymmetricProperty(t *testing.T) {
+	f := func(ar, br []float64) bool {
+		a := make([]float64, 0, len(ar))
+		for _, x := range ar {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				a = append(a, x)
+			}
+		}
+		b := make([]float64, 0, len(br))
+		for _, x := range br {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				b = append(b, x)
+			}
+		}
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		d1 := KSDistance(a, b)
+		d2 := KSDistance(b, a)
+		return math.Abs(d1-d2) < 1e-12 && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKSDistancePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KSDistance(nil, []float64{1})
+}

@@ -1,0 +1,107 @@
+// Package storage models the two storage tiers FTI checkpoint levels
+// touch: node-local disk/SSD (levels 1–3) and the shared parallel file
+// system (level 4). Both are coarse bandwidth/latency models with
+// contention: concurrent writers on a node share its local device, and
+// all concurrent PFS writers share the aggregate PFS bandwidth up to a
+// per-client cap.
+package storage
+
+// LocalDisk describes the node-local storage device.
+type LocalDisk struct {
+	// Latency is the fixed per-operation cost in seconds (open, sync,
+	// metadata).
+	Latency float64
+	// Bandwidth is the sequential write bandwidth in bytes/second.
+	Bandwidth float64
+	// CacheBytes is the write-back cache capacity: bursts whose total
+	// size (across all concurrent writers on the node) fits inside it
+	// complete at CacheSpeedup times the raw bandwidth. Small
+	// checkpoint files absorb into the cache; large ones stream to
+	// the device — the nonlinearity that makes checkpoint cost grow
+	// faster than linearly with problem size. Zero disables caching.
+	CacheBytes int64
+	// CacheSpeedup multiplies Bandwidth for cache-resident bursts
+	// (ignored when CacheBytes is 0; must be >= 1 otherwise).
+	CacheSpeedup float64
+}
+
+// Validate panics on a nonsensical configuration.
+func (d LocalDisk) Validate() {
+	if d.Latency < 0 || d.Bandwidth <= 0 || d.CacheBytes < 0 {
+		panic("storage: invalid LocalDisk")
+	}
+	if d.CacheBytes > 0 && d.CacheSpeedup < 1 {
+		panic("storage: cache speedup below 1")
+	}
+}
+
+// WriteTime returns the time in seconds for one writer to persist nbytes
+// while `writers` processes on the same node write concurrently (fair
+// sharing of the device). writers < 1 is treated as 1.
+func (d LocalDisk) WriteTime(nbytes int64, writers int) float64 {
+	if nbytes < 0 {
+		panic("storage: negative write size")
+	}
+	if writers < 1 {
+		writers = 1
+	}
+	bw := d.Bandwidth
+	if d.CacheBytes > 0 && nbytes*int64(writers) <= d.CacheBytes {
+		bw *= d.CacheSpeedup
+	}
+	return d.Latency + float64(nbytes)*float64(writers)/bw
+}
+
+// ReadTime returns the time to read nbytes back (restart path). Reads
+// are modeled at the same bandwidth as writes; checkpoint restart
+// performance is dominated by sequential streaming on both paths.
+func (d LocalDisk) ReadTime(nbytes int64, readers int) float64 {
+	return d.WriteTime(nbytes, readers)
+}
+
+// PFS describes the shared parallel file system.
+type PFS struct {
+	// Latency is the fixed per-operation cost in seconds, including
+	// metadata server round trips.
+	Latency float64
+	// AggregateBandwidth is the total deliverable bandwidth of the
+	// file system in bytes/second.
+	AggregateBandwidth float64
+	// PerClientBandwidth caps what any single writer can reach,
+	// regardless of how idle the file system is.
+	PerClientBandwidth float64
+}
+
+// Validate panics on a nonsensical configuration.
+func (p PFS) Validate() {
+	if p.Latency < 0 || p.AggregateBandwidth <= 0 || p.PerClientBandwidth <= 0 {
+		panic("storage: invalid PFS")
+	}
+}
+
+// effectiveBandwidth returns the per-writer bandwidth with `writers`
+// concurrent clients.
+func (p PFS) effectiveBandwidth(writers int) float64 {
+	if writers < 1 {
+		writers = 1
+	}
+	share := p.AggregateBandwidth / float64(writers)
+	if share > p.PerClientBandwidth {
+		return p.PerClientBandwidth
+	}
+	return share
+}
+
+// WriteTime returns the time in seconds for one of `writers` concurrent
+// clients to flush nbytes to the PFS.
+func (p PFS) WriteTime(nbytes int64, writers int) float64 {
+	if nbytes < 0 {
+		panic("storage: negative write size")
+	}
+	return p.Latency + float64(nbytes)/p.effectiveBandwidth(writers)
+}
+
+// ReadTime returns the restart-path read time, symmetric with WriteTime.
+func (p PFS) ReadTime(nbytes int64, readers int) float64 {
+	return p.WriteTime(nbytes, readers)
+}

@@ -1,0 +1,167 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocalDiskWriteTime(t *testing.T) {
+	d := LocalDisk{Latency: 1e-3, Bandwidth: 1e9}
+	got := d.WriteTime(1e9, 1)
+	want := 1e-3 + 1.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestLocalDiskContention(t *testing.T) {
+	d := LocalDisk{Latency: 0, Bandwidth: 1e9}
+	one := d.WriteTime(1e8, 1)
+	four := d.WriteTime(1e8, 4)
+	if math.Abs(four/one-4) > 1e-9 {
+		t.Fatalf("4 writers should be 4x slower: %v vs %v", four, one)
+	}
+}
+
+func TestLocalDiskZeroWritersTreatedAsOne(t *testing.T) {
+	d := LocalDisk{Latency: 0, Bandwidth: 1e9}
+	if d.WriteTime(1e6, 0) != d.WriteTime(1e6, 1) {
+		t.Fatal("writers<1 should clamp to 1")
+	}
+}
+
+func TestLocalDiskReadSymmetric(t *testing.T) {
+	d := LocalDisk{Latency: 1e-4, Bandwidth: 5e8}
+	if d.ReadTime(1e7, 2) != d.WriteTime(1e7, 2) {
+		t.Fatal("read/write asymmetry")
+	}
+}
+
+func TestLocalDiskNegativePanics(t *testing.T) {
+	d := LocalDisk{Latency: 0, Bandwidth: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.WriteTime(-1, 1)
+}
+
+func TestLocalDiskValidate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LocalDisk{Latency: 0, Bandwidth: 0}.Validate()
+}
+
+func TestPFSPerClientCap(t *testing.T) {
+	p := PFS{Latency: 0, AggregateBandwidth: 100e9, PerClientBandwidth: 1e9}
+	// A single writer cannot exceed the per-client cap.
+	got := p.WriteTime(1e9, 1)
+	if math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("got %v, want 1.0 (capped)", got)
+	}
+}
+
+func TestPFSAggregateSharing(t *testing.T) {
+	p := PFS{Latency: 0, AggregateBandwidth: 10e9, PerClientBandwidth: 1e9}
+	// 100 writers share 10 GB/s -> 0.1 GB/s each.
+	got := p.WriteTime(1e8, 100)
+	if math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("got %v, want 1.0", got)
+	}
+}
+
+func TestPFSMoreWritersNeverFaster(t *testing.T) {
+	p := PFS{Latency: 1e-3, AggregateBandwidth: 10e9, PerClientBandwidth: 1e9}
+	f := func(w1, w2 uint16, sz uint32) bool {
+		a, b := int(w1%5000)+1, int(w2%5000)+1
+		if a > b {
+			a, b = b, a
+		}
+		return p.WriteTime(int64(sz), a) <= p.WriteTime(int64(sz), b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPFSValidate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PFS{AggregateBandwidth: 1, PerClientBandwidth: 0}.Validate()
+}
+
+func TestPFSLatencyDominatesSmallWrites(t *testing.T) {
+	p := PFS{Latency: 10e-3, AggregateBandwidth: 100e9, PerClientBandwidth: 10e9}
+	got := p.WriteTime(1024, 1)
+	if got < 10e-3 || got > 10.1e-3 {
+		t.Fatalf("small write time %v should be latency-bound", got)
+	}
+}
+
+func TestPFSReadSymmetric(t *testing.T) {
+	p := PFS{Latency: 1e-3, AggregateBandwidth: 10e9, PerClientBandwidth: 1e9}
+	if p.ReadTime(1e8, 4) != p.WriteTime(1e8, 4) {
+		t.Fatal("PFS read/write asymmetry")
+	}
+}
+
+func TestPFSNegativePanics(t *testing.T) {
+	p := PFS{Latency: 0, AggregateBandwidth: 1, PerClientBandwidth: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.WriteTime(-1, 1)
+}
+
+func TestPFSZeroWritersClamp(t *testing.T) {
+	p := PFS{Latency: 0, AggregateBandwidth: 10e9, PerClientBandwidth: 1e9}
+	if p.WriteTime(1e6, 0) != p.WriteTime(1e6, 1) {
+		t.Fatal("writers<1 should clamp to 1")
+	}
+}
+
+func TestLocalDiskCacheSpeedup(t *testing.T) {
+	d := LocalDisk{Latency: 0, Bandwidth: 1e9, CacheBytes: 4 << 20, CacheSpeedup: 4}
+	// Burst inside the cache runs 4x faster.
+	small := d.WriteTime(1<<20, 2) // 2 MiB total, cached
+	if got, want := small, float64(1<<20)*2/(4e9); gotDiff(got, want) {
+		t.Fatalf("cached write = %v, want %v", got, want)
+	}
+	// Burst beyond the cache runs at raw bandwidth.
+	big := d.WriteTime(4<<20, 2) // 8 MiB total, uncached
+	if got, want := big, float64(4<<20)*2/1e9; gotDiff(got, want) {
+		t.Fatalf("uncached write = %v, want %v", got, want)
+	}
+}
+
+func gotDiff(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d > 1e-12*(1+b)
+}
+
+func TestLocalDiskValidateCache(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LocalDisk{Latency: 0, Bandwidth: 1, CacheBytes: 10, CacheSpeedup: 0.5}.Validate()
+}
+
+func TestLocalDiskValidateOK(t *testing.T) {
+	LocalDisk{Latency: 1e-3, Bandwidth: 1e9, CacheBytes: 1 << 20, CacheSpeedup: 4}.Validate()
+	PFS{Latency: 1e-3, AggregateBandwidth: 1e9, PerClientBandwidth: 1e8}.Validate()
+}

