@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: check build test vet fmt race bench parbench
+
+# check is the tier-1 gate: formatting, static analysis, build, and the
+# race-enabled internal test suite (the parallel tiers are only trusted
+# under -race).
+check: fmt vet build race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./internal/...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# parbench regenerates results/BENCH_parallel.json (serial vs parallel
+# simulator timings; speedup scales with available cores).
+parbench: build
+	$(GO) run ./cmd/besst-bench -parbench -workers 0

@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -57,6 +58,7 @@ func BenchmarkTable1FTILevels(b *testing.B) {
 		{{Node: 0, Kind: fti.HardFailure}, {Node: 1, Kind: fti.HardFailure}, {Node: 2, Kind: fti.HardFailure}},
 	}
 	recoverable := 0
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		recoverable = 0
 		for l := fti.L1; l <= fti.L4; l++ {
@@ -75,6 +77,7 @@ func BenchmarkTable1FTILevels(b *testing.B) {
 func BenchmarkTable3InstanceMAPE(b *testing.B) {
 	c := sharedCtx(b)
 	var rows []exp.Table3Row
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows = exp.Table3(c)
@@ -90,6 +93,7 @@ func BenchmarkTable3InstanceMAPE(b *testing.B) {
 func BenchmarkTable4SystemMAPE(b *testing.B) {
 	c := sharedCtx(b)
 	var rows []exp.Table4Row
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows = exp.Table4(c, 60, 2)
@@ -103,6 +107,7 @@ func BenchmarkTable4SystemMAPE(b *testing.B) {
 // to 131072 ranks and prediction to 1M ranks.
 func BenchmarkFig1Vulcan(b *testing.B) {
 	var r *exp.Fig1Result
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r = exp.Fig1(5, 3, 7)
 	}
@@ -115,6 +120,7 @@ func BenchmarkFig1Vulcan(b *testing.B) {
 func BenchmarkFig5ModelsVsEPR(b *testing.B) {
 	c := sharedCtx(b)
 	var pts []exp.ValidationPoint
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pts = exp.Fig5(c)
@@ -127,6 +133,7 @@ func BenchmarkFig5ModelsVsEPR(b *testing.B) {
 func BenchmarkFig6ModelsVsRanks(b *testing.B) {
 	c := sharedCtx(b)
 	var pts []exp.ValidationPoint
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pts = exp.Fig6(c)
@@ -139,6 +146,7 @@ func BenchmarkFig6ModelsVsRanks(b *testing.B) {
 func BenchmarkFig7FullRun64(b *testing.B) {
 	c := sharedCtx(b)
 	var series []exp.FullRunSeries
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		series = exp.FigFullRun(c, 10, 64, 200, 2, besst.DES)
@@ -153,6 +161,7 @@ func BenchmarkFig7FullRun64(b *testing.B) {
 func BenchmarkFig8FullRun1000(b *testing.B) {
 	c := sharedCtx(b)
 	var series []exp.FullRunSeries
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		series = exp.FigFullRun(c, 10, 1000, 200, 2, besst.Direct)
@@ -166,6 +175,7 @@ func BenchmarkFig8FullRun1000(b *testing.B) {
 func BenchmarkFig9Overhead(b *testing.B) {
 	c := sharedCtx(b)
 	var cells []dse.Cell
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cells = exp.Fig9(c, 60, 2)
@@ -184,6 +194,7 @@ func BenchmarkFig9Overhead(b *testing.B) {
 func BenchmarkExtFaultInjection(b *testing.B) {
 	c := sharedCtx(b)
 	var rows []exp.FaultCase
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows = exp.FaultStudy(c, 25, 64, 600000, 5, 5)
@@ -197,6 +208,7 @@ func BenchmarkExtFaultInjection(b *testing.B) {
 func BenchmarkExtAnalyticBaselines(b *testing.B) {
 	c := sharedCtx(b)
 	var rows []exp.AnalyticRow
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows = exp.AnalyticStudy(c, 1e-5, []int{64, 4096, 262144, 1 << 20})
@@ -214,6 +226,7 @@ func BenchmarkAblationModelingMethod(b *testing.B) {
 	em := groundtruth.NewQuartz()
 	campaign := benchdata.CollectLulesh(em, benchdata.CaseStudyPlan(6, 1))
 	b.Run("interpolation", func(b *testing.B) {
+		b.ReportAllocs()
 		var m *workflow.Models
 		for i := 0; i < b.N; i++ {
 			m = workflow.Develop(campaign, workflow.Interpolation, []string{"epr", "ranks"}, 2)
@@ -221,6 +234,7 @@ func BenchmarkAblationModelingMethod(b *testing.B) {
 		b.ReportMetric(m.Report(lulesh.OpTimestep).ValidationMAPE, "timestepMAPE%")
 	})
 	b.Run("symreg", func(b *testing.B) {
+		b.ReportAllocs()
 		var m *workflow.Models
 		for i := 0; i < b.N; i++ {
 			m = workflow.Develop(campaign, workflow.SymbolicRegression, []string{"epr", "ranks"}, 2)
@@ -243,6 +257,7 @@ func BenchmarkAblationDESvsDirect(b *testing.B) {
 		m    besst.Mode
 	}{{"des", besst.DES}, {"direct", besst.Direct}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var r *besst.Result
 			for i := 0; i < b.N; i++ {
 				r = besst.Simulate(app, arch, besst.Options{Mode: mode.m})
@@ -299,6 +314,7 @@ func BenchmarkAblationParallelDES(b *testing.B) {
 	for _, parts := range []int{1, 2, 4} {
 		name := map[int]string{1: "sequential", 2: "parallel-2", 4: "parallel-4"}[parts]
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				run(parts)
 			}
@@ -334,6 +350,7 @@ func BenchmarkAblationContention(b *testing.B) {
 		flows[i] = network.Flow{Src: i, Dst: (i + 512) % 1024, Bytes: 1 << 20}
 	}
 	b.Run("independent", func(b *testing.B) {
+		b.ReportAllocs()
 		var t float64
 		for i := 0; i < b.N; i++ {
 			t = 0
@@ -346,6 +363,7 @@ func BenchmarkAblationContention(b *testing.B) {
 		b.ReportMetric(t*1e6, "slowest-us")
 	})
 	b.Run("contended", func(b *testing.B) {
+		b.ReportAllocs()
 		var t float64
 		for i := 0; i < b.N; i++ {
 			t = m.Congested(flows)
@@ -365,6 +383,7 @@ func BenchmarkAblationMonteCarloCount(b *testing.B) {
 	for _, n := range []int{4, 16, 64} {
 		n := n
 		b.Run(map[int]string{4: "mc-4", 16: "mc-16", 64: "mc-64"}[n], func(b *testing.B) {
+			b.ReportAllocs()
 			var s stats.Summary
 			for i := 0; i < b.N; i++ {
 				runs := besst.MonteCarlo(app, arch, besst.Options{
@@ -394,6 +413,7 @@ func BenchmarkAblationRSGroupSize(b *testing.B) {
 				}
 			}
 			b.SetBytes(int64(k * shard))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				coder.Encode(data)
@@ -408,6 +428,7 @@ func BenchmarkAblationRSGroupSize(b *testing.B) {
 func BenchmarkAblationDalyVsFixedPeriod(b *testing.B) {
 	c := sharedCtx(b)
 	var rows []exp.FaultCase
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows = exp.FaultStudy(c, 25, 64, 600000, 5, 5)
 	}
@@ -422,6 +443,7 @@ func BenchmarkAblationDalyVsFixedPeriod(b *testing.B) {
 func BenchmarkExtAllLevels(b *testing.B) {
 	c := sharedCtx(b)
 	var rows []exp.LevelRow
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows = exp.AllLevelsStudy(c)
@@ -435,6 +457,7 @@ func BenchmarkExtAllLevels(b *testing.B) {
 func BenchmarkExtOptimalLevel(b *testing.B) {
 	c := sharedCtx(b)
 	var rows []exp.OptLevelRow
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows = exp.OptimalLevelStudy(c, 25, 1000, 100000, 4, []float64{2000, 20})
@@ -466,6 +489,7 @@ func BenchmarkAblationAnalyticVsFlowLevel(b *testing.B) {
 		sflows[i] = netsim.Flow{Src: src, Dst: dst, Bytes: 4 << 20}
 	}
 	b.Run("analytic", func(b *testing.B) {
+		b.ReportAllocs()
 		var v float64
 		for i := 0; i < b.N; i++ {
 			v = analytic.Congested(aflows)
@@ -473,6 +497,7 @@ func BenchmarkAblationAnalyticVsFlowLevel(b *testing.B) {
 		b.ReportMetric(v*1e3, "makespan-ms")
 	})
 	b.Run("flow-level", func(b *testing.B) {
+		b.ReportAllocs()
 		var v float64
 		for i := 0; i < b.N; i++ {
 			v = netsim.Makespan(netsim.Simulate(ft, netsim.Config{LinkBandwidth: 12.5e9}, sflows))
@@ -486,6 +511,7 @@ func BenchmarkAblationAnalyticVsFlowLevel(b *testing.B) {
 func BenchmarkExtAlgorithmicDSE(b *testing.B) {
 	c := sharedCtx(b)
 	var rows []exp.AlgDSERow
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows = exp.AlgorithmicDSE(c, 40)
@@ -499,11 +525,65 @@ func BenchmarkExtAlgorithmicDSE(b *testing.B) {
 	b.ReportMetric(float64(abftWins), "abftWins")
 }
 
+// BenchmarkMonteCarloDirect measures the Monte Carlo replication tier
+// over one compiled Direct-mode run: the serial reference against the
+// deterministic worker pool at GOMAXPROCS. Both variants return
+// byte-identical makespan vectors; the speedup scales with cores.
+func BenchmarkMonteCarloDirect(b *testing.B) {
+	c := sharedCtx(b)
+	cfg := c.Quartz.Cost.Config
+	app := lulesh.App(15, 216, 60, lulesh.ScenarioL1L2, cfg)
+	arch := beo.NewArchBEO(c.Quartz.M, cfg.NodeSize)
+	workflow.BindLulesh(arch, c.Models)
+	cr := besst.Compile(app, arch)
+	opt := besst.Options{Mode: besst.Direct, PerRankNoise: true, Seed: 42}
+	const mcN = 32
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", runtime.GOMAXPROCS(0)}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cr.MonteCarlo(opt, mcN, besst.WithConcurrency(bc.workers))
+			}
+		})
+	}
+}
+
+// BenchmarkOverheadSweep measures the DSE sweep tier: the full grid
+// evaluated serially against the cell-level worker pool at GOMAXPROCS,
+// with identical cells either way (pre-assigned per-point seeds).
+func BenchmarkOverheadSweep(b *testing.B) {
+	c := sharedCtx(b)
+	cfg := dse.SweepConfig{
+		EPRs:      []int{10, 15},
+		Ranks:     []int{8, 64},
+		Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT, lulesh.ScenarioL1, lulesh.ScenarioL1L2},
+		Timesteps: 40,
+		MCRuns:    3,
+		Seed:      43,
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", runtime.GOMAXPROCS(0)}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			cfg.Workers = bc.workers
+			for i := 0; i < b.N; i++ {
+				dse.OverheadSweep(c.Models, c.Quartz.M, c.Quartz.Cost.Config.NodeSize, cfg)
+			}
+		})
+	}
+}
+
 // BenchmarkExtArchitecturalDSE regenerates the hardware-variant DSE
 // extension (Co-Design architectural axis).
 func BenchmarkExtArchitecturalDSE(b *testing.B) {
 	c := sharedCtx(b)
 	var rows []exp.ArchDSERow
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows = exp.ArchitecturalDSE(c)

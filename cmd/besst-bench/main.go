@@ -42,7 +42,15 @@ func main() {
 	samples := flag.Int("samples", 10, "timing samples per parameter combination")
 	seed := flag.Uint64("seed", 42, "random seed")
 	out := flag.String("o", "", "output CSV path (default stdout)")
+	workers := flag.Int("workers", 1, "concurrent campaign workers (lulesh only; <=0: GOMAXPROCS); any value != 1 selects the per-combination seeded parallel collector")
+	parbench := flag.Bool("parbench", false, "run the serial-vs-parallel simulator benchmark harness and write JSON instead of collecting a campaign")
+	parbenchOut := flag.String("parbench-out", "results/BENCH_parallel.json", "output path for -parbench")
 	flag.Parse()
+
+	if *parbench {
+		runParBench(*parbenchOut, *workers, *seed)
+		return
+	}
 
 	var em *groundtruth.Emulator
 	switch *machineName {
@@ -78,10 +86,15 @@ func main() {
 			}
 			fls = append(fls, fl)
 		}
-		campaign = benchdata.CollectLulesh(em, benchdata.LuleshPlan{
+		plan := benchdata.LuleshPlan{
 			EPRs: eprList, Ranks: rankList, Levels: fls,
 			SamplesPer: *samples, Seed: *seed,
-		})
+		}
+		if *workers == 1 {
+			campaign = benchdata.CollectLulesh(em, plan)
+		} else {
+			campaign = benchdata.CollectLuleshParallel(em, plan, *workers)
+		}
 	case "cmtbone":
 		campaign = benchdata.CollectCmtBone(em, eprList, rankList, *samples, *seed)
 	default:

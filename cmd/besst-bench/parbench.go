@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"besst/internal/beo"
+	"besst/internal/besst"
+	"besst/internal/dse"
+	"besst/internal/groundtruth"
+	"besst/internal/lulesh"
+	"besst/internal/par"
+	"besst/internal/workflow"
+)
+
+// The -parbench harness measures the serial and parallel execution
+// paths of the two hot tiers — Monte Carlo replication (Direct mode)
+// and the DSE overhead sweep — with testing.Benchmark, verifies the two
+// paths produce identical results, and writes a machine-readable JSON
+// report. Speedups scale with available cores; on a single-core runner
+// they hover around 1x by construction.
+
+type parBenchEntry struct {
+	Name            string  `json:"name"`
+	Workers         int     `json:"workers"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+type parBenchReport struct {
+	GOMAXPROCS       int             `json:"gomaxprocs"`
+	Workers          int             `json:"workers"`
+	MCReplications   int             `json:"mc_replications"`
+	IdenticalResults bool            `json:"identical_results"`
+	Benchmarks       []parBenchEntry `json:"benchmarks"`
+}
+
+func benchLoop(fn func()) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+}
+
+func runParBench(outPath string, workers int, seed uint64) {
+	w := par.Workers(workers)
+	em := groundtruth.NewQuartz()
+	fmt.Fprintf(os.Stderr, "besst-bench: parbench with %d workers (GOMAXPROCS %d)\n",
+		w, runtime.GOMAXPROCS(0))
+	models, _ := workflow.DevelopLuleshQuartz(em, 5, workflow.Interpolation, seed)
+
+	// Tier 1: Monte Carlo replication over one compiled run.
+	const mcN = 32
+	app := lulesh.App(15, 216, 60, lulesh.ScenarioL1L2, em.Cost.Config)
+	arch := beo.NewArchBEO(em.M, em.Cost.Config.NodeSize)
+	workflow.BindLulesh(arch, models)
+	cr := besst.Compile(app, arch)
+	opt := besst.Options{Mode: besst.Direct, PerRankNoise: true, Seed: seed}
+
+	identical := identicalMakespans(
+		besst.Makespans(cr.MonteCarlo(opt, mcN, besst.WithConcurrency(1))),
+		besst.Makespans(cr.MonteCarlo(opt, mcN, besst.WithConcurrency(w))))
+
+	mcSerial := benchLoop(func() { cr.MonteCarlo(opt, mcN, besst.WithConcurrency(1)) })
+	mcParallel := benchLoop(func() { cr.MonteCarlo(opt, mcN, besst.WithConcurrency(w)) })
+
+	// Tier 2: DSE overhead sweep.
+	sweep := dse.SweepConfig{
+		EPRs:      []int{10, 15},
+		Ranks:     []int{8, 64},
+		Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT, lulesh.ScenarioL1, lulesh.ScenarioL1L2},
+		Timesteps: 40,
+		MCRuns:    3,
+		Seed:      seed + 1,
+	}
+	serialSweep, parallelSweep := sweep, sweep
+	serialSweep.Workers = 1
+	parallelSweep.Workers = w
+	identical = identical && identicalCells(
+		dse.OverheadSweep(models, em.M, em.Cost.Config.NodeSize, serialSweep),
+		dse.OverheadSweep(models, em.M, em.Cost.Config.NodeSize, parallelSweep))
+
+	swSerial := benchLoop(func() { dse.OverheadSweep(models, em.M, em.Cost.Config.NodeSize, serialSweep) })
+	swParallel := benchLoop(func() { dse.OverheadSweep(models, em.M, em.Cost.Config.NodeSize, parallelSweep) })
+
+	report := parBenchReport{
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Workers:          w,
+		MCReplications:   mcN,
+		IdenticalResults: identical,
+		Benchmarks: []parBenchEntry{
+			entry("MonteCarloDirect/serial", 1, mcSerial, 0),
+			entry("MonteCarloDirect/parallel", w, mcParallel, speedup(mcSerial, mcParallel)),
+			entry("OverheadSweep/serial", 1, swSerial, 0),
+			entry("OverheadSweep/parallel", w, swParallel, speedup(swSerial, swParallel)),
+		},
+	}
+	if !identical {
+		fmt.Fprintln(os.Stderr, "besst-bench: WARNING: parallel results diverge from serial results")
+	}
+
+	if dir := filepath.Dir(outPath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatalf("mkdir %s: %v", dir, err)
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatalf("marshal report: %v", err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fatalf("write %s: %v", outPath, err)
+	}
+	for _, b := range report.Benchmarks {
+		fmt.Fprintf(os.Stderr, "  %-28s %12d ns/op %9d allocs/op", b.Name, b.NsPerOp, b.AllocsPerOp)
+		if b.SpeedupVsSerial > 0 {
+			fmt.Fprintf(os.Stderr, "  %.2fx vs serial", b.SpeedupVsSerial)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	fmt.Fprintf(os.Stderr, "besst-bench: wrote %s (identical results: %v)\n", outPath, identical)
+}
+
+func entry(name string, workers int, r testing.BenchmarkResult, speedup float64) parBenchEntry {
+	return parBenchEntry{
+		Name:            name,
+		Workers:         workers,
+		NsPerOp:         r.NsPerOp(),
+		AllocsPerOp:     r.AllocsPerOp(),
+		SpeedupVsSerial: speedup,
+	}
+}
+
+func speedup(serial, parallel testing.BenchmarkResult) float64 {
+	if parallel.NsPerOp() <= 0 {
+		return 0
+	}
+	return float64(serial.NsPerOp()) / float64(parallel.NsPerOp())
+}
+
+func identicalMakespans(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func identicalCells(a, b []dse.Cell) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -26,6 +26,7 @@ func main() {
 	epr := flag.Int("epr", 15, "design point for FT-level ranking: problem size")
 	ranks := flag.Int("ranks", 216, "design point for FT-level ranking: ranks")
 	seed := flag.Uint64("seed", 42, "random seed")
+	workers := flag.Int("workers", 0, "concurrent sweep workers (<=0: GOMAXPROCS); results are identical for every worker count")
 	flag.Parse()
 
 	em := groundtruth.NewQuartz()
@@ -39,6 +40,7 @@ func main() {
 		Timesteps: *steps,
 		MCRuns:    *mc,
 		Seed:      *seed + 1,
+		Workers:   *workers,
 	})
 
 	fmt.Println("\nOverhead prediction (percent of no-FT runtime at 64 ranks per epr):")

@@ -30,6 +30,7 @@ import (
 	"besst/internal/fti"
 	"besst/internal/groundtruth"
 	"besst/internal/network"
+	"besst/internal/par"
 	"besst/internal/perfmodel"
 	"besst/internal/stats"
 )
@@ -106,6 +107,7 @@ type cinstr struct {
 	kind      ckind
 	op        string
 	params    perfmodel.Params
+	model     perfmodel.Model // ckComp/ckCkpt: resolved binding (Compile)
 	pattern   beo.CommPattern
 	bytes     int64
 	neighbors int
@@ -183,34 +185,128 @@ func commCost(net *network.Model, c cinstr, ranks int) float64 {
 	}
 }
 
-// Simulate runs app on arch once and returns the result.
-func Simulate(app *beo.AppBEO, arch *beo.ArchBEO, opt Options) *Result {
+// CompiledRun caches everything that is invariant across replications
+// of one (app, arch) pair: validation, the flattened instruction list
+// with its model bindings resolved, the shared network cost model
+// (whose topology-diameter cache is expensive to warm), and the exact
+// result-series lengths so per-trial slices are allocated once at full
+// capacity instead of growing step by step.
+//
+// Compiling also forces every lazy model state (interpolation-table
+// rebuilds, the network diameter) to materialize while still
+// single-threaded, so concurrent replications only ever perform pure
+// reads on the shared structures. A CompiledRun is therefore safe for
+// use from multiple goroutines, provided the app, arch, and bound
+// models are not mutated after Compile.
+type CompiledRun struct {
+	app   *beo.AppBEO
+	arch  *beo.ArchBEO
+	prog  []cinstr
+	net   *network.Model
+	steps int // number of ckStepEnd markers per run
+	ckpts int // number of ckCkpt instances per run
+}
+
+// Compile validates app against arch and builds the reusable run
+// object shared by Simulate and Monte Carlo replication. It panics on
+// validation failure, matching Simulate's historical contract.
+func Compile(app *beo.AppBEO, arch *beo.ArchBEO) *CompiledRun {
 	if err := arch.Validate(app); err != nil {
 		panic(err)
 	}
-	prog := compile(app)
-	net := arch.Machine.Network()
-	if opt.Mode == Direct {
-		return simulateDirect(app, arch, prog, net, opt)
+	cr := &CompiledRun{
+		app:  app,
+		arch: arch,
+		prog: compile(app),
+		net:  arch.Machine.Network(),
 	}
-	return simulateDES(app, arch, prog, net, opt)
+	warmed := map[string]bool{}
+	for i := range cr.prog {
+		c := &cr.prog[i]
+		switch c.kind {
+		case ckComp, ckCkpt:
+			c.model = arch.ModelFor(c.op)
+			if !warmed[c.op] {
+				warmed[c.op] = true
+				// Trigger lazy state (table rebuilds) now; Predict and
+				// Sample are read-only afterwards.
+				c.model.Predict(c.params)
+			}
+			if c.kind == ckCkpt {
+				cr.ckpts++
+			}
+		case ckStepEnd:
+			cr.steps++
+		}
+	}
+	// Warm the diameter cache backing every collective cost.
+	cr.net.Barrier(2)
+	return cr
+}
+
+// Run executes one replication of the compiled program.
+func (cr *CompiledRun) Run(opt Options) *Result {
+	if opt.Mode == Direct {
+		return simulateDirect(cr, opt)
+	}
+	return simulateDES(cr, opt)
+}
+
+// Simulate runs app on arch once and returns the result.
+func Simulate(app *beo.AppBEO, arch *beo.ArchBEO, opt Options) *Result {
+	return Compile(app, arch).Run(opt)
+}
+
+// MCOption configures a Monte Carlo invocation.
+type MCOption func(*mcCfg)
+
+type mcCfg struct {
+	workers int
+}
+
+// WithConcurrency overrides the replication worker count. Values <= 0
+// (the default) select runtime.GOMAXPROCS workers; 1 forces serial
+// execution. Results are byte-identical for every worker count.
+func WithConcurrency(n int) MCOption {
+	return func(c *mcCfg) { c.workers = n }
 }
 
 // MonteCarlo runs n replications with independent random streams and
 // returns all results — the Monte Carlo capability BE-SST uses to
 // "capture the variance that exists in the calibration samples".
-func MonteCarlo(app *beo.AppBEO, arch *beo.ArchBEO, opt Options, n int) []*Result {
+//
+// Validation, program compilation, and network-model construction are
+// hoisted out of the replication loop, and the trials fan out over a
+// bounded worker pool. Every trial seed is pre-drawn from the master
+// RNG in index order before any trial starts, so seed assignment —
+// and therefore every result — is independent of completion order and
+// worker count, and identical to the serial reference.
+func MonteCarlo(app *beo.AppBEO, arch *beo.ArchBEO, opt Options, n int, opts ...MCOption) []*Result {
 	if n <= 0 {
 		panic("besst: non-positive Monte Carlo count")
 	}
-	opt.MonteCarlo = true
-	master := stats.NewRNG(opt.Seed)
-	out := make([]*Result, n)
-	for i := range out {
-		o := opt
-		o.Seed = master.Uint64()
-		out[i] = Simulate(app, arch, o)
+	return Compile(app, arch).MonteCarlo(opt, n, opts...)
+}
+
+// MonteCarlo runs n replications of the compiled program, reusing the
+// compiled state across trials. See the package-level MonteCarlo for
+// the determinism contract.
+func (cr *CompiledRun) MonteCarlo(opt Options, n int, opts ...MCOption) []*Result {
+	if n <= 0 {
+		panic("besst: non-positive Monte Carlo count")
 	}
+	var cfg mcCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	opt.MonteCarlo = true
+	seeds := par.SeedFan(opt.Seed, n)
+	out := make([]*Result, n)
+	par.ForEach(cfg.workers, n, func(i int) {
+		o := opt
+		o.Seed = seeds[i]
+		out[i] = cr.Run(o)
+	})
 	return out
 }
 
@@ -223,15 +319,22 @@ func Makespans(rs []*Result) []float64 {
 	return out
 }
 
-// simulateDirect evaluates the lockstep program closed-form.
-func simulateDirect(app *beo.AppBEO, arch *beo.ArchBEO, prog []cinstr, net *network.Model, opt Options) *Result {
+// simulateDirect evaluates the lockstep program closed-form. The hot
+// loop indexes the shared compiled program in place (no per-iteration
+// struct copy) and uses the result-series lengths counted at compile
+// time so the per-trial slices never reallocate mid-run.
+func simulateDirect(cr *CompiledRun, opt Options) *Result {
 	rng := stats.NewRNG(opt.Seed)
-	res := &Result{}
+	res := &Result{
+		StepCompletions: make([]float64, 0, cr.steps),
+		CkptTimes:       make([]float64, 0, cr.ckpts),
+	}
+	ranks := cr.app.Ranks
 	now := 0.0
-	for _, c := range prog {
+	for i := range cr.prog {
+		c := &cr.prog[i]
 		switch c.kind {
 		case ckComp:
-			m := arch.ModelFor(c.op)
 			before := now
 			if opt.MonteCarlo {
 				if opt.PerRankNoise {
@@ -239,27 +342,26 @@ func simulateDirect(app *beo.AppBEO, arch *beo.ArchBEO, prog []cinstr, net *netw
 					// draw does; reuse the shared extreme-value
 					// helper for identical semantics with the
 					// ground-truth emulator.
-					mean := m.Predict(c.params)
-					sigma := modelSigma(m, c.params, rng)
-					now += groundtruth.StepMax(mean, sigma, app.Ranks, rng)
+					mean := c.model.Predict(c.params)
+					sigma := modelSigma(c.model, c.params, rng)
+					now += groundtruth.StepMax(mean, sigma, ranks, rng)
 				} else {
-					now += m.Sample(c.params, rng)
+					now += c.model.Sample(c.params, rng)
 				}
 			} else {
-				now += m.Predict(c.params)
+				now += c.model.Predict(c.params)
 			}
 			res.Breakdown.ComputeSec += now - before
 		case ckComm:
-			dt := commCost(net, c, app.Ranks)
+			dt := commCost(cr.net, *c, ranks)
 			res.Breakdown.CommSec += dt
 			now += dt
 		case ckCkpt:
-			m := arch.ModelFor(c.op)
 			var dt float64
 			if opt.MonteCarlo {
-				dt = m.Sample(c.params, rng) // one coordinated draw
+				dt = c.model.Sample(c.params, rng) // one coordinated draw
 			} else {
-				dt = m.Predict(c.params)
+				dt = c.model.Predict(c.params)
 			}
 			res.Breakdown.CkptSec += dt
 			now += dt

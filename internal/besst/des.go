@@ -60,20 +60,24 @@ type desSim struct {
 	ends      []des.Time // per-rank completion time
 }
 
-func simulateDES(app *beo.AppBEO, arch *beo.ArchBEO, prog []cinstr, net *network.Model, opt Options) *Result {
+func simulateDES(cr *CompiledRun, opt Options) *Result {
 	master := stats.NewRNG(opt.Seed)
+	app := cr.app
 	s := &desSim{
 		app:       app,
-		arch:      arch,
-		net:       net,
-		prog:      prog,
+		arch:      cr.arch,
+		net:       cr.net,
+		prog:      cr.prog,
 		syncInstr: map[int]cinstr{},
 		opt:       opt,
 		eng:       des.NewEngine(),
-		res:       &Result{},
-		ends:      make([]des.Time, app.Ranks),
+		res: &Result{
+			StepCompletions: make([]float64, 0, cr.steps),
+			CkptTimes:       make([]float64, 0, cr.ckpts),
+		},
+		ends: make([]des.Time, app.Ranks),
 	}
-	for _, c := range prog {
+	for _, c := range cr.prog {
 		if c.kind == ckComm || c.kind == ckCkpt {
 			s.syncInstr[c.syncID] = c
 		}
@@ -149,12 +153,11 @@ func (rc *rankComp) HandleEvent(ctx *des.Context, ev des.Event) {
 		switch c.kind {
 		case ckComp:
 			rc.pc++
-			m := s.arch.ModelFor(c.op)
 			var dt float64
 			if s.opt.MonteCarlo {
-				dt = m.Sample(c.params, rc.rng)
+				dt = c.model.Sample(c.params, rc.rng)
 			} else {
-				dt = m.Predict(c.params)
+				dt = c.model.Predict(c.params)
 			}
 			if rc.rank == 0 {
 				s.res.Breakdown.ComputeSec += dt
@@ -205,11 +208,10 @@ func (cc *coordComp) HandleEvent(ctx *des.Context, ev des.Event) {
 	case ckComm:
 		cost = commCost(s.net, c, s.app.Ranks)
 	case ckCkpt:
-		m := s.arch.ModelFor(c.op)
 		if s.opt.MonteCarlo {
-			cost = m.Sample(c.params, cc.rng) // one coordinated draw
+			cost = c.model.Sample(c.params, cc.rng) // one coordinated draw
 		} else {
-			cost = m.Predict(c.params)
+			cost = c.model.Predict(c.params)
 		}
 		s.res.CkptTimes = append(s.res.CkptTimes, ctx.Now().Seconds()+cost)
 	}

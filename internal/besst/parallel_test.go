@@ -1,0 +1,144 @@
+package besst
+
+import (
+	"testing"
+
+	"besst/internal/beo"
+	"besst/internal/lulesh"
+	"besst/internal/machine"
+	"besst/internal/perfmodel"
+	"besst/internal/stats"
+)
+
+// serialMonteCarloReference replicates the historical serial MonteCarlo
+// implementation exactly: one master RNG, one Uint64 draw per trial in
+// index order, one independent Simulate per trial.
+func serialMonteCarloReference(app *beo.AppBEO, arch *beo.ArchBEO, opt Options, n int) []*Result {
+	opt.MonteCarlo = true
+	master := stats.NewRNG(opt.Seed)
+	out := make([]*Result, n)
+	for i := range out {
+		o := opt
+		o.Seed = master.Uint64()
+		out[i] = Simulate(app, arch, o)
+	}
+	return out
+}
+
+func noisyArch() *beo.ArchBEO {
+	arch := beo.NewArchBEO(machine.Quartz(), 2)
+	arch.Bind(lulesh.OpTimestep, perfmodel.Func{Label: "ts", F: func(perfmodel.Params) float64 { return 0.01 }, NoiseSigma: 0.1})
+	arch.Bind(lulesh.OpCkptL1, perfmodel.Func{Label: "l1", F: func(perfmodel.Params) float64 { return 0.1 }, NoiseSigma: 0.2})
+	arch.Bind(lulesh.OpCkptL2, perfmodel.Func{Label: "l2", F: func(perfmodel.Params) float64 { return 0.15 }, NoiseSigma: 0.2})
+	return arch
+}
+
+// requireIdenticalResults asserts bit-identical result vectors: every
+// float64 must compare exactly equal, not approximately.
+func requireIdenticalResults(t *testing.T, want, got []*Result, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Makespan != g.Makespan {
+			t.Fatalf("%s: trial %d makespan %v != %v", label, i, g.Makespan, w.Makespan)
+		}
+		if w.Breakdown != g.Breakdown {
+			t.Fatalf("%s: trial %d breakdown %+v != %+v", label, i, g.Breakdown, w.Breakdown)
+		}
+		if len(w.StepCompletions) != len(g.StepCompletions) || len(w.CkptTimes) != len(g.CkptTimes) {
+			t.Fatalf("%s: trial %d series lengths differ", label, i)
+		}
+		for j := range w.StepCompletions {
+			if w.StepCompletions[j] != g.StepCompletions[j] {
+				t.Fatalf("%s: trial %d step %d: %v != %v", label, i, j, g.StepCompletions[j], w.StepCompletions[j])
+			}
+		}
+		for j := range w.CkptTimes {
+			if w.CkptTimes[j] != g.CkptTimes[j] {
+				t.Fatalf("%s: trial %d ckpt %d: %v != %v", label, i, j, g.CkptTimes[j], w.CkptTimes[j])
+			}
+		}
+	}
+}
+
+// TestMonteCarloParallelMatchesSerialReference is the Monte Carlo
+// equivalence gate: for a fixed seed, the pooled implementation must be
+// byte-identical to the historical serial loop at every worker count
+// and in both execution modes. Run under -race it also proves the
+// shared compiled state is touched read-only.
+func TestMonteCarloParallelMatchesSerialReference(t *testing.T) {
+	cases := []struct {
+		name string
+		mode Mode
+		app  *beo.AppBEO
+		opt  Options
+		n    int
+	}{
+		{
+			name: "direct-per-rank-noise",
+			mode: Direct,
+			app:  lulesh.App(10, 64, 40, lulesh.ScenarioL1L2, cfg),
+			opt:  Options{Mode: Direct, PerRankNoise: true, Seed: 17},
+			n:    12,
+		},
+		{
+			name: "direct-instance-noise",
+			mode: Direct,
+			app:  lulesh.App(10, 8, 60, lulesh.ScenarioL1, cfg),
+			opt:  Options{Mode: Direct, Seed: 23},
+			n:    10,
+		},
+		{
+			name: "des",
+			mode: DES,
+			app:  lulesh.App(10, 8, 15, lulesh.ScenarioL1, cfg),
+			opt:  Options{Mode: DES, Seed: 31},
+			n:    6,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			arch := noisyArch()
+			want := serialMonteCarloReference(tc.app, arch, tc.opt, tc.n)
+			for _, workers := range []int{1, 8} {
+				got := MonteCarlo(tc.app, arch, tc.opt, tc.n, WithConcurrency(workers))
+				requireIdenticalResults(t, want, got, tc.name)
+			}
+			// Default concurrency (GOMAXPROCS) must agree too.
+			requireIdenticalResults(t, want, MonteCarlo(tc.app, arch, tc.opt, tc.n), tc.name+"/default")
+		})
+	}
+}
+
+// TestCompiledRunReuse exercises the hoisted compile path: one
+// CompiledRun serving Simulate-equivalent runs and repeated Monte Carlo
+// batches without revalidating or recompiling.
+func TestCompiledRunReuse(t *testing.T) {
+	app := lulesh.App(10, 8, 30, lulesh.ScenarioL1, cfg)
+	arch := noisyArch()
+	cr := Compile(app, arch)
+
+	one := cr.Run(Options{Mode: Direct, Seed: 3})
+	ref := Simulate(app, arch, Options{Mode: Direct, Seed: 3})
+	if one.Makespan != ref.Makespan {
+		t.Fatalf("CompiledRun.Run %v != Simulate %v", one.Makespan, ref.Makespan)
+	}
+
+	a := cr.MonteCarlo(Options{Mode: Direct, Seed: 5}, 8, WithConcurrency(4))
+	b := MonteCarlo(app, arch, Options{Mode: Direct, Seed: 5}, 8, WithConcurrency(1))
+	requireIdenticalResults(t, b, a, "compiled-run reuse")
+}
+
+func TestCompiledRunMonteCarloPanicsOnBadN(t *testing.T) {
+	app := lulesh.App(10, 8, 5, lulesh.ScenarioNoFT, cfg)
+	cr := Compile(app, constArch(1, 1, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cr.MonteCarlo(Options{}, 0)
+}

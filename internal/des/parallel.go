@@ -35,6 +35,7 @@ type ParallelEngine struct {
 	now        Time
 	running    bool
 	processed  uint64
+	crossed    []crossEvent // merge scratch buffer, reused across windows
 }
 
 type partition struct {
@@ -44,6 +45,11 @@ type partition struct {
 	seq    uint64
 	outbox []crossEvent // cross-partition sends buffered until the barrier
 	count  uint64       // events processed by this partition
+	// next caches queue[0].Time (-1 when empty) so the coordinator's
+	// min-scan between windows never touches the heaps. Maintained by
+	// the owning worker at window end and by the coordinator during
+	// ScheduleAt and the barrier merge — never concurrently.
+	next Time
 }
 
 type crossEvent struct {
@@ -68,7 +74,7 @@ func NewParallelEngine(nparts int, lookahead Time) *ParallelEngine {
 		lookahead: lookahead,
 	}
 	for i := 0; i < nparts; i++ {
-		e.parts = append(e.parts, &partition{eng: e, index: i})
+		e.parts = append(e.parts, &partition{eng: e, index: i, next: -1})
 	}
 	return e
 }
@@ -116,6 +122,9 @@ func (e *ParallelEngine) ScheduleAt(t Time, dst ComponentID, payload any) {
 	ev := Event{Time: t, Dst: dst, Payload: payload, seq: p.seq}
 	p.seq++
 	heap.Push(&p.queue, ev)
+	if p.next < 0 || t < p.next {
+		p.next = t
+	}
 }
 
 // Now returns the current simulated time (the completed window edge).
@@ -148,13 +157,30 @@ func (p *partition) link(src ComponentID, port string) (halfLink, bool) {
 	return l, ok
 }
 
-// runWindow processes all events with Time < windowEnd in this partition.
+// runWindow processes all events with Time < windowEnd in this
+// partition, then refreshes the cached next-event time for the
+// coordinator's min-scan.
 func (p *partition) runWindow(windowEnd Time) {
 	for len(p.queue) > 0 && p.queue[0].Time < windowEnd {
 		ev := heap.Pop(&p.queue).(Event)
 		ctx := Context{sch: p, id: ev.Dst, now: ev.Time}
 		p.eng.components[int(ev.Dst)].HandleEvent(&ctx, ev)
 		p.count++
+	}
+	if len(p.queue) > 0 {
+		p.next = p.queue[0].Time
+	} else {
+		p.next = -1
+	}
+}
+
+// flushCounts folds every partition's in-window event tally into the
+// engine total. It runs on every Run exit path (and at each barrier) so
+// Processed() is never stale, whichever branch returned.
+func (e *ParallelEngine) flushCounts() {
+	for _, p := range e.parts {
+		e.processed += p.count
+		p.count = 0
 	}
 }
 
@@ -168,6 +194,7 @@ func (p *partition) runWindow(windowEnd Time) {
 func (e *ParallelEngine) Run(horizon Time) Time {
 	e.running = true
 	defer func() { e.running = false }()
+	defer e.flushCounts()
 
 	windows := make([]chan Time, len(e.parts))
 	var done sync.WaitGroup
@@ -187,11 +214,12 @@ func (e *ParallelEngine) Run(horizon Time) Time {
 	}()
 
 	for {
-		// Global minimum next-event time across partitions.
+		// Global minimum next-event time, read from the cached
+		// per-partition heads instead of re-inspecting every heap.
 		minT := Time(-1)
 		for _, p := range e.parts {
-			if len(p.queue) > 0 && (minT < 0 || p.queue[0].Time < minT) {
-				minT = p.queue[0].Time
+			if p.next >= 0 && (minT < 0 || p.next < minT) {
+				minT = p.next
 			}
 		}
 		if minT < 0 {
@@ -202,21 +230,30 @@ func (e *ParallelEngine) Run(horizon Time) Time {
 			return e.now
 		}
 		windowEnd := minT + e.lookahead
+		// Clamp the window at the horizon so no event beyond it is
+		// processed: the sequential engine delivers events with
+		// Time <= horizon and leaves the rest queued, and Time is
+		// integral, so horizon+1 is the matching exclusive window edge.
+		if horizon > 0 && windowEnd > horizon+1 {
+			windowEnd = horizon + 1
+		}
 
 		done.Add(len(e.parts))
 		for i := range e.parts {
 			windows[i] <- windowEnd
 		}
 		done.Wait()
+		e.flushCounts()
 
-		// Barrier: merge cross-partition events deterministically.
-		var crossed []crossEvent
+		// Barrier: merge cross-partition events deterministically,
+		// reusing the engine-owned scratch buffer across windows.
+		e.crossed = e.crossed[:0]
 		for _, p := range e.parts {
-			crossed = append(crossed, p.outbox...)
+			e.crossed = append(e.crossed, p.outbox...)
 			p.outbox = p.outbox[:0]
 		}
-		sort.Slice(crossed, func(i, j int) bool {
-			a, b := crossed[i], crossed[j]
+		sort.Slice(e.crossed, func(i, j int) bool {
+			a, b := e.crossed[i], e.crossed[j]
 			if a.ev.Time != b.ev.Time {
 				return a.ev.Time < b.ev.Time
 			}
@@ -225,18 +262,20 @@ func (e *ParallelEngine) Run(horizon Time) Time {
 			}
 			return a.srcSeq < b.srcSeq
 		})
-		for _, ce := range crossed {
+		for _, ce := range e.crossed {
 			p := e.parts[ce.dstPart]
 			ev := ce.ev
 			ev.seq = p.seq
 			p.seq++
 			heap.Push(&p.queue, ev)
+			if p.next < 0 || ev.Time < p.next {
+				p.next = ev.Time
+			}
 		}
 
 		e.now = windowEnd
-		for _, p := range e.parts {
-			e.processed += p.count
-			p.count = 0
+		if horizon > 0 && e.now > horizon {
+			e.now = horizon
 		}
 	}
 }

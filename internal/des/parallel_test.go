@@ -168,6 +168,66 @@ func TestParallelHorizon(t *testing.T) {
 	}
 }
 
+// TestParallelHorizonMidWindow is the regression test for the horizon
+// clamp: with a lookahead wider than the event spacing, a horizon that
+// bisects a window previously let partitions process events beyond it.
+// The parallel engine must deliver exactly the events the sequential
+// engine delivers, report the same Processed() count immediately after
+// the horizon-bounded Run (no stale per-partition tallies), stop its
+// clock at the horizon, and be resumable to an identical full trace.
+func TestParallelHorizonMidWindow(t *testing.T) {
+	const horizon = Time(5)
+
+	seq := NewEngine()
+	sa, sb := &echo{}, &echo{}
+	said := seq.Register(sa)
+	sbid := seq.Register(sb)
+	seq.Connect(said, "peer", sbid, "peer", 1)
+	seq.Connect(sbid, "peer", said, "peer", 1)
+	seq.ScheduleAt(0, said, 20)
+	seqEnd := seq.Run(horizon)
+
+	par := NewParallelEngine(2, 10)
+	pa, pb := &echo{}, &echo{}
+	paid := par.RegisterIn(0, pa)
+	pbid := par.RegisterIn(0, pb) // same partition: spacing 1 < lookahead 10
+	par.Connect(paid, "peer", pbid, "peer", 1)
+	par.Connect(pbid, "peer", paid, "peer", 1)
+	par.ScheduleAt(0, paid, 20)
+	parEnd := par.Run(horizon)
+
+	if parEnd != seqEnd || parEnd != horizon {
+		t.Fatalf("end times: parallel %v, sequential %v, want %v", parEnd, seqEnd, horizon)
+	}
+	if par.Processed() != seq.Processed() {
+		t.Fatalf("processed after horizon run: parallel %d, sequential %d",
+			par.Processed(), seq.Processed())
+	}
+	compare := func(label string, want, got []Time) {
+		t.Helper()
+		if len(want) != len(got) {
+			t.Fatalf("%s: %d deliveries vs sequential %d", label, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s: delivery %d at %v, sequential at %v", label, i, got[i], want[i])
+			}
+		}
+	}
+	compare("a@horizon", sa.times, pa.times)
+	compare("b@horizon", sb.times, pb.times)
+
+	// Resume past the horizon: both engines must complete identically.
+	seq.Run(0)
+	par.Run(0)
+	if par.Processed() != seq.Processed() || par.Processed() != 21 {
+		t.Fatalf("processed after resume: parallel %d, sequential %d, want 21",
+			par.Processed(), seq.Processed())
+	}
+	compare("a@end", sa.times, pa.times)
+	compare("b@end", sb.times, pb.times)
+}
+
 func TestParallelProcessedCount(t *testing.T) {
 	e := NewParallelEngine(2, 10)
 	a := &echo{}

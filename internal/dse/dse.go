@@ -19,6 +19,7 @@ import (
 	"besst/internal/fti"
 	"besst/internal/lulesh"
 	"besst/internal/machine"
+	"besst/internal/par"
 	"besst/internal/perfmodel"
 	"besst/internal/stats"
 	"besst/internal/workflow"
@@ -45,6 +46,11 @@ type SweepConfig struct {
 	Timesteps int
 	MCRuns    int
 	Seed      uint64
+	// Workers bounds how many grid cells are evaluated concurrently;
+	// values <= 0 select runtime.GOMAXPROCS. Results are identical for
+	// every worker count: each design point's Monte Carlo seed is
+	// pre-assigned from the master seed before evaluation starts.
+	Workers int
 }
 
 // Validate panics on an unusable sweep.
@@ -62,40 +68,102 @@ func (c SweepConfig) Validate() {
 	}
 }
 
+// sweepPoint is one distinct design point of a sweep: a baseline, a
+// grid cell, or both (the no-FT cell at the smallest rank count is
+// memoized — evaluated once and shared with the baseline map).
+type sweepPoint struct {
+	epr, ranks int
+	sc         lulesh.Scenario
+	seed       uint64
+	mean       float64
+}
+
 // OverheadSweep evaluates every grid point with the developed models
 // and returns cells with Fig 9-style normalized overheads.
+//
+// The grid is pre-enumerated — per-EPR no-FT baselines first, then the
+// remaining cells in (scenario, ranks, epr) order — with Monte Carlo
+// seeds assigned from the master RNG in enumeration order before any
+// evaluation starts. Cells are then evaluated concurrently over
+// cfg.Workers workers; because seeds never depend on completion order,
+// the output is byte-identical for every worker count. The per-EPR
+// no-FT baseline points are memoized: each is simulated once and
+// shared between the baseline normalizer and its own grid cell (so
+// baseline cells report exactly 100%).
 func OverheadSweep(models *workflow.Models, m *machine.Machine, ranksPerNode int, cfg SweepConfig) []Cell {
 	cfg.Validate()
-	rng := stats.NewRNG(cfg.Seed)
 	ftiCfg := fti.Config{GroupSize: 4, NodeSize: ranksPerNode}
 
-	runtime := func(epr, ranks int, sc lulesh.Scenario) float64 {
-		app := lulesh.App(epr, ranks, cfg.Timesteps, sc, ftiCfg)
+	// Distinct design points, baselines first.
+	type key struct {
+		epr, ranks int
+		sc         string
+	}
+	index := map[key]int{}
+	var points []sweepPoint
+	add := func(epr, ranks int, sc lulesh.Scenario) int {
+		k := key{epr, ranks, sc.Name}
+		if i, ok := index[k]; ok {
+			return i
+		}
+		index[k] = len(points)
+		points = append(points, sweepPoint{epr: epr, ranks: ranks, sc: sc})
+		return len(points) - 1
+	}
+	baseIdx := make([]int, len(cfg.EPRs))
+	for i, epr := range cfg.EPRs {
+		baseIdx[i] = add(epr, cfg.Ranks[0], lulesh.ScenarioNoFT)
+	}
+	for _, sc := range cfg.Scenarios {
+		for _, ranks := range cfg.Ranks {
+			for _, epr := range cfg.EPRs {
+				add(epr, ranks, sc)
+			}
+		}
+	}
+
+	// Seed fan-out: one pre-drawn seed per point, in enumeration order.
+	seeds := par.SeedFan(cfg.Seed, len(points))
+	for i := range points {
+		points[i].seed = seeds[i]
+	}
+
+	// Force lazy model state to materialize before sharing the models
+	// across workers.
+	models.Warm(perfmodel.Params{
+		"epr": float64(cfg.EPRs[0]), "ranks": float64(cfg.Ranks[0]),
+	})
+
+	// Evaluate cells concurrently; each cell's replications run serially
+	// (cell-level parallelism already saturates the pool).
+	par.ForEach(cfg.Workers, len(points), func(i int) {
+		p := &points[i]
+		app := lulesh.App(p.epr, p.ranks, cfg.Timesteps, p.sc, ftiCfg)
 		arch := beo.NewArchBEO(m, ranksPerNode)
 		workflow.BindLulesh(arch, models)
 		runs := besst.MonteCarlo(app, arch, besst.Options{
 			Mode:         besst.Direct,
 			PerRankNoise: true,
-			Seed:         rng.Uint64(),
-		}, cfg.MCRuns)
-		return stats.Mean(besst.Makespans(runs))
-	}
+			Seed:         p.seed,
+		}, cfg.MCRuns, besst.WithConcurrency(1))
+		p.mean = stats.Mean(besst.Makespans(runs))
+	})
 
-	// Per-epr baselines: no-FT at the smallest rank count.
 	base := map[int]float64{}
-	for _, epr := range cfg.EPRs {
-		base[epr] = runtime(epr, cfg.Ranks[0], lulesh.ScenarioNoFT)
+	for i, epr := range cfg.EPRs {
+		base[epr] = points[baseIdx[i]].mean
 	}
-
 	var out []Cell
 	for _, sc := range cfg.Scenarios {
 		for _, ranks := range cfg.Ranks {
 			for _, epr := range cfg.EPRs {
-				mean := runtime(epr, ranks, sc)
+				p := points[index[key{epr, ranks, sc.Name}]]
+				// Grouped so memoized baseline cells divide their own
+				// mean exactly (x/x == 1) and report precisely 100%.
 				out = append(out, Cell{
 					EPR: epr, Ranks: ranks, Scenario: sc.Name,
-					MeanSec:     mean,
-					OverheadPct: 100 * mean / base[epr],
+					MeanSec:     p.mean,
+					OverheadPct: 100 * (p.mean / base[epr]),
 				})
 			}
 		}
@@ -203,14 +271,27 @@ func PruneReport(models *workflow.Models, campaign *benchdata.Campaign, threshol
 		medByOp[op] = stats.Percentile(means, 50)
 	}
 
-	var out []Divergence
+	// Keep only keys with a bound model, preserving sort order, then
+	// evaluate the model predictions concurrently. Each slot of `out` is
+	// written by exactly one worker, and after Warm the models are pure
+	// reads, so the fan-out is deterministic and race-free.
+	modeled := keys[:0]
 	for _, k := range keys {
-		meas := stats.Mean(sums[k])
-		model, ok := models.ByOp[k.op]
-		if !ok {
-			continue
+		if _, ok := models.ByOp[k.op]; ok {
+			modeled = append(modeled, k)
 		}
-		pred := model.Predict(perfmodel.Params{"epr": float64(k.epr), "ranks": float64(k.ranks)})
+	}
+	if len(modeled) == 0 {
+		return nil
+	}
+	models.Warm(perfmodel.Params{
+		"epr": float64(modeled[0].epr), "ranks": float64(modeled[0].ranks),
+	})
+	out := make([]Divergence, len(modeled))
+	par.ForEach(0, len(modeled), func(i int) {
+		k := modeled[i]
+		meas := stats.Mean(sums[k])
+		pred := models.ByOp[k.op].Predict(perfmodel.Params{"epr": float64(k.epr), "ranks": float64(k.ranks)})
 		pe := stats.PercentError(meas, pred)
 		d := Divergence{
 			Op: k.op, EPR: k.epr, Ranks: k.ranks,
@@ -224,8 +305,8 @@ func PruneReport(models *workflow.Models, campaign *benchdata.Campaign, threshol
 				d.Advice = "high-cost region: study with a fine-grained simulator"
 			}
 		}
-		out = append(out, d)
-	}
+		out[i] = d
+	})
 	return out
 }
 

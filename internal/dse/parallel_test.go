@@ -1,0 +1,63 @@
+package dse
+
+import (
+	"reflect"
+	"testing"
+
+	"besst/internal/machine"
+)
+
+// TestOverheadSweepWorkerCountInvariant is the DSE equivalence gate:
+// because every design point's Monte Carlo seed is pre-assigned before
+// evaluation starts, the sweep must return byte-identical cells at
+// every worker count. Run under -race it also proves the shared models
+// are touched read-only after warming.
+func TestOverheadSweepWorkerCountInvariant(t *testing.T) {
+	models, _ := devModels(t)
+	cfg := sweepCfg()
+
+	cfg.Workers = 1
+	serial := OverheadSweep(models, machine.Quartz(), 2, cfg)
+	for _, workers := range []int{8, 0} { // 0 = GOMAXPROCS default
+		cfg.Workers = workers
+		got := OverheadSweep(models, machine.Quartz(), 2, cfg)
+		if !reflect.DeepEqual(serial, got) {
+			t.Fatalf("workers=%d sweep differs from serial sweep", workers)
+		}
+	}
+}
+
+// TestOverheadSweepBaselineMemoized: the per-EPR no-FT baseline point
+// is evaluated once and shared with its own grid cell, so baseline
+// cells normalize to exactly 100%.
+func TestOverheadSweepBaselineMemoized(t *testing.T) {
+	models, _ := devModels(t)
+	cfg := sweepCfg()
+	cells := OverheadSweep(models, machine.Quartz(), 2, cfg)
+	found := 0
+	for _, c := range cells {
+		if c.Scenario == "No FT" && c.Ranks == cfg.Ranks[0] {
+			found++
+			if c.OverheadPct != 100 {
+				t.Fatalf("baseline cell epr=%d overhead %v%%, want exactly 100%%", c.EPR, c.OverheadPct)
+			}
+		}
+	}
+	if found != len(cfg.EPRs) {
+		t.Fatalf("found %d baseline cells, want %d", found, len(cfg.EPRs))
+	}
+}
+
+// TestPruneReportDeterministic: the internally parallel prune report
+// must be stable run to run (pure model reads, ordered output slots).
+func TestPruneReportDeterministic(t *testing.T) {
+	models, campaign := devSymregModels(t)
+	a := PruneReport(models, campaign, 5)
+	b := PruneReport(models, campaign, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("PruneReport not deterministic across runs")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty prune report")
+	}
+}

@@ -210,7 +210,18 @@ func StepMax(mean, sigma float64, ranks int, rng *stats.RNG) float64 {
 // allreduce); checkpoint instances take one coordinated, instance-level
 // draw. It returns the cumulative runtime after each timestep.
 func (e *Emulator) FullRun(epr, ranks, timesteps int, sc lulesh.Scenario, rng *stats.RNG) []float64 {
-	cum := make([]float64, timesteps)
+	return e.FullRunInto(nil, epr, ranks, timesteps, sc, rng)
+}
+
+// FullRunInto is FullRun writing into a caller-provided buffer, resized
+// (and allocated only when too small) to `timesteps` — the
+// allocation-free path for replicated validation campaigns that run
+// many full runs back to back.
+func (e *Emulator) FullRunInto(cum []float64, epr, ranks, timesteps int, sc lulesh.Scenario, rng *stats.RNG) []float64 {
+	if cap(cum) < timesteps {
+		cum = make([]float64, timesteps)
+	}
+	cum = cum[:timesteps]
 	total := 0.0
 	tsMean := e.LuleshTimestepMean(epr, ranks)
 	for step := 0; step < timesteps; step++ {

@@ -111,6 +111,32 @@ func TestFullRunCumulativeMonotone(t *testing.T) {
 	}
 }
 
+// TestFullRunIntoReusesBuffer: the buffered variant must reproduce
+// FullRun exactly and reuse a caller buffer of sufficient capacity
+// instead of allocating.
+func TestFullRunIntoReusesBuffer(t *testing.T) {
+	e := NewQuartz()
+	want := e.FullRun(10, 64, 50, lulesh.ScenarioL1, stats.NewRNG(9))
+
+	buf := make([]float64, 0, 200)
+	got := e.FullRunInto(buf, 10, 64, 50, lulesh.ScenarioL1, stats.NewRNG(9))
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("FullRunInto did not reuse the provided buffer")
+	}
+	// Too-small buffers grow transparently.
+	if short := e.FullRunInto(make([]float64, 0, 4), 10, 64, 50, lulesh.ScenarioL1, stats.NewRNG(9)); len(short) != 50 {
+		t.Fatalf("grown buffer len = %d", len(short))
+	}
+}
+
 func TestFullRunScenarioOrdering(t *testing.T) {
 	// Total runtime: No FT < L1 < L1&L2 (Figs 7-8).
 	e := NewQuartz()

@@ -1,0 +1,131 @@
+// Package par holds the shared parallel-execution primitives behind
+// every concurrent tier of the simulator: a bounded worker pool for
+// embarrassingly parallel index spaces (Monte Carlo replications, DSE
+// grid cells, benchmarking-campaign combinations) and the deterministic
+// seed-fanout helper that makes those tiers bit-reproducible.
+//
+// The determinism contract is always the same: the caller pre-draws one
+// seed per work item from a master RNG *before* any work starts, so the
+// random stream a work item consumes depends only on its index — never
+// on completion order, worker count, or goroutine scheduling. Running
+// with 1 worker and with N workers then produces byte-identical output.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"besst/internal/stats"
+)
+
+// Workers resolves a requested worker count: any value <= 0 selects
+// runtime.GOMAXPROCS(0), the pool's default concurrency.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SeedFan pre-draws n trial seeds from a master seed, one per work
+// item, in index order. The draw order matches a serial loop pulling
+// master.Uint64() once per item, so a parallel caller fanning these
+// seeds out reproduces the exact streams of its serial reference.
+func SeedFan(master uint64, n int) []uint64 {
+	if n < 0 {
+		panic("par: negative seed count")
+	}
+	rng := stats.NewRNG(master)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = rng.Uint64()
+	}
+	return out
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of at most
+// `workers` goroutines (Workers-resolved, clamped to n). It returns
+// once every started call has finished. A panic inside fn stops new
+// work, drains the pool, and is re-raised on the caller's goroutine
+// with its original value. fn must be safe for concurrent invocation
+// when workers > 1.
+func ForEach(workers, n int, fn func(i int)) {
+	// The error path is unreachable, but the panic path is shared.
+	_ = ForEachErr(workers, n, func(i int) error {
+		fn(i)
+		return nil
+	})
+}
+
+// ForEachErr is ForEach for fallible work: the first error observed
+// (lowest index among those encountered) stops new work, the pool
+// drains cleanly — every in-flight call runs to completion — and that
+// error is returned. Panics propagate as in ForEach and take
+// precedence over errors.
+func ForEachErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstIdx = n
+		firstErr error
+		panicVal any
+		panicked bool
+	)
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if !panicked {
+					panicked, panicVal = true, r
+				}
+				mu.Unlock()
+				stop.Store(true)
+			}
+		}()
+		if err := fn(i); err != nil {
+			mu.Lock()
+			if i < firstIdx {
+				firstIdx, firstErr = i, err
+			}
+			mu.Unlock()
+			stop.Store(true)
+		}
+	}
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				call(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
+	return firstErr
+}

@@ -1,0 +1,142 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"besst/internal/stats"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	for _, req := range []int{0, -1, -100} {
+		if got := Workers(req); got != want {
+			t.Fatalf("Workers(%d) = %d, want GOMAXPROCS %d", req, got, want)
+		}
+	}
+}
+
+func TestSeedFanMatchesSerialDrawOrder(t *testing.T) {
+	const master, n = 42, 16
+	seeds := SeedFan(master, n)
+	rng := stats.NewRNG(master)
+	for i, s := range seeds {
+		if want := rng.Uint64(); s != want {
+			t.Fatalf("seed %d = %d, want %d (serial draw order)", i, s, want)
+		}
+	}
+	again := SeedFan(master, n)
+	for i := range seeds {
+		if seeds[i] != again[i] {
+			t.Fatal("SeedFan not deterministic")
+		}
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 500
+		counts := make([]atomic.Int32, n)
+		ForEach(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachRespectsConcurrencyBound(t *testing.T) {
+	const workers, n = 3, 200
+	var active, peak atomic.Int32
+	ForEach(workers, n, func(i int) {
+		a := active.Add(1)
+		for {
+			p := peak.Load()
+			if a <= p || peak.CompareAndSwap(p, a) {
+				break
+			}
+		}
+		// Hold the slot long enough for other workers to pile in if the
+		// bound were broken.
+		for j := 0; j < 2000; j++ {
+			_ = j * j
+		}
+		active.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent calls, bound is %d", p, workers)
+	}
+}
+
+func TestForEachPropagatesPanicValue(t *testing.T) {
+	sentinel := errors.New("boom")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if r != sentinel {
+			t.Fatalf("panic value %v, want original sentinel", r)
+		}
+	}()
+	ForEach(4, 100, func(i int) {
+		if i == 7 {
+			panic(sentinel)
+		}
+	})
+}
+
+func TestForEachErrStopsEarlyAndDrains(t *testing.T) {
+	sentinel := errors.New("fail-fast")
+	const n = 100000
+	var calls atomic.Int64
+	err := ForEachErr(4, n, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	// The pool must stop claiming work after the error: with the error
+	// raised on the very first index, only a small prefix of the index
+	// space may have been touched before every worker saw the stop flag.
+	if c := calls.Load(); c >= n {
+		t.Fatalf("pool did not stop early: %d calls", c)
+	}
+}
+
+func TestForEachErrReturnsLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	// Serial path: both fail, the lower index must win.
+	err := ForEachErr(1, 10, func(i int) error {
+		switch i {
+		case 2:
+			return errLow
+		case 5:
+			return errHigh
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want lowest-index error", err)
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	ForEach(4, 0, func(int) { called = true })
+	ForEach(4, -5, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty index space")
+	}
+}

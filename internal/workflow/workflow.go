@@ -57,6 +57,17 @@ type Models struct {
 	Reports []ModelReport
 }
 
+// Warm polls every model once at the given parameters, forcing lazy
+// internal state (interpolation-table rebuilds) to materialize. Callers
+// that share one Models value across goroutines — the parallel DSE
+// sweep, pooled Monte Carlo replications — must Warm it first so all
+// subsequent Predict/Sample calls are pure reads.
+func (ms *Models) Warm(p perfmodel.Params) {
+	for _, m := range ms.ByOp {
+		m.Predict(p)
+	}
+}
+
 // Develop fits one model per op present in the campaign, using the
 // given parameter names as model inputs. For symbolic regression the
 // campaign is split 80/20 train/test per the paper's protocol.
@@ -148,6 +159,7 @@ func ValidateSystem(em *groundtruth.Emulator, models *Models, eprs, ranks []int,
 	cfg := em.Cost.Config
 	rng := stats.NewRNG(seed)
 	var out []SystemValidation
+	var cum []float64 // ground-truth buffer, reused across grid points
 	for _, epr := range eprs {
 		for _, r := range ranks {
 			app := lulesh.App(epr, r, timesteps, sc, cfg)
@@ -160,7 +172,7 @@ func ValidateSystem(em *groundtruth.Emulator, models *Models, eprs, ranks []int,
 			}, mcRuns)
 			pred := stats.Mean(besst.Makespans(runs))
 
-			cum := em.FullRun(epr, r, timesteps, sc, rng.Split())
+			cum = em.FullRunInto(cum, epr, r, timesteps, sc, rng.Split())
 			meas := cum[len(cum)-1]
 			out = append(out, SystemValidation{
 				EPR: epr, Ranks: r, Scenario: sc.Name,
