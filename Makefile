@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build test vet fmt race bench parbench
+.PHONY: check build test vet fmt lint lint-fixtures race bench parbench
 
-# check is the tier-1 gate: formatting, static analysis, build, and the
-# race-enabled internal test suite (the parallel tiers are only trusted
-# under -race).
-check: fmt vet build race
+# check is the tier-1 gate: formatting, static analysis (vet and
+# besst-lint), build, and the race-enabled internal test suite (the
+# parallel tiers are only trusted under -race).
+check: fmt vet lint build race
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,16 @@ fmt:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# lint runs besst-lint's determinism and DES invariant checks over the
+# whole module; the committed tree must produce zero findings.
+lint:
+	$(GO) run ./cmd/besst-lint ./...
+
+# lint-fixtures exercises the analyzer itself against its golden
+# fixture packages (add -update after editing a check or fixture).
+lint-fixtures:
+	$(GO) test ./internal/lint -run 'TestGolden|TestSuppression|TestSubsetRun|TestDeterministic' -v
 
 race:
 	$(GO) test -race ./internal/...

@@ -11,7 +11,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -101,17 +100,21 @@ func main() {
 		fatalf("unknown app %q", *app)
 	}
 
-	var w io.Writer = os.Stdout
+	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fatalf("create %s: %v", *out, err)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := campaign.WriteCSV(w); err != nil {
 		fatalf("write CSV: %v", err)
+	}
+	if w != os.Stdout {
+		if err := w.Close(); err != nil {
+			fatalf("close %s: %v", *out, err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "collected %d samples across %d ops on %s\n",
 		len(campaign.Samples), len(campaign.Ops()), em.M.Name)

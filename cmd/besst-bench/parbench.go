@@ -150,6 +150,7 @@ func identicalMakespans(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
+		//lint:ignore floateq the serial-vs-parallel gate asserts bit-identical replication
 		if a[i] != b[i] {
 			return false
 		}

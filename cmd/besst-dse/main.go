@@ -11,7 +11,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"besst/internal/cli"
 	"besst/internal/dse"
 	"besst/internal/groundtruth"
 	"besst/internal/lulesh"
@@ -29,8 +31,9 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent sweep workers (<=0: GOMAXPROCS); results are identical for every worker count")
 	flag.Parse()
 
+	out := cli.NewPrinter(os.Stdout)
 	em := groundtruth.NewQuartz()
-	fmt.Printf("developing models (%d samples/combination)...\n", *samples)
+	out.Printf("developing models (%d samples/combination)...\n", *samples)
 	models, campaign := workflow.DevelopLuleshQuartz(em, *samples, workflow.SymbolicRegression, *seed)
 
 	cells := dse.OverheadSweep(models, em.M, em.Cost.Config.NodeSize, dse.SweepConfig{
@@ -43,27 +46,35 @@ func main() {
 		Workers:   *workers,
 	})
 
-	fmt.Println("\nOverhead prediction (percent of no-FT runtime at 64 ranks per epr):")
+	out.Println("\nOverhead prediction (percent of no-FT runtime at 64 ranks per epr):")
 	for _, r := range []int{64, 216, 1000} {
-		fmt.Println(dse.FormatOverheadTable(cells, r))
+		out.Println(dse.FormatOverheadTable(cells, r))
 	}
 
-	fmt.Printf("FT-level ranking at epr=%d, ranks=%d:\n", *epr, *ranks)
+	out.Printf("FT-level ranking at epr=%d, ranks=%d:\n", *epr, *ranks)
 	for i, c := range dse.RankFTLevels(cells, *epr, *ranks) {
-		fmt.Printf("  %d. %-8s %.4gs (%.0f%%)\n", i+1, c.Scenario, c.MeanSec, c.OverheadPct)
+		out.Printf("  %d. %-8s %.4gs (%.0f%%)\n", i+1, c.Scenario, c.MeanSec, c.OverheadPct)
 	}
 
-	fmt.Printf("\nPruning report (|divergence| > %.0f%%):\n", *threshold)
+	out.Printf("\nPruning report (|divergence| > %.0f%%):\n", *threshold)
 	flagged := 0
 	for _, d := range dse.PruneReport(models, campaign, *threshold) {
 		if !d.Flagged {
 			continue
 		}
 		flagged++
-		fmt.Printf("  %-18s epr=%-3d ranks=%-5d measured %.4gs predicted %.4gs (%+.1f%%)\n    -> %s\n",
+		out.Printf("  %-18s epr=%-3d ranks=%-5d measured %.4gs predicted %.4gs (%+.1f%%)\n    -> %s\n",
 			d.Op, d.EPR, d.Ranks, d.MeasuredSec, d.PredictedSec, d.PercentError, d.Advice)
 	}
 	if flagged == 0 {
-		fmt.Println("  no design-space regions flagged; models cover the grid")
+		out.Println("  no design-space regions flagged; models cover the grid")
 	}
+	if err := out.Err(); err != nil {
+		fatalf("writing output: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "besst-dse: "+format+"\n", args...)
+	os.Exit(1)
 }

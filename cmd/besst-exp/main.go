@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"besst/internal/besst"
+	"besst/internal/cli"
 	"besst/internal/exp"
 )
 
@@ -45,7 +46,7 @@ func main() {
 		return false
 	}
 
-	w := os.Stdout
+	w := cli.NewPrinter(os.Stdout)
 	var ctx *exp.Context
 	needCtx := selected("table", 3, "") || selected("table", 4, "") ||
 		selected("fig", 5, "") || selected("fig", 6, "") || selected("fig", 7, "") ||
@@ -54,94 +55,102 @@ func main() {
 		selected("ext", 0, "levels") || selected("ext", 0, "optlevel") ||
 		selected("ext", 0, "algdse") || selected("ext", 0, "archdse")
 	if needCtx {
-		fmt.Fprintf(w, "developing case-study models (%d samples/combination, seed %d)...\n\n", samples, *seed)
+		w.Printf("developing case-study models (%d samples/combination, seed %d)...\n\n", samples, *seed)
 		ctx = exp.NewContext(samples, *seed)
 		for _, r := range ctx.Models.Reports {
-			fmt.Fprintf(w, "  model %-18s train %6.2f%%  test %6.2f%%  validation %6.2f%%\n",
+			w.Printf("  model %-18s train %6.2f%%  test %6.2f%%  validation %6.2f%%\n",
 				r.Op, r.TrainMAPE, r.TestMAPE, r.ValidationMAPE)
 			if r.Expression != "" {
-				fmt.Fprintf(w, "    %s\n", r.Expression)
+				w.Printf("    %s\n", r.Expression)
 			}
 		}
-		fmt.Fprintln(w)
+		w.Println()
 	}
 
 	if selected("table", 1, "") {
 		exp.Table1(w)
-		fmt.Fprintln(w)
+		w.Println()
 	}
 	if selected("table", 2, "") {
 		exp.Table2(w)
-		fmt.Fprintln(w)
+		w.Println()
 	}
 	if selected("fig", 1, "") {
-		fmt.Fprintln(w, "running Fig 1 (CMT-bone on Vulcan, predictions to 1M ranks)...")
+		w.Println("running Fig 1 (CMT-bone on Vulcan, predictions to 1M ranks)...")
 		exp.FormatFig1(w, exp.Fig1(20, mc, *seed+1))
-		fmt.Fprintln(w)
+		w.Println()
 	}
 	if selected("fig", 5, "") {
 		exp.FormatValidationPoints(w, "Fig 5: model validation vs problem size (epr)", exp.Fig5(ctx))
-		fmt.Fprintln(w)
+		w.Println()
 	}
 	if selected("fig", 6, "") {
 		exp.FormatValidationPoints(w, "Fig 6: model validation vs number of ranks", exp.Fig6(ctx))
-		fmt.Fprintln(w)
+		w.Println()
 	}
 	if selected("table", 3, "") {
 		exp.FormatTable3(w, exp.Table3(ctx))
-		fmt.Fprintln(w)
+		w.Println()
 	}
 	if selected("fig", 7, "") {
-		fmt.Fprintln(w, "running Fig 7 (DES mode, 64 ranks)...")
+		w.Println("running Fig 7 (DES mode, 64 ranks)...")
 		exp.FormatFullRun(w, "Fig 7: full application runtime, 64 ranks, epr 10",
 			exp.FigFullRun(ctx, 10, 64, steps, mc, besst.DES), 20)
-		fmt.Fprintln(w)
+		w.Println()
 	}
 	if selected("fig", 8, "") {
-		fmt.Fprintln(w, "running Fig 8 (DES mode, 1000 ranks)...")
+		w.Println("running Fig 8 (DES mode, 1000 ranks)...")
 		exp.FormatFullRun(w, "Fig 8: full application runtime, 1000 ranks, epr 10",
 			exp.FigFullRun(ctx, 10, 1000, steps, mc, besst.DES), 20)
-		fmt.Fprintln(w)
+		w.Println()
 	}
 	if selected("table", 4, "") {
-		fmt.Fprintln(w, "running Table IV (full-system validation over the Table II grid)...")
+		w.Println("running Table IV (full-system validation over the Table II grid)...")
 		exp.FormatTable4(w, exp.Table4(ctx, steps, mc))
-		fmt.Fprintln(w)
+		w.Println()
 	}
 	if selected("fig", 9, "") {
-		fmt.Fprintln(w, "running Fig 9 (overhead sweep)...")
+		w.Println("running Fig 9 (overhead sweep)...")
 		exp.FormatFig9(w, exp.Fig9(ctx, steps, mc))
-		fmt.Fprintln(w)
+		w.Println()
 	}
 	if selected("ext", 0, "faults") {
-		fmt.Fprintln(w, "running fault-injection extension (Fig 4 Cases 1-4)...")
+		w.Println("running fault-injection extension (Fig 4 Cases 1-4)...")
 		exp.FormatFaultStudy(w, exp.FaultStudy(ctx, 25, 64, 600000, 4*mc, 5))
-		fmt.Fprintln(w)
+		w.Println()
 	}
 	if selected("ext", 0, "levels") {
-		fmt.Fprintln(w, "running all-levels extension (FTI L1-L4 modeled)...")
+		w.Println("running all-levels extension (FTI L1-L4 modeled)...")
 		exp.FormatAllLevels(w, exp.AllLevelsStudy(ctx))
-		fmt.Fprintln(w)
+		w.Println()
 	}
 	if selected("ext", 0, "optlevel") {
-		fmt.Fprintln(w, "running optimal-level extension (FT level vs failure rate)...")
+		w.Println("running optimal-level extension (FT level vs failure rate)...")
 		exp.FormatOptimalLevel(w, exp.OptimalLevelStudy(ctx, 25, 1000, 200000, mc,
 			[]float64{2000, 200, 20, 5}))
-		fmt.Fprintln(w)
+		w.Println()
 	}
 	if selected("ext", 0, "algdse") {
-		fmt.Fprintln(w, "running algorithmic DSE extension (C/R vs ABFT)...")
+		w.Println("running algorithmic DSE extension (C/R vs ABFT)...")
 		exp.FormatAlgDSE(w, exp.AlgorithmicDSE(ctx, 40), 40)
-		fmt.Fprintln(w)
+		w.Println()
 	}
 	if selected("ext", 0, "archdse") {
-		fmt.Fprintln(w, "running architectural DSE extension (hardware variants)...")
+		w.Println("running architectural DSE extension (hardware variants)...")
 		exp.FormatArchDSE(w, exp.ArchitecturalDSE(ctx))
-		fmt.Fprintln(w)
+		w.Println()
 	}
 	if selected("ext", 0, "analytic") {
 		exp.FormatAnalyticStudy(w, exp.AnalyticStudy(ctx, 1e-5,
 			[]int{64, 512, 4096, 32768, 262144, 1 << 20}))
-		fmt.Fprintln(w)
+		w.Println()
 	}
+	if err := w.Err(); err != nil {
+		fatalf("writing output: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "besst-exp: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -1,0 +1,84 @@
+// Command besst-lint runs the repository's custom static-analysis pass
+// (internal/lint) over the given package patterns and reports every
+// violation of the simulator's determinism and DES invariants.
+//
+//	besst-lint ./...                     # everything (the make lint gate)
+//	besst-lint -checks errcheck ./cmd/...
+//	besst-lint -json ./internal/...      # machine-readable diagnostics
+//	besst-lint -list                     # available checks
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"besst/internal/cli"
+	"besst/internal/lint"
+)
+
+func main() {
+	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	listFlag := flag.Bool("list", false, "list available checks and exit")
+	flag.Parse()
+
+	out := cli.NewPrinter(os.Stdout)
+	if *listFlag {
+		for _, c := range lint.AllChecks() {
+			out.Printf("%-22s %s\n", c.Name(), c.Doc())
+		}
+		finish(out, 0)
+	}
+
+	checks, err := lint.SelectChecks(*checksFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	loader, err := lint.NewLoader("")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs, err := loader.LoadPatterns(flag.Args())
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	diags := lint.Run(pkgs, checks)
+	if *jsonFlag {
+		if diags == nil {
+			diags = []lint.Diagnostic{} // a clean run is [], not null
+		}
+		data, err := json.MarshalIndent(diags, "", "  ")
+		if err != nil {
+			fatalf("encode: %v", err)
+		}
+		out.Printf("%s\n", data)
+	} else {
+		for _, d := range diags {
+			out.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "besst-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		finish(out, 1)
+	}
+	finish(out, 0)
+}
+
+// finish flushes the printer's recorded error, if any, and exits.
+func finish(out *cli.Printer, code int) {
+	if err := out.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "besst-lint: writing output: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "besst-lint: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"besst/internal/benchdata"
+	"besst/internal/cli"
 	"besst/internal/perfmodel"
 	"besst/internal/workflow"
 )
@@ -32,12 +34,12 @@ func main() {
 	if *in == "" {
 		fatalf("-in is required")
 	}
-	f, err := os.Open(*in)
+	out := cli.NewPrinter(os.Stdout)
+	data, err := os.ReadFile(*in)
 	if err != nil {
 		fatalf("open: %v", err)
 	}
-	campaign, err := benchdata.ReadCSV(f)
-	f.Close()
+	campaign, err := benchdata.ReadCSV(bytes.NewReader(data))
 	if err != nil {
 		fatalf("parse: %v", err)
 	}
@@ -57,26 +59,26 @@ func main() {
 	}
 
 	models := workflow.Develop(campaign, m, varNames, *seed)
-	fmt.Printf("fitted %d models with %s\n", len(models.Reports), m)
+	out.Printf("fitted %d models with %s\n", len(models.Reports), m)
 	if *save != "" {
-		out, err := os.Create(*save)
+		f, err := os.Create(*save)
 		if err != nil {
 			fatalf("create %s: %v", *save, err)
 		}
-		if err := models.Save(out); err != nil {
+		if err := models.Save(f); err != nil {
 			fatalf("save: %v", err)
 		}
-		if err := out.Close(); err != nil {
+		if err := f.Close(); err != nil {
 			fatalf("close: %v", err)
 		}
-		fmt.Printf("saved model bundle to %s\n", *save)
+		out.Printf("saved model bundle to %s\n", *save)
 	}
 	for _, r := range models.Reports {
-		fmt.Printf("  %-20s validation MAPE %6.2f%%", r.Op, r.ValidationMAPE)
+		out.Printf("  %-20s validation MAPE %6.2f%%", r.Op, r.ValidationMAPE)
 		if r.Expression != "" {
-			fmt.Printf("  train %5.2f%% test %5.2f%%\n    %s\n", r.TrainMAPE, r.TestMAPE, r.Expression)
+			out.Printf("  train %5.2f%% test %5.2f%%\n    %s\n", r.TrainMAPE, r.TestMAPE, r.Expression)
 		} else {
-			fmt.Println()
+			out.Println()
 		}
 	}
 
@@ -93,10 +95,13 @@ func main() {
 			}
 			p[parts[0]] = v
 		}
-		fmt.Printf("predictions at %s:\n", p.Key())
+		out.Printf("predictions at %s:\n", p.Key())
 		for _, op := range campaign.Ops() {
-			fmt.Printf("  %-20s %.6g s\n", op, models.ByOp[op].Predict(p))
+			out.Printf("  %-20s %.6g s\n", op, models.ByOp[op].Predict(p))
 		}
+	}
+	if err := out.Err(); err != nil {
+		fatalf("writing output: %v", err)
 	}
 }
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"besst/internal/benchdata"
 	"besst/internal/beo"
 	"besst/internal/besst"
+	"besst/internal/cli"
 	"besst/internal/groundtruth"
 	"besst/internal/lulesh"
 	"besst/internal/stats"
@@ -38,6 +40,8 @@ func main() {
 	method := flag.String("method", "symreg", "modeling method: symreg | interp")
 	seed := flag.Uint64("seed", 42, "random seed")
 	flag.Parse()
+
+	out := cli.NewPrinter(os.Stdout)
 
 	var sc lulesh.Scenario
 	switch *scenario {
@@ -74,29 +78,27 @@ func main() {
 	em := groundtruth.NewQuartz()
 	var models *workflow.Models
 	if *modelsPath != "" {
-		f, err := os.Open(*modelsPath)
+		data, err := os.ReadFile(*modelsPath)
 		if err != nil {
 			fatalf("open models: %v", err)
 		}
-		models, err = workflow.Load(f)
-		f.Close()
+		models, err = workflow.Load(bytes.NewReader(data))
 		if err != nil {
 			fatalf("load models: %v", err)
 		}
-		fmt.Printf("loaded %d models from %s\n", len(models.ByOp), *modelsPath)
+		out.Printf("loaded %d models from %s\n", len(models.ByOp), *modelsPath)
 	} else if *campaignCSV != "" {
-		f, err := os.Open(*campaignCSV)
+		data, err := os.ReadFile(*campaignCSV)
 		if err != nil {
 			fatalf("open campaign: %v", err)
 		}
-		campaign, err := benchdata.ReadCSV(f)
-		f.Close()
+		campaign, err := benchdata.ReadCSV(bytes.NewReader(data))
 		if err != nil {
 			fatalf("parse campaign: %v", err)
 		}
 		models = workflow.Develop(campaign, wfMethod, []string{"epr", "ranks"}, *seed)
 	} else {
-		fmt.Printf("benchmarking and developing models (%s, %d samples/combination)...\n", wfMethod, *samples)
+		out.Printf("benchmarking and developing models (%s, %d samples/combination)...\n", wfMethod, *samples)
 		models, _ = workflow.DevelopLuleshQuartz(em, *samples, wfMethod, *seed)
 	}
 
@@ -121,29 +123,32 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	fmt.Printf("simulating %s on %s (%s mode, %d MC replications)\n",
+	out.Printf("simulating %s on %s (%s mode, %d MC replications)\n",
 		app.Name, machine.Name, *mode, *mc)
 	runs := besst.MonteCarlo(app, arch, besst.Options{
 		Mode: m, PerRankNoise: true, Seed: *seed,
 	}, *mc)
 
 	s := stats.Summarize(besst.Makespans(runs))
-	fmt.Printf("makespan: mean %.4gs  std %.3gs  min %.4gs  max %.4gs  (n=%d)\n",
+	out.Printf("makespan: mean %.4gs  std %.3gs  min %.4gs  max %.4gs  (n=%d)\n",
 		s.Mean, s.Std, s.Min, s.Max, s.N)
 	if len(runs[0].CkptTimes) > 0 {
-		fmt.Printf("checkpoint instances (first run): %d, completing at:", len(runs[0].CkptTimes))
+		out.Printf("checkpoint instances (first run): %d, completing at:", len(runs[0].CkptTimes))
 		for _, t := range runs[0].CkptTimes {
-			fmt.Printf(" %.4g", t)
+			out.Printf(" %.4g", t)
 		}
-		fmt.Println()
+		out.Println()
 	}
 	if runs[0].Events > 0 {
-		fmt.Printf("discrete events processed per run: %d\n", runs[0].Events)
+		out.Printf("discrete events processed per run: %d\n", runs[0].Events)
 	}
 	bd := runs[0].Breakdown
 	if bd.Total() > 0 {
-		fmt.Printf("time breakdown (rank 0): compute %.1f%%  comm %.1f%%  checkpoint %.1f%%\n",
+		out.Printf("time breakdown (rank 0): compute %.1f%%  comm %.1f%%  checkpoint %.1f%%\n",
 			100*bd.ComputeSec/bd.Total(), 100*bd.CommSec/bd.Total(), 100*bd.CkptSec/bd.Total())
+	}
+	if err := out.Err(); err != nil {
+		fatalf("writing output: %v", err)
 	}
 }
 

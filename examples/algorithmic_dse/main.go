@@ -14,18 +14,20 @@
 package main
 
 import (
-	"fmt"
 	"os"
 
+	"besst/internal/cli"
 	"besst/internal/exp"
 	"besst/internal/groundtruth"
 )
 
 func main() {
-	fmt.Println("developing baseline + checkpoint models...")
+	out := cli.Stdout()
+	defer out.ExitOnErr("algorithmic_dse")
+	out.Println("developing baseline + checkpoint models...")
 	ctx := exp.NewContext(8, 42)
 
-	fmt.Printf("\nABFT variant: %.0f%% kernel overhead plus a surface-term verification pass\n",
+	out.Printf("\nABFT variant: %.0f%% kernel overhead plus a surface-term verification pass\n",
 		100*(groundtruth.ABFTOverheadFactor-1))
 
 	rows := exp.AlgorithmicDSE(ctx, 40)
@@ -40,12 +42,12 @@ func main() {
 			}
 		}
 	}
-	fmt.Println("\ncrossover frontier (smallest rank count where ABFT wins):")
+	out.Println("\ncrossover frontier (smallest rank count where ABFT wins):")
 	for _, epr := range exp.CaseEPRs {
 		if ranks, ok := firstABFT[epr]; ok {
-			fmt.Printf("  epr %2d: ABFT from %d ranks\n", epr, ranks)
+			out.Printf("  epr %2d: ABFT from %d ranks\n", epr, ranks)
 		} else {
-			fmt.Printf("  epr %2d: C/R everywhere\n", epr)
+			out.Printf("  epr %2d: C/R everywhere\n", epr)
 		}
 	}
 }

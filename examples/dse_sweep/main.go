@@ -8,8 +8,7 @@
 package main
 
 import (
-	"fmt"
-
+	"besst/internal/cli"
 	"besst/internal/dse"
 	"besst/internal/groundtruth"
 	"besst/internal/lulesh"
@@ -17,8 +16,10 @@ import (
 )
 
 func main() {
+	out := cli.Stdout()
+	defer out.ExitOnErr("dse_sweep")
 	em := groundtruth.NewQuartz()
-	fmt.Println("developing models for the DSE sweep...")
+	out.Println("developing models for the DSE sweep...")
 	models, campaign := workflow.DevelopLuleshQuartz(em, 8, workflow.SymbolicRegression, 7)
 
 	cells := dse.OverheadSweep(models, em.M, em.Cost.Config.NodeSize, dse.SweepConfig{
@@ -30,25 +31,25 @@ func main() {
 		Seed:      8,
 	})
 
-	fmt.Println("\noverhead relative to the 64-rank no-FT run at each problem size:")
-	fmt.Println(dse.FormatOverheadTable(cells, 64))
-	fmt.Println(dse.FormatOverheadTable(cells, 1000))
+	out.Println("\noverhead relative to the 64-rank no-FT run at each problem size:")
+	out.Println(dse.FormatOverheadTable(cells, 64))
+	out.Println(dse.FormatOverheadTable(cells, 1000))
 
-	fmt.Println("FT-level ranking at epr=20, ranks=1000 (cheapest first):")
+	out.Println("FT-level ranking at epr=20, ranks=1000 (cheapest first):")
 	for i, c := range dse.RankFTLevels(cells, 20, 1000) {
-		fmt.Printf("  %d. %-8s %8.4gs  (%.0f%%)\n", i+1, c.Scenario, c.MeanSec, c.OverheadPct)
+		out.Printf("  %d. %-8s %8.4gs  (%.0f%%)\n", i+1, c.Scenario, c.MeanSec, c.OverheadPct)
 	}
 
-	fmt.Println("\npruning report (model-vs-benchmark divergence > 12%):")
+	out.Println("\npruning report (model-vs-benchmark divergence > 12%):")
 	flagged := 0
 	for _, d := range dse.PruneReport(models, campaign, 12) {
 		if d.Flagged {
 			flagged++
-			fmt.Printf("  %-18s epr=%-3d ranks=%-5d %+6.1f%%  %s\n",
+			out.Printf("  %-18s epr=%-3d ranks=%-5d %+6.1f%%  %s\n",
 				d.Op, d.EPR, d.Ranks, d.PercentError, d.Advice)
 		}
 	}
 	if flagged == 0 {
-		fmt.Println("  nothing flagged at this threshold")
+		out.Println("  nothing flagged at this threshold")
 	}
 }

@@ -10,10 +10,10 @@
 package main
 
 import (
-	"fmt"
 	"os"
 
 	"besst/internal/analytic"
+	"besst/internal/cli"
 	"besst/internal/exp"
 	"besst/internal/faults"
 	"besst/internal/fti"
@@ -21,12 +21,14 @@ import (
 )
 
 func main() {
-	fmt.Println("developing models (shared with the case study)...")
+	out := cli.Stdout()
+	defer out.ExitOnErr("fault_injection")
+	out.Println("developing models (shared with the case study)...")
 	ctx := exp.NewContext(8, 42)
 
 	// Fig 4's cases on a pessimistic machine (5-hour node MTBF, so the
 	// ~35-minute job sees a handful of failures).
-	fmt.Println("\n-- Fig 4 cases: LULESH, 64 ranks, epr 25, 600k steps --")
+	out.Println("\n-- Fig 4 cases: LULESH, 64 ranks, epr 25, 600k steps --")
 	exp.FormatFaultStudy(os.Stdout, exp.FaultStudy(ctx, 25, 64, 600000, 40, 5))
 
 	// The Young/Daly trade-off, observed by injection: sweep the
@@ -44,8 +46,8 @@ func main() {
 	const steps = 2000000
 	solve := float64(steps) * stepSec
 
-	fmt.Printf("\n-- checkpoint-period sweep (L2, system MTBF %.0fs, solve %.0fs) --\n", mtbf, solve)
-	fmt.Printf("  %10s %14s %14s\n", "period", "injected wall", "Daly model")
+	out.Printf("\n-- checkpoint-period sweep (L2, system MTBF %.0fs, solve %.0fs) --\n", mtbf, solve)
+	out.Printf("  %10s %14s %14s\n", "period", "injected wall", "Daly model")
 	for _, period := range []int{500, 2000, 8000, 32000, 128000} {
 		spec := faults.JobSpec{
 			Steps: steps, StepSec: stepSec,
@@ -56,8 +58,8 @@ func main() {
 		}
 		runs := faults.MonteCarlo(spec, fm, cfg, 20, uint64(period))
 		daly := analytic.DalyWallTime(solve, ckptSec, restart, mtbf, float64(period)*stepSec)
-		fmt.Printf("  %10d %13.1fs %13.1fs\n", period, faults.MeanWall(runs), daly)
+		out.Printf("  %10d %13.1fs %13.1fs\n", period, faults.MeanWall(runs), daly)
 	}
 	tau := analytic.DalyPeriod(ckptSec, mtbf)
-	fmt.Printf("  Daly-optimal period: %.0f steps (tau %.1fs)\n", tau/stepSec, tau)
+	out.Printf("  Daly-optimal period: %.0f steps (tau %.1fs)\n", tau/stepSec, tau)
 }

@@ -9,37 +9,39 @@
 package main
 
 import (
-	"fmt"
 	"os"
 
 	"besst/internal/besst"
+	"besst/internal/cli"
 	"besst/internal/exp"
 	"besst/internal/lulesh"
 )
 
 func main() {
-	fmt.Println("LULESH + FTI on Quartz - the paper's case study")
-	fmt.Println("developing models from the Table II campaign (this takes a few seconds)...")
+	out := cli.Stdout()
+	defer out.ExitOnErr("lulesh_quartz")
+	out.Println("LULESH + FTI on Quartz - the paper's case study")
+	out.Println("developing models from the Table II campaign (this takes a few seconds)...")
 	ctx := exp.NewContext(8, 42)
 
-	fmt.Println("\n-- Table III: instance-model validation --")
+	out.Println("\n-- Table III: instance-model validation --")
 	exp.FormatTable3(os.Stdout, exp.Table3(ctx))
 
-	fmt.Println("\n-- Fig 7: 200 timesteps at 64 ranks (DES mode) --")
+	out.Println("\n-- Fig 7: 200 timesteps at 64 ranks (DES mode) --")
 	exp.FormatFullRun(os.Stdout, "", exp.FigFullRun(ctx, 10, 64, 200, 5, besst.DES), 40)
 
-	fmt.Println("\n-- scenario comparison at 1000 ranks (direct mode) --")
+	out.Println("\n-- scenario comparison at 1000 ranks (direct mode) --")
 	for _, s := range exp.FigFullRun(ctx, 10, 1000, 200, 5, besst.Direct) {
-		fmt.Printf("  %-8s predicted total %8.4gs  measured %8.4gs  series MAPE %5.2f%%\n",
+		out.Printf("  %-8s predicted total %8.4gs  measured %8.4gs  series MAPE %5.2f%%\n",
 			s.Scenario, s.Predicted[len(s.Predicted)-1], s.Measured[len(s.Measured)-1], s.MAPE)
 	}
 
-	fmt.Println("\n-- checkpoint level semantics in effect --")
+	out.Println("\n-- checkpoint level semantics in effect --")
 	for _, sc := range []lulesh.Scenario{lulesh.ScenarioL1, lulesh.ScenarioL1L2} {
-		fmt.Printf("  scenario %-8s:", sc.Name)
+		out.Printf("  scenario %-8s:", sc.Name)
 		for _, sch := range sc.Schedules {
-			fmt.Printf(" level %d every %d steps;", sch.Level, sch.Period)
+			out.Printf(" level %d every %d steps;", sch.Level, sch.Period)
 		}
-		fmt.Println()
+		out.Println()
 	}
 }

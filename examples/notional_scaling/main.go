@@ -13,6 +13,7 @@ import (
 
 	"besst/internal/beo"
 	"besst/internal/besst"
+	"besst/internal/cli"
 	"besst/internal/exp"
 	"besst/internal/lulesh"
 	"besst/internal/machine"
@@ -22,18 +23,20 @@ import (
 )
 
 func main() {
-	fmt.Println("developing LULESH models on the Table II grid...")
+	out := cli.Stdout()
+	defer out.ExitOnErr("notional_scaling")
+	out.Println("developing LULESH models on the Table II grid...")
 	ctx := exp.NewContext(8, 42)
 
 	// (a)+(b): predict beyond the benchmarked region, the Figs 5-6
 	// prediction columns.
-	fmt.Println("\npredictions beyond the benchmarked grid:")
-	fmt.Printf("  %-18s %10s %10s\n", "function", "epr=30", "ranks=1331")
+	out.Println("\npredictions beyond the benchmarked grid:")
+	out.Printf("  %-18s %10s %10s\n", "function", "epr=30", "ranks=1331")
 	for _, op := range []string{lulesh.OpTimestep, lulesh.OpCkptL1, lulesh.OpCkptL2} {
 		m := ctx.Models.ByOp[op]
 		epr30 := m.Predict(perfmodel.Params{"epr": 30, "ranks": 1000})
 		r1331 := m.Predict(perfmodel.Params{"epr": 25, "ranks": 1331})
-		fmt.Printf("  %-18s %9.4gs %9.4gs\n", op, epr30, r1331)
+		out.Printf("  %-18s %9.4gs %9.4gs\n", op, epr30, r1331)
 	}
 
 	// Simulate the notional 1331-rank run end to end: Quartz holds
@@ -49,11 +52,11 @@ func main() {
 	workflow.BindLulesh(arch, ctx.Models)
 	runs := besst.MonteCarlo(app, arch, besst.Options{Mode: besst.Direct, PerRankNoise: true, Seed: 5}, 10)
 	s := stats.Summarize(besst.Makespans(runs))
-	fmt.Printf("\nsimulated %s: mean %.4gs std %.3gs\n", app.Name, s.Mean, s.Std)
+	out.Printf("\nsimulated %s: mean %.4gs std %.3gs\n", app.Name, s.Mean, s.Std)
 
 	// (c): Fig 1 — grow Vulcan notionally and predict to 1M ranks.
-	fmt.Println("\nFig 1-style: CMT-bone on Vulcan, validated to 131072 ranks,")
-	fmt.Println("predicted to 1M ranks on a notionally grown torus:")
+	out.Println("\nFig 1-style: CMT-bone on Vulcan, validated to 131072 ranks,")
+	out.Println("predicted to 1M ranks on a notionally grown torus:")
 	r := exp.Fig1(20, 5, 7)
 	for _, p := range r.Points {
 		if p.PSize != 64 {
@@ -65,11 +68,11 @@ func main() {
 			tag = "PREDICTED"
 			meas = "                    "
 		}
-		fmt.Printf("  ranks %8d: %s simulated %8.4gs +/- %.3g  [%s]\n",
+		out.Printf("  ranks %8d: %s simulated %8.4gs +/- %.3g  [%s]\n",
 			p.Ranks, meas, p.SimMeanSec, p.SimStdSec, tag)
 	}
 
 	grown := machine.Notional(machine.Vulcan(), 65536, 0)
-	fmt.Printf("\nnotional machine used at 1M ranks: %s (%d-node torus)\n",
+	out.Printf("\nnotional machine used at 1M ranks: %s (%d-node torus)\n",
 		grown.Name, grown.Topology.Nodes())
 }

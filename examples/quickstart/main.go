@@ -9,11 +9,10 @@
 package main
 
 import (
-	"fmt"
-
 	"besst/internal/benchdata"
 	"besst/internal/beo"
 	"besst/internal/besst"
+	"besst/internal/cli"
 	"besst/internal/fti"
 	"besst/internal/groundtruth"
 	"besst/internal/lulesh"
@@ -22,6 +21,8 @@ import (
 )
 
 func main() {
+	out := cli.Stdout()
+	defer out.ExitOnErr("quickstart")
 	// The "real machine": an emulated LLNL Quartz with the case
 	// study's FTI configuration (groups of 4 nodes, 2 ranks/node).
 	quartz := groundtruth.NewQuartz()
@@ -35,12 +36,12 @@ func main() {
 		SamplesPer: 6,
 		Seed:       1,
 	})
-	fmt.Printf("benchmarked %d samples\n", len(campaign.Samples))
+	out.Printf("benchmarked %d samples\n", len(campaign.Samples))
 
 	// 2. Model Development: symbolic regression over the samples.
 	models := workflow.Develop(campaign, workflow.SymbolicRegression, []string{"epr", "ranks"}, 2)
 	for _, r := range models.Reports {
-		fmt.Printf("model %-18s validation MAPE %5.2f%%  %s\n", r.Op, r.ValidationMAPE, r.Expression)
+		out.Printf("model %-18s validation MAPE %5.2f%%  %s\n", r.Op, r.ValidationMAPE, r.Expression)
 	}
 
 	// 3. Simulate: 100 LULESH timesteps at epr 10 on 64 ranks with L1
@@ -51,13 +52,13 @@ func main() {
 
 	runs := besst.MonteCarlo(app, arch, besst.Options{Mode: besst.DES, PerRankNoise: true, Seed: 3}, 10)
 	s := stats.Summarize(besst.Makespans(runs))
-	fmt.Printf("\npredicted runtime for %s:\n", app.Name)
-	fmt.Printf("  mean %.4gs  std %.3gs over %d replications (%d events/run)\n",
+	out.Printf("\npredicted runtime for %s:\n", app.Name)
+	out.Printf("  mean %.4gs  std %.3gs over %d replications (%d events/run)\n",
 		s.Mean, s.Std, s.N, runs[0].Events)
 
 	// Compare against a "real" run on the emulated machine.
 	measured := quartz.FullRun(10, 64, 100, lulesh.ScenarioL1, stats.NewRNG(4))
-	fmt.Printf("  measured on the machine: %.4gs (%.1f%% error)\n",
+	out.Printf("  measured on the machine: %.4gs (%.1f%% error)\n",
 		measured[len(measured)-1],
 		stats.PercentError(measured[len(measured)-1], s.Mean))
 }

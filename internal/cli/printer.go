@@ -1,0 +1,84 @@
+// Package cli holds small helpers shared by the command-line tools.
+//
+// Its centerpiece is Printer, an error-absorbing writer that lets the
+// report-formatting layers (internal/exp, internal/dse, the cmd mains)
+// print tables without threading an error return through every line,
+// while still surfacing output failures: the Printer records the first
+// write error, and the top of each main checks Err() before exiting.
+// besst-lint's errcheck rule blesses writes routed through a Printer
+// for exactly this reason — the error is remembered, not dropped.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Printer wraps an io.Writer and absorbs write errors, keeping the
+// first one for the owner to inspect. After an error, further writes
+// are skipped (they would be lost mid-stream anyway) but still report
+// success so formatting helpers run to completion.
+type Printer struct {
+	w   io.Writer
+	err error
+}
+
+// NewPrinter returns a Printer over w.
+func NewPrinter(w io.Writer) *Printer { return &Printer{w: w} }
+
+// Wrap returns w itself when it is already a *Printer — so formatting
+// helpers called with a main's Printer accumulate onto the same error —
+// and a fresh Printer otherwise.
+func Wrap(w io.Writer) *Printer {
+	if p, ok := w.(*Printer); ok {
+		return p
+	}
+	return NewPrinter(w)
+}
+
+// Write implements io.Writer with the absorbing contract above.
+func (p *Printer) Write(b []byte) (int, error) {
+	if p.err != nil {
+		return len(b), nil
+	}
+	n, err := p.w.Write(b)
+	if err == nil && n < len(b) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		p.err = err
+	}
+	return len(b), nil
+}
+
+// Printf formats to the underlying writer, absorbing any error.
+func (p *Printer) Printf(format string, args ...any) {
+	fmt.Fprintf(p, format, args...)
+}
+
+// Println prints operands with a trailing newline, absorbing any error.
+func (p *Printer) Println(args ...any) {
+	fmt.Fprintln(p, args...)
+}
+
+// Print prints operands, absorbing any error.
+func (p *Printer) Print(args ...any) {
+	fmt.Fprint(p, args...)
+}
+
+// Err returns the first write error the Printer absorbed, if any.
+func (p *Printer) Err() error { return p.err }
+
+// Stdout returns a Printer over os.Stdout.
+func Stdout() *Printer { return NewPrinter(os.Stdout) }
+
+// ExitOnErr is a deferred guard for mains: if the Printer absorbed a
+// write error, it reports the failure to stderr and exits nonzero, so
+// truncated output (a closed pipe, a full disk) cannot pass silently.
+func (p *Printer) ExitOnErr(tool string) {
+	if p.err != nil {
+		fmt.Fprintf(os.Stderr, "%s: writing output: %v\n", tool, p.err)
+		os.Exit(1)
+	}
+}

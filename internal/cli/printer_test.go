@@ -1,0 +1,61 @@
+package cli
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+type failAfter struct {
+	n   int
+	err error
+	b   strings.Builder
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.b.Len() >= f.n {
+		return 0, f.err
+	}
+	return f.b.Write(p)
+}
+
+func TestPrinterPassesThrough(t *testing.T) {
+	var b strings.Builder
+	p := NewPrinter(&b)
+	p.Printf("a=%d ", 1)
+	p.Print("b")
+	p.Println(" c")
+	if got, want := b.String(), "a=1 b c\n"; got != want {
+		t.Fatalf("output %q, want %q", got, want)
+	}
+	if p.Err() != nil {
+		t.Fatalf("unexpected error: %v", p.Err())
+	}
+}
+
+func TestPrinterRecordsFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	f := &failAfter{n: 0, err: boom}
+	p := NewPrinter(f)
+	p.Println("lost")
+	p.Println("also lost")
+	if !errors.Is(p.Err(), boom) {
+		t.Fatalf("Err() = %v, want %v", p.Err(), boom)
+	}
+}
+
+func TestWrapReusesPrinter(t *testing.T) {
+	var b strings.Builder
+	p := NewPrinter(&b)
+	if Wrap(p) != p {
+		t.Fatal("Wrap should return the same Printer")
+	}
+	q := Wrap(&b)
+	if q == p {
+		t.Fatal("Wrap of a plain writer must allocate a new Printer")
+	}
+	q.Printf("x")
+	if b.String() != "x" {
+		t.Fatalf("wrapped printer did not write: %q", b.String())
+	}
+}

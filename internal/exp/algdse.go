@@ -1,10 +1,10 @@
 package exp
 
 import (
-	"fmt"
 	"io"
 
 	"besst/internal/benchdata"
+	"besst/internal/cli"
 	"besst/internal/lulesh"
 	"besst/internal/perfmodel"
 	"besst/internal/stats"
@@ -68,9 +68,10 @@ func AlgorithmicDSE(ctx *Context, ckptPeriod int) []AlgDSERow {
 
 // FormatAlgDSE renders the comparison grid.
 func FormatAlgDSE(w io.Writer, rows []AlgDSERow, ckptPeriod int) {
-	fmt.Fprintf(w, "Extension E: algorithmic DSE - C/R (L1 every %d steps) vs ABFT timestep\n", ckptPeriod)
-	fmt.Fprintf(w, "  %6s %6s %14s %14s %8s\n", "epr", "ranks", "C/R s/step", "ABFT s/step", "winner")
+	out := cli.Wrap(w)
+	out.Printf("Extension E: algorithmic DSE - C/R (L1 every %d steps) vs ABFT timestep\n", ckptPeriod)
+	out.Printf("  %6s %6s %14s %14s %8s\n", "epr", "ranks", "C/R s/step", "ABFT s/step", "winner")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %6d %6d %14.6g %14.6g %8s\n", r.EPR, r.Ranks, r.CRSec, r.ABFTSec, r.Winner)
+		out.Printf("  %6d %6d %14.6g %14.6g %8s\n", r.EPR, r.Ranks, r.CRSec, r.ABFTSec, r.Winner)
 	}
 }

@@ -1,9 +1,9 @@
 package exp
 
 import (
-	"fmt"
 	"io"
 
+	"besst/internal/cli"
 	"besst/internal/fti"
 	"besst/internal/lulesh"
 	"besst/internal/machine"
@@ -70,11 +70,12 @@ func ArchitecturalDSE(ctx *Context) []ArchDSERow {
 
 // FormatArchDSE renders the hardware-variant comparison.
 func FormatArchDSE(w io.Writer, rows []ArchDSERow) {
-	fmt.Fprintln(w, "Extension F: architectural DSE - hardware variants vs FT cost")
-	fmt.Fprintln(w, "(checkpoint instances at epr 15, 1000 ranks; L1 overhead per 40-step period)")
-	fmt.Fprintf(w, "  %-24s %12s %12s %12s %12s\n", "variant", "L1 inst", "L2 inst", "L4 inst", "L1 ovhd")
+	out := cli.Wrap(w)
+	out.Println("Extension F: architectural DSE - hardware variants vs FT cost")
+	out.Println("(checkpoint instances at epr 15, 1000 ranks; L1 overhead per 40-step period)")
+	out.Printf("  %-24s %12s %12s %12s %12s\n", "variant", "L1 inst", "L2 inst", "L4 inst", "L1 ovhd")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-24s %11.5gs %11.5gs %11.5gs %11.1f%%\n",
+		out.Printf("  %-24s %11.5gs %11.5gs %11.5gs %11.1f%%\n",
 			r.Variant, r.L1Sec, r.L2Sec, r.L4Sec, r.L1OverheadPct)
 	}
 }

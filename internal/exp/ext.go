@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"besst/internal/analytic"
+	"besst/internal/cli"
 	"besst/internal/faults"
 	"besst/internal/fti"
 	"besst/internal/lulesh"
@@ -118,11 +119,12 @@ func params(epr, ranks int) map[string]float64 {
 
 // FormatFaultStudy renders the fault-injection comparison.
 func FormatFaultStudy(w io.Writer, rows []FaultCase) {
-	fmt.Fprintln(w, "Extension A: fault injection (Fig 4 cases)")
-	fmt.Fprintf(w, "  %-40s %12s %8s %8s %9s %8s\n",
+	out := cli.Wrap(w)
+	out.Println("Extension A: fault injection (Fig 4 cases)")
+	out.Printf("  %-40s %12s %8s %8s %9s %8s\n",
 		"case", "mean wall s", "eff", "faults", "recovered", "scratch")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-40s %12.1f %7.1f%% %8.2f %9.2f %8.2f\n",
+		out.Printf("  %-40s %12.1f %7.1f%% %8.2f %9.2f %8.2f\n",
 			r.Name, r.MeanWall, 100*r.Efficiency, r.Faults, r.Recovered, r.Scratch)
 	}
 }
@@ -160,11 +162,12 @@ func AnalyticStudy(ctx *Context, serialFraction float64, ps []int) []AnalyticRow
 
 // FormatAnalyticStudy renders the baseline comparison.
 func FormatAnalyticStudy(w io.Writer, rows []AnalyticRow) {
-	fmt.Fprintln(w, "Extension B: analytic FT-aware speedup baselines")
-	fmt.Fprintf(w, "  %10s %12s %12s %12s %14s %12s\n",
+	out := cli.Wrap(w)
+	out.Println("Extension B: analytic FT-aware speedup baselines")
+	out.Printf("  %10s %12s %12s %12s %14s %12s\n",
 		"p", "Amdahl", "Cavelan", "Zheng-Amdahl", "Zheng-Gustafson", "Hussain-rep")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %10d %12.1f %12.1f %12.1f %14.1f %12.1f\n",
+		out.Printf("  %10d %12.1f %12.1f %12.1f %14.1f %12.1f\n",
 			r.P, r.Amdahl, r.Cavelan, r.ZhengAmdahl, r.ZhengGustaf, r.HussainRepl)
 	}
 }

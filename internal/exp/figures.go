@@ -9,6 +9,7 @@ import (
 	"besst/internal/benchdata"
 	"besst/internal/beo"
 	"besst/internal/besst"
+	"besst/internal/cli"
 	"besst/internal/cmtbone"
 	"besst/internal/dse"
 	"besst/internal/groundtruth"
@@ -83,12 +84,13 @@ func Fig6(ctx *Context) []ValidationPoint {
 // FormatValidationPoints renders Figs 5-6 data grouped by op, with the
 // prediction region marked.
 func FormatValidationPoints(w io.Writer, title string, pts []ValidationPoint) {
-	fmt.Fprintln(w, title)
+	out := cli.Wrap(w)
+	out.Println(title)
 	currentOp := ""
 	for _, p := range pts {
 		if p.Op != currentOp {
 			currentOp = p.Op
-			fmt.Fprintf(w, "%s\n  %6s %6s %14s %14s %s\n", p.Op, "epr", "ranks", "measured", "modeled", "")
+			out.Printf("%s\n  %6s %6s %14s %14s %s\n", p.Op, "epr", "ranks", "measured", "modeled", "")
 		}
 		meas := "      (predict)"
 		if !p.Prediction {
@@ -98,7 +100,7 @@ func FormatValidationPoints(w io.Writer, title string, pts []ValidationPoint) {
 		if p.Prediction {
 			marker = "  <- prediction region"
 		}
-		fmt.Fprintf(w, "  %6d %6d %s %14.6g%s\n", p.EPR, p.Ranks, meas, p.Modeled, marker)
+		out.Printf("  %6d %6d %s %14.6g%s\n", p.EPR, p.Ranks, meas, p.Modeled, marker)
 	}
 }
 
@@ -160,20 +162,21 @@ func FigFullRun(ctx *Context, epr, ranks, timesteps, mcRuns int, mode besst.Mode
 // FormatFullRun renders a Figs 7-8 panel, sampling the cumulative
 // series every `every` steps.
 func FormatFullRun(w io.Writer, title string, series []FullRunSeries, every int) {
-	fmt.Fprintln(w, title)
+	out := cli.Wrap(w)
+	out.Println(title)
 	for _, s := range series {
-		fmt.Fprintf(w, "scenario %-8s (epr=%d, ranks=%d)  series MAPE %.2f%%\n",
+		out.Printf("scenario %-8s (epr=%d, ranks=%d)  series MAPE %.2f%%\n",
 			s.Scenario, s.EPR, s.Ranks, s.MAPE)
-		fmt.Fprintf(w, "  %6s %14s %14s\n", "step", "measured", "predicted")
+		out.Printf("  %6s %14s %14s\n", "step", "measured", "predicted")
 		for i := every - 1; i < len(s.Measured); i += every {
-			fmt.Fprintf(w, "  %6d %14.6g %14.6g\n", i+1, s.Measured[i], s.Predicted[i])
+			out.Printf("  %6d %14.6g %14.6g\n", i+1, s.Measured[i], s.Predicted[i])
 		}
 		if len(s.CkptTimes) > 0 {
-			fmt.Fprintf(w, "  checkpoints complete at (s):")
+			out.Printf("  checkpoints complete at (s):")
 			for _, t := range s.CkptTimes {
-				fmt.Fprintf(w, " %.4g", t)
+				out.Printf(" %.4g", t)
 			}
-			fmt.Fprintln(w)
+			out.Println()
 		}
 	}
 }
@@ -194,10 +197,11 @@ func Fig9(ctx *Context, timesteps, mcRuns int) []dse.Cell {
 
 // FormatFig9 renders both rank tables.
 func FormatFig9(w io.Writer, cells []dse.Cell) {
-	fmt.Fprintln(w, "Fig 9: Overhead Prediction for Full System Simulation")
-	fmt.Fprintln(w, "(percent of the no-FT runtime at 64 ranks, per problem size)")
-	fmt.Fprintln(w, dse.FormatOverheadTable(cells, 64))
-	fmt.Fprintln(w, dse.FormatOverheadTable(cells, 1000))
+	out := cli.Wrap(w)
+	out.Println("Fig 9: Overhead Prediction for Full System Simulation")
+	out.Println("(percent of the no-FT runtime at 64 ranks, per problem size)")
+	out.Println(dse.FormatOverheadTable(cells, 64))
+	out.Println(dse.FormatOverheadTable(cells, 1000))
 }
 
 // Fig1Point is one scatter point of the Fig 1 reproduction: CMT-bone on
@@ -291,17 +295,18 @@ func Fig1(timesteps, mcRuns int, seed uint64) *Fig1Result {
 
 // FormatFig1 renders the Fig 1 reproduction.
 func FormatFig1(w io.Writer, r *Fig1Result) {
-	fmt.Fprintln(w, "Fig 1: BE-SST validation & prediction, CMT-bone on Vulcan")
-	fmt.Fprintf(w, "  timestep model validation MAPE: %.2f%%\n", r.TimestepModelMAPE)
-	fmt.Fprintf(w, "  %6s %9s %14s %14s %12s\n", "psize", "ranks", "measured", "sim mean", "sim std")
+	out := cli.Wrap(w)
+	out.Println("Fig 1: BE-SST validation & prediction, CMT-bone on Vulcan")
+	out.Printf("  timestep model validation MAPE: %.2f%%\n", r.TimestepModelMAPE)
+	out.Printf("  %6s %9s %14s %14s %12s\n", "psize", "ranks", "measured", "sim mean", "sim std")
 	for _, p := range r.Points {
 		meas := "     (predict)"
 		if !p.Prediction {
 			meas = fmt.Sprintf("%14.6g", p.MeasuredSec)
 		}
-		fmt.Fprintf(w, "  %6d %9d %s %14.6g %12.3g\n", p.PSize, p.Ranks, meas, p.SimMeanSec, p.SimStdSec)
+		out.Printf("  %6d %9d %s %14.6g %12.3g\n", p.PSize, p.Ranks, meas, p.SimMeanSec, p.SimStdSec)
 	}
-	fmt.Fprintf(w, "  MC distribution pop-out at psize=%d ranks=%d:\n", r.PopPSize, r.PopRanks)
+	out.Printf("  MC distribution pop-out at psize=%d ranks=%d:\n", r.PopPSize, r.PopRanks)
 	maxCount := 0
 	for _, c := range r.HistCounts {
 		if c > maxCount {
@@ -313,6 +318,6 @@ func FormatFig1(w io.Writer, r *Fig1Result) {
 		if maxCount > 0 {
 			bar = strings.Repeat("#", c*40/maxCount)
 		}
-		fmt.Fprintf(w, "    [%.5g, %.5g) %s\n", r.HistEdges[i], r.HistEdges[i+1], bar)
+		out.Printf("    [%.5g, %.5g) %s\n", r.HistEdges[i], r.HistEdges[i+1], bar)
 	}
 }

@@ -1,10 +1,10 @@
 package exp
 
 import (
-	"fmt"
 	"io"
 
 	"besst/internal/benchdata"
+	"besst/internal/cli"
 	"besst/internal/fti"
 	"besst/internal/lulesh"
 	"besst/internal/perfmodel"
@@ -64,12 +64,13 @@ func AllLevelsStudy(ctx *Context) []LevelRow {
 
 // FormatAllLevels renders the all-levels study.
 func FormatAllLevels(w io.Writer, rows []LevelRow) {
-	fmt.Fprintln(w, "Extension C: all four FTI levels modeled (paper future work)")
-	fmt.Fprintf(w, "  %-6s %10s %14s %14s %16s\n",
+	out := cli.Wrap(w)
+	out.Println("Extension C: all four FTI levels modeled (paper future work)")
+	out.Printf("  %-6s %10s %14s %14s %16s\n",
 		"level", "MAPE", "inst@64rk", "inst@1000rk", "amortized ovhd")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  L%-5d %9.2f%% %13.5gs %13.5gs %15.1f%%\n",
+		out.Printf("  L%-5d %9.2f%% %13.5gs %13.5gs %15.1f%%\n",
 			int(r.Level), r.ValidationMAPE, r.InstanceSec64, r.InstanceSec1000, r.AmortizedOverheadPct)
 	}
-	fmt.Fprintln(w, "  (instances at epr 15; amortized over a 40-step period vs the timestep)")
+	out.Println("  (instances at epr 15; amortized over a 40-step period vs the timestep)")
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"besst/internal/cli"
 	"besst/internal/faults"
 	"besst/internal/fti"
 	"besst/internal/lulesh"
@@ -94,15 +95,16 @@ func OptimalLevelStudy(ctx *Context, epr, ranks, steps, mcRuns int, mtbfHours []
 
 // FormatOptimalLevel renders the study.
 func FormatOptimalLevel(w io.Writer, rows []OptLevelRow) {
-	fmt.Fprintln(w, "Extension D: optimal FT level vs node failure rate")
-	fmt.Fprintf(w, "  %14s %10s %10s %10s %10s %10s %8s\n",
+	out := cli.Wrap(w)
+	out.Println("Extension D: optimal FT level vs node failure rate")
+	out.Printf("  %14s %10s %10s %10s %10s %10s %8s\n",
 		"node MTBF (h)", "no FT", "L1", "L2", "L3", "L4", "best")
 	for _, r := range rows {
 		best := "no FT"
 		if r.Best > 0 {
 			best = fmt.Sprintf("L%d", r.Best)
 		}
-		fmt.Fprintf(w, "  %14.1f %9.0fs %9.0fs %9.0fs %9.0fs %9.0fs %8s\n",
+		out.Printf("  %14.1f %9.0fs %9.0fs %9.0fs %9.0fs %9.0fs %8s\n",
 			r.NodeMTBFHours, r.WallByLevel[0], r.WallByLevel[1],
 			r.WallByLevel[2], r.WallByLevel[3], r.WallByLevel[4], best)
 	}

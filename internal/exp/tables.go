@@ -1,10 +1,10 @@
 package exp
 
 import (
-	"fmt"
 	"io"
 	"strings"
 
+	"besst/internal/cli"
 	"besst/internal/fti"
 	"besst/internal/lulesh"
 	"besst/internal/workflow"
@@ -15,9 +15,10 @@ import (
 // each level it prints the description and a demonstration of what the
 // implementation can and cannot recover.
 func Table1(w io.Writer) {
+	out := cli.Wrap(w)
 	cfg := fti.Config{GroupSize: 4, NodeSize: 2}
-	fmt.Fprintln(w, "Table I: Checkpointing Levels of the Fault Tolerance Interface (FTI)")
-	fmt.Fprintln(w, strings.Repeat("-", 78))
+	out.Println("Table I: Checkpointing Levels of the Fault Tolerance Interface (FTI)")
+	out.Println(strings.Repeat("-", 78))
 	soft := []fti.Failure{{Node: 0, Kind: fti.SoftFailure}}
 	hard := []fti.Failure{{Node: 0, Kind: fti.HardFailure}}
 	pair := []fti.Failure{{Node: 0, Kind: fti.HardFailure}, {Node: 1, Kind: fti.HardFailure}}
@@ -26,26 +27,27 @@ func Table1(w io.Writer) {
 		{Node: 2, Kind: fti.HardFailure},
 	}
 	for l := fti.L1; l <= fti.L4; l++ {
-		fmt.Fprintf(w, "%s\n", l)
-		fmt.Fprintf(w, "    recovers: soft=%v  1 hard=%v  partner pair hard=%v  3-of-group hard=%v\n",
+		out.Printf("%s\n", l)
+		out.Printf("    recovers: soft=%v  1 hard=%v  partner pair hard=%v  3-of-group hard=%v\n",
 			cfg.Recoverable(l, soft), cfg.Recoverable(l, hard),
 			cfg.Recoverable(l, pair), cfg.Recoverable(l, group))
 	}
-	fmt.Fprintf(w, "(group_size=%d, node_size=%d; L3 parity shards=%d)\n",
+	out.Printf("(group_size=%d, node_size=%d; L3 parity shards=%d)\n",
 		cfg.GroupSize, cfg.NodeSize, cfg.ParityShards())
 }
 
 // Table2 renders the case-study parameter grid (paper Table II) and
 // verifies the launch rules that produced it.
 func Table2(w io.Writer) {
+	out := cli.Wrap(w)
 	cfg := fti.Config{GroupSize: 4, NodeSize: 2}
-	fmt.Fprintln(w, "Table II: Case Study Parameters")
-	fmt.Fprintf(w, "  Problem Size (epr): %v\n", CaseEPRs)
-	fmt.Fprintf(w, "  Ranks:              %v\n", CaseRanks)
-	fmt.Fprintf(w, "  Group Size:         %d\n", cfg.GroupSize)
-	fmt.Fprintf(w, "  Node Size:          %d\n", cfg.NodeSize)
+	out.Println("Table II: Case Study Parameters")
+	out.Printf("  Problem Size (epr): %v\n", CaseEPRs)
+	out.Printf("  Ranks:              %v\n", CaseRanks)
+	out.Printf("  Group Size:         %d\n", cfg.GroupSize)
+	out.Printf("  Node Size:          %d\n", cfg.NodeSize)
 	valid := lulesh.ValidRanks(1000, cfg)
-	fmt.Fprintf(w, "  (perfect cubes divisible by %d up to 1000: %v)\n",
+	out.Printf("  (perfect cubes divisible by %d up to 1000: %v)\n",
 		cfg.GroupSize*cfg.NodeSize, valid)
 }
 
@@ -68,10 +70,11 @@ func Table3(ctx *Context) []Table3Row {
 
 // FormatTable3 renders Table3 results next to the paper's numbers.
 func FormatTable3(w io.Writer, rows []Table3Row) {
-	fmt.Fprintln(w, "Table III: Model Validation via Mean Average Percent Error")
-	fmt.Fprintf(w, "  %-24s %10s %10s\n", "Kernel", "MAPE", "paper")
+	out := cli.Wrap(w)
+	out.Println("Table III: Model Validation via Mean Average Percent Error")
+	out.Printf("  %-24s %10s %10s\n", "Kernel", "MAPE", "paper")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-24s %9.2f%% %9.2f%%\n", r.Kernel, r.MAPE, r.PaperMAPE)
+		out.Printf("  %-24s %9.2f%% %9.2f%%\n", r.Kernel, r.MAPE, r.PaperMAPE)
 	}
 }
 
@@ -112,9 +115,10 @@ func Table4(ctx *Context, timesteps, mcRuns int) []Table4Row {
 
 // FormatTable4 renders Table4 results next to the paper's numbers.
 func FormatTable4(w io.Writer, rows []Table4Row) {
-	fmt.Fprintln(w, "Table IV: Validation for Full System Simulation")
-	fmt.Fprintf(w, "  %-36s %10s %10s\n", "Fault-Tolerance Level", "MAPE", "paper")
+	out := cli.Wrap(w)
+	out.Println("Table IV: Validation for Full System Simulation")
+	out.Printf("  %-36s %10s %10s\n", "Fault-Tolerance Level", "MAPE", "paper")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-36s %9.2f%% %9.2f%%\n", r.Scenario, r.MAPE, r.PaperMAPE)
+		out.Printf("  %-36s %9.2f%% %9.2f%%\n", r.Scenario, r.MAPE, r.PaperMAPE)
 	}
 }

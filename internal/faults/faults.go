@@ -53,6 +53,7 @@ func (f FaultModel) Validate() {
 // SystemMTBFSeconds returns the aggregate mean time between failures
 // across all job nodes, in seconds.
 func (f FaultModel) SystemMTBFSeconds() float64 {
+	//lint:ignore floateq exact zero rate is the injection-disabled sentinel
 	if f.FaultsPerNodeHour == 0 {
 		return math.Inf(1)
 	}
@@ -62,10 +63,12 @@ func (f FaultModel) SystemMTBFSeconds() float64 {
 // nextFailure draws the time to the next system-wide failure event in
 // seconds.
 func (f FaultModel) nextFailure(rng *stats.RNG) float64 {
+	//lint:ignore floateq exact zero rate is the injection-disabled sentinel
 	if f.FaultsPerNodeHour == 0 {
 		return math.Inf(1)
 	}
 	rate := f.FaultsPerNodeHour * float64(f.Nodes) / 3600 // per second
+	//lint:ignore floateq shape exactly 1 degenerates Weibull to the exponential path
 	if f.WeibullShape > 0 && f.WeibullShape != 1 {
 		// Scale chosen so the mean matches 1/rate:
 		// E[Weibull(k, lambda)] = lambda * Gamma(1 + 1/k).
@@ -162,6 +165,7 @@ type RunStats struct {
 
 // Efficiency returns SolveSec / WallSec.
 func (r RunStats) Efficiency() float64 {
+	//lint:ignore floateq division guard; only an exactly zero wall time is degenerate
 	if r.WallSec == 0 {
 		return 0
 	}

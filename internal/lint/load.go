@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked, non-test package ready for analysis.
+//
+// Test files (_test.go) are deliberately excluded: the invariants
+// besst-lint enforces protect simulation code paths, and tests need the
+// freedom to spawn goroutines, compare floats exactly, and measure wall
+// time around the code under test.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	loader *Loader
+}
+
+// Rel returns the package's import path relative to the module root
+// ("internal/des", "cmd/besst-lint", "" for the root package). Checks
+// use it to scope themselves to parts of the tree.
+func (p *Package) Rel() string {
+	if p.ImportPath == p.loader.ModPath {
+		return ""
+	}
+	return strings.TrimPrefix(p.ImportPath, p.loader.ModPath+"/")
+}
+
+// relFile returns pos's filename relative to the module root, with
+// forward slashes, so diagnostics are stable across checkouts.
+func (p *Package) relFile(pos token.Position) string {
+	rel, err := filepath.Rel(p.loader.ModRoot, pos.Filename)
+	if err != nil {
+		return pos.Filename
+	}
+	return filepath.ToSlash(rel)
+}
+
+// Loader discovers, parses, and type-checks the module's packages using
+// only the standard library: module-local imports are resolved by
+// recursively loading their directories, and standard-library imports
+// fall back to the source importer (go/importer "source"), which
+// type-checks GOROOT packages directly. Loaded packages are memoized,
+// so a whole-tree run type-checks each package exactly once.
+type Loader struct {
+	ModRoot string // absolute path of the directory holding go.mod
+	ModPath string // module path declared in go.mod
+
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // import-cycle guard
+}
+
+// NewLoader locates the enclosing module by walking up from dir (or the
+// working directory if dir is empty) to the nearest go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		dir = wd
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	src, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		ModRoot: root,
+		ModPath: modPath,
+		fset:    fset,
+		std:     src,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local paths load
+// from the module tree, everything else from GOROOT source.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// load type-checks the module package with the given import path.
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+	return l.LoadDir(filepath.Join(l.ModRoot, filepath.FromSlash(rel)), path)
+}
+
+// LoadDir parses and type-checks the non-test Go files of dir as the
+// package with the given import path. It is exported so tests can load
+// fixture packages from testdata under a synthetic import path (the
+// path decides which path-scoped checks apply).
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+
+	p := &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		loader:     l,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// goFileNames lists dir's buildable non-test Go files in name order.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadPatterns resolves package patterns — "./...", "./dir/...",
+// "./dir", or module-relative equivalents — against the module tree and
+// loads every matched package, returned in import-path order. Package
+// patterns follow the go tool's directory conventions: testdata,
+// vendor, hidden, and underscore-prefixed directories are skipped, as
+// are directories with no non-test Go files.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		pat = strings.TrimPrefix(pat, l.ModPath+"/")
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "." || pat == l.ModPath {
+			pat = ""
+		}
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			recursive = true
+			pat = strings.TrimSuffix(rest, "/")
+		}
+		base := filepath.Join(l.ModRoot, filepath.FromSlash(pat))
+		if st, err := os.Stat(base); err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q: no such directory %s", pat, base)
+		}
+		if !recursive {
+			dirs[base] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			dirs[p] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var pkgs []*Package
+	for dir := range dirs {
+		names, err := goFileNames(dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(names) == 0 {
+			continue // directory without buildable Go files
+		}
+		rel, err := filepath.Rel(l.ModRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModPath
+		if rel != "." {
+			path = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}

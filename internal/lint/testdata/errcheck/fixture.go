@@ -1,0 +1,25 @@
+// Package errfix exercises the errcheck check: dropped error returns
+// are flagged while stderr prints, in-memory builders, and explicit
+// _ = discards pass.
+package errfix
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func drops(f *os.File) {
+	os.Remove("stale")
+	defer f.Close()
+	fmt.Fprintf(f, "boom\n")
+}
+
+func blessed() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ok %d\n", 1)
+	b.WriteString("tail")
+	fmt.Fprintln(os.Stderr, "diagnostic")
+	_ = os.Remove("deliberate")
+	return b.String()
+}

@@ -1,0 +1,11 @@
+// Package floatfix exercises the floateq check: exact comparisons on
+// any float type are flagged; integer comparisons are not.
+package floatfix
+
+func eq(a, b float64) bool { return a == b }
+
+func nonzero(x float64) bool { return x != 0 }
+
+func eq32(a, b float32) bool { return a == b }
+
+func intEq(a, b int) bool { return a == b }

@@ -1,0 +1,17 @@
+// Package ndfix exercises the nodeterminism check: it is loaded under a
+// synthetic import path inside internal/des, so every ambient entropy
+// source below must be flagged.
+package ndfix
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func entropy() float64 {
+	start := time.Now()
+	_ = time.Since(start)
+	_ = os.Getpid()
+	return rand.Float64()
+}

@@ -1,0 +1,38 @@
+// Package seedfix exercises the seeddiscipline check: RNG construction
+// inside loops with the sanctioned and forbidden seed derivations.
+package seedfix
+
+import "besst/internal/stats"
+
+type item struct{ Seed uint64 }
+
+func derive(master uint64, i int) uint64 {
+	return master ^ uint64(i)*0x9e3779b97f4a7c15
+}
+
+// bad constructions: a reused master seed and loop-variable arithmetic.
+func bad(master uint64, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		r := stats.NewRNG(master)
+		sum += r.Float64() + float64(i)
+	}
+	for i := 0; i < n; i++ {
+		r := stats.NewRNG(master + uint64(i))
+		sum += r.Float64()
+	}
+	return sum
+}
+
+// good constructions: seed tables, derivation helpers, per-item fields.
+func good(master uint64, seeds []uint64, items []item, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += stats.NewRNG(seeds[i]).Float64()
+		sum += stats.NewRNG(derive(master, i)).Float64()
+	}
+	for _, it := range items {
+		sum += stats.NewRNG(it.Seed).Float64()
+	}
+	return sum
+}

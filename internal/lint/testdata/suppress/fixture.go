@@ -1,0 +1,33 @@
+// Package suppressfix exercises //lint:ignore handling: directives on
+// the line above and at the end of the flagged line suppress; malformed,
+// unknown-check, and unused directives are reported as lintdirective
+// findings and suppress nothing.
+package suppressfix
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floateq bit-exactness is intended in this fixture
+	return a == b
+}
+
+func trailing(x float64) bool {
+	return x != 0 //lint:ignore floateq zero is the sentinel here
+}
+
+func unsuppressed(a, b float64) bool {
+	return a != b
+}
+
+//lint:ignore floateq
+func missingReason(a, b float64) bool {
+	return a == b
+}
+
+//lint:ignore nosuchcheck the check name above does not exist
+func unknownCheck(a, b int) bool {
+	return a == b
+}
+
+//lint:ignore errcheck nothing on the next line can trip errcheck
+func unused(a, b int) int {
+	return a + b
+}

@@ -96,6 +96,7 @@ func Simulate(t topo.Topology, cfg Config, flows []Flow) []Result {
 				continue
 			}
 			s.started = true
+			//lint:ignore floateq exactly zero remaining bytes marks an empty flow
 			if len(s.route) == 0 || s.remaining == 0 {
 				// Intra-node or empty flow: completes at base latency.
 				s.done = true

@@ -127,13 +127,13 @@ func (t *Table) nearest(coord []float64) *tablePoint {
 		d := 0.0
 		for i := range coord {
 			span := t.axes[i][len(t.axes[i])-1] - t.axes[i][0]
-			if span == 0 {
+			if stats.ApproxEqual(span, 0, 0) {
 				span = 1
 			}
 			dd := (pt.coord[i] - coord[i]) / span
 			d += dd * dd
 		}
-		if d < bestD || (d == bestD && key < bestKey) {
+		if d < bestD || (stats.ApproxEqual(d, bestD, 0) && key < bestKey) {
 			bestD = d
 			best = pt
 			bestKey = key
@@ -169,7 +169,7 @@ func (t *Table) interp(coord []float64, dim int) float64 {
 		c := append([]float64{}, coord...)
 		c[dim] = axis[0]
 		return t.interp(c, dim+1)
-	case i < len(axis) && axis[i] == x:
+	case i < len(axis) && stats.ApproxEqual(axis[i], x, 0):
 		c := append([]float64{}, coord...)
 		c[dim] = axis[i]
 		return t.interp(c, dim+1)

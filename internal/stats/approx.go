@@ -1,0 +1,27 @@
+package stats
+
+import "math"
+
+// ApproxEqual reports whether a and b agree to within tol, using a
+// relative tolerance with an absolute floor of tol itself:
+//
+//	|a-b| <= tol * max(1, |a|, |b|)
+//
+// It is the sanctioned way to compare floating-point model outputs —
+// besst-lint's floateq check forbids direct == / != on floats, because
+// exact comparison silently encodes an assumption of bit-identical
+// evaluation that optimization levels and refactors break. NaNs never
+// compare approximately equal; equal infinities do.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { //lint:ignore floateq fast path; also the only way infinities compare equal
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}

@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},                        // exact match, zero tolerance
+		{1, 1 + 1e-12, 1e-9, true},             // tiny relative difference
+		{1, 1.1, 1e-3, false},                  // clearly apart
+		{1e9, 1e9 + 1, 1e-6, true},             // relative scaling at large magnitude
+		{1e9, 1e9 + 1e5, 1e-6, false},          // beyond relative tolerance
+		{0, 1e-12, 1e-9, true},                 // absolute floor near zero
+		{0, 1e-6, 1e-9, false},                 // beyond absolute floor
+		{math.Inf(1), math.Inf(1), 1e-9, true}, // equal infinities
+		{math.Inf(1), math.Inf(-1), 1e-9, false},
+		{math.NaN(), math.NaN(), 1e-9, false}, // NaN never approximately equal
+		{math.NaN(), 1, 1e-9, false},
+		{-2, 2, 1, false}, // sign matters: |a-b|=4 > 1*max(1,2,2)=2
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%g, %g, %g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqualSymmetric(t *testing.T) {
+	vals := []float64{0, 1, -1, 1e-9, 1e9, math.Inf(1)}
+	for _, a := range vals {
+		for _, b := range vals {
+			if ApproxEqual(a, b, 1e-6) != ApproxEqual(b, a, 1e-6) {
+				t.Errorf("ApproxEqual not symmetric at (%g, %g)", a, b)
+			}
+		}
+	}
+}

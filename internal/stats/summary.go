@@ -94,7 +94,7 @@ func MAPE(measured, predicted []float64) float64 {
 	var sum float64
 	var n int
 	for i, m := range measured {
-		if m == 0 {
+		if ApproxEqual(m, 0, 0) {
 			continue
 		}
 		sum += math.Abs((predicted[i] - m) / m)
@@ -108,7 +108,7 @@ func MAPE(measured, predicted []float64) float64 {
 
 // PercentError returns the signed percent error of predicted vs measured.
 func PercentError(measured, predicted float64) float64 {
-	if measured == 0 {
+	if ApproxEqual(measured, 0, 0) {
 		return math.NaN()
 	}
 	return 100 * (predicted - measured) / measured
@@ -143,7 +143,7 @@ func R2(measured, predicted []float64) float64 {
 		t := measured[i] - mean
 		ssTot += t * t
 	}
-	if ssTot == 0 {
+	if ApproxEqual(ssTot, 0, 0) {
 		return math.NaN()
 	}
 	return 1 - ssRes/ssTot
@@ -158,7 +158,7 @@ func Histogram(xs []float64, nbins int) (counts []int, edges []float64) {
 	}
 	s := Summarize(xs)
 	lo, hi := s.Min, s.Max
-	if lo == hi { // all samples identical: single populated bin
+	if ApproxEqual(lo, hi, 0) { // all samples identical: single populated bin
 		hi = lo + 1
 	}
 	counts = make([]int, nbins)
@@ -205,9 +205,11 @@ func KSDistance(a, b []float64) float64 {
 		if sb[j] < x {
 			x = sb[j]
 		}
+		//lint:ignore floateq KS tie-stepping must skip exactly equal sorted samples
 		for i < len(sa) && sa[i] == x {
 			i++
 		}
+		//lint:ignore floateq KS tie-stepping must skip exactly equal sorted samples
 		for j < len(sb) && sb[j] == x {
 			j++
 		}

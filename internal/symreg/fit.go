@@ -89,21 +89,11 @@ func (o Options) withDefaults() Options {
 	if o.TournamentK == 0 {
 		o.TournamentK = 5
 	}
-	if o.ParsimonyCoeff == 0 {
-		o.ParsimonyCoeff = 0.05
-	}
-	if o.CrossoverProb == 0 {
-		o.CrossoverProb = 0.7
-	}
-	if o.MutateProb == 0 {
-		o.MutateProb = 0.2
-	}
-	if o.ConstMax == 0 {
-		o.ConstMax = 2
-	}
-	if o.TargetMAPE == 0 {
-		o.TargetMAPE = 0.5
-	}
+	o.ParsimonyCoeff = defaultIfZero(o.ParsimonyCoeff, 0.05)
+	o.CrossoverProb = defaultIfZero(o.CrossoverProb, 0.7)
+	o.MutateProb = defaultIfZero(o.MutateProb, 0.2)
+	o.ConstMax = defaultIfZero(o.ConstMax, 2)
+	o.TargetMAPE = defaultIfZero(o.TargetMAPE, 0.5)
 	return o
 }
 
@@ -138,6 +128,7 @@ func (f *Fitted) Predict(p perfmodel.Params) float64 {
 		}
 	}
 	v := f.Expr.Eval(vars)
+	//lint:ignore floateq exactly zero YScale marks an unscaled legacy model
 	if f.YScale != 0 {
 		v *= f.YScale
 	}
@@ -174,7 +165,7 @@ func mape(expr *Node, ds Dataset) float64 {
 		if math.IsNaN(pred) || math.IsInf(pred, 0) {
 			return math.Inf(1)
 		}
-		if ds.Y[i] == 0 {
+		if stats.ApproxEqual(ds.Y[i], 0, 0) {
 			continue
 		}
 		sum += math.Abs((pred - ds.Y[i]) / ds.Y[i])
@@ -211,19 +202,14 @@ func Fit(label string, train, test Dataset, opt Options) *Fitted {
 			s += math.Abs(row[j])
 		}
 		s /= float64(len(train.X))
-		if s == 0 {
-			s = 1
-		}
-		xScale[j] = s
+		xScale[j] = defaultIfZero(s, 1)
 	}
 	yScale := 0.0
 	for _, y := range train.Y {
 		yScale += math.Abs(y)
 	}
 	yScale /= float64(len(train.Y))
-	if yScale == 0 {
-		yScale = 1
-	}
+	yScale = defaultIfZero(yScale, 1)
 	scale := func(ds Dataset) Dataset {
 		out := Dataset{VarNames: ds.VarNames}
 		for i, row := range ds.X {
@@ -414,4 +400,14 @@ func refineConstants(ind individual, train Dataset, opt Options, rng *stats.RNG)
 	ind.rawMAPE = bestMAPE
 	ind.fitness = bestMAPE + opt.ParsimonyCoeff*float64(ind.tree.Size())
 	return ind
+}
+
+// defaultIfZero substitutes def when v is exactly zero — the unset
+// sentinel for Options fields and data-driven scale factors.
+func defaultIfZero(v, def float64) float64 {
+	//lint:ignore floateq zero is the unset sentinel; only an exact zero means "use the default"
+	if v == 0 {
+		return def
+	}
+	return v
 }
