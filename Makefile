@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build test vet fmt lint lint-fixtures race bench parbench
+.PHONY: check build test vet fmt lint lint-fixtures race bench parbench profile trace-fixtures
 
 # check is the tier-1 gate: formatting, static analysis (vet and
-# besst-lint), build, and the race-enabled internal test suite (the
-# parallel tiers are only trusted under -race).
-check: fmt vet lint build race
+# besst-lint), build, the race-enabled internal test suite (the
+# parallel tiers are only trusted under -race), and the observability
+# fixtures.
+check: fmt vet lint build race trace-fixtures
 
 build:
 	$(GO) build ./...
@@ -42,3 +43,19 @@ bench:
 # simulator timings; speedup scales with available cores).
 parbench: build
 	$(GO) run ./cmd/besst-bench -parbench -workers 0
+
+# trace-fixtures runs the observability golden fixtures: trace-buffer
+# pairing, Chrome trace and metrics document round-trips, and the
+# instrumentation-leaves-results-identical gates.
+trace-fixtures:
+	$(GO) test ./internal/obs ./internal/des ./internal/besst \
+		-run 'Trace|Metrics|Tracer|Collector|Instrumentation|Observability' -v
+
+# profile captures a full observability bundle from a small DES run:
+# CPU and heap profiles, a Chrome trace, and the run-metrics document,
+# all under results/.
+profile: build
+	$(GO) run ./cmd/besst-sim -mode des -epr 5 -ranks 8 -steps 20 -mc 4 -samples 3 \
+		-cpuprofile results/cpu.pprof -memprofile results/heap.pprof \
+		-trace results/trace.json -metrics results/
+	@echo "wrote results/cpu.pprof results/heap.pprof results/trace.json results/METRICS_besst-sim.json"

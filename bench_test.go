@@ -26,6 +26,7 @@ import (
 	"besst/internal/lulesh"
 	"besst/internal/netsim"
 	"besst/internal/network"
+	"besst/internal/obs"
 	"besst/internal/stats"
 	"besst/internal/topo"
 	"besst/internal/workflow"
@@ -260,7 +261,7 @@ func BenchmarkAblationDESvsDirect(b *testing.B) {
 			b.ReportAllocs()
 			var r *besst.Result
 			for i := 0; i < b.N; i++ {
-				r = besst.Simulate(app, arch, besst.Options{Mode: mode.m})
+				r = besst.Run(app, arch, besst.WithMode(mode.m))
 			}
 			b.ReportMetric(r.Makespan, "makespan-s")
 		})
@@ -386,9 +387,10 @@ func BenchmarkAblationMonteCarloCount(b *testing.B) {
 			b.ReportAllocs()
 			var s stats.Summary
 			for i := 0; i < b.N; i++ {
-				runs := besst.MonteCarlo(app, arch, besst.Options{
-					Mode: besst.Direct, PerRankNoise: true, Seed: uint64(i),
-				}, n)
+				runs := besst.Replicate(app, arch, n,
+					besst.WithMode(besst.Direct),
+					besst.WithPerRankNoise(true),
+					besst.WithSeed(uint64(i)))
 				s = stats.Summarize(besst.Makespans(runs))
 			}
 			b.ReportMetric(100*s.Std/s.Mean, "relStd%")
@@ -536,19 +538,56 @@ func BenchmarkMonteCarloDirect(b *testing.B) {
 	arch := beo.NewArchBEO(c.Quartz.M, cfg.NodeSize)
 	workflow.BindLulesh(arch, c.Models)
 	cr := besst.Compile(app, arch)
-	opt := besst.Options{Mode: besst.Direct, PerRankNoise: true, Seed: 42}
+	opts := []besst.Option{
+		besst.WithMode(besst.Direct), besst.WithPerRankNoise(true), besst.WithSeed(42),
+	}
 	const mcN = 32
 	for _, bc := range []struct {
 		name    string
 		workers int
 	}{{"serial", 1}, {"parallel", runtime.GOMAXPROCS(0)}} {
+		runOpts := append(opts[:len(opts):len(opts)], besst.WithConcurrency(bc.workers))
 		b.Run(bc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				cr.MonteCarlo(opt, mcN, besst.WithConcurrency(bc.workers))
+				cr.Replicate(mcN, runOpts...)
 			}
 		})
 	}
+}
+
+// BenchmarkTracingOverhead measures the observability hooks on the DES
+// engine path: "off" is the nil-guarded default (the <2% overhead
+// gate), "recording" runs the same replication with a TraceBuffer and
+// Collector teed onto every engine.
+func BenchmarkTracingOverhead(b *testing.B) {
+	c := sharedCtx(b)
+	cfg := c.Quartz.Cost.Config
+	app := lulesh.App(10, 64, 40, lulesh.ScenarioL1L2, cfg)
+	arch := beo.NewArchBEO(c.Quartz.M, cfg.NodeSize)
+	workflow.BindLulesh(arch, c.Models)
+	cr := besst.Compile(app, arch)
+	opts := []besst.Option{
+		besst.WithMode(besst.DES), besst.WithPerRankNoise(true),
+		besst.WithSeed(42), besst.WithConcurrency(1),
+	}
+	const mcN = 4
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cr.Replicate(mcN, opts...)
+		}
+	})
+	b.Run("recording", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			col := obs.NewCollector()
+			tracedOpts := append(opts[:len(opts):len(opts)],
+				besst.WithTracer(obs.Tee(obs.NewTraceBuffer(obs.DefaultTraceCap), col)),
+				besst.WithCollector(col))
+			cr.Replicate(mcN, tracedOpts...)
+		}
+	})
 }
 
 // BenchmarkOverheadSweep measures the DSE sweep tier: the full grid

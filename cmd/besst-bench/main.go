@@ -1,14 +1,16 @@
 // Command besst-bench runs the synthetic benchmarking campaign of the
 // Model Development phase: it times the LULESH timestep function and
 // the requested FTI checkpoint levels over the (epr, ranks) grid on the
-// emulated Quartz and writes the samples as CSV (stdout or -o file) for
-// besst-model to fit.
+// emulated Quartz and writes the samples as CSV (stdout or -o file,
+// JSON with -json) for besst-model to fit.
 //
 //	besst-bench -samples 10 -o campaign.csv
 //	besst-bench -machine vulcan -app cmtbone -o cmt.csv
+//	besst-bench -parbench -cpuprofile results/bench.pprof
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +18,7 @@ import (
 	"strings"
 
 	"besst/internal/benchdata"
+	"besst/internal/cli"
 	"besst/internal/fti"
 	"besst/internal/groundtruth"
 )
@@ -39,15 +42,22 @@ func main() {
 	ranks := flag.String("ranks", "8,64,216,512,1000", "rank counts")
 	levels := flag.String("levels", "1,2", "FTI checkpoint levels to benchmark (lulesh only)")
 	samples := flag.Int("samples", 10, "timing samples per parameter combination")
-	seed := flag.Uint64("seed", 42, "random seed")
-	out := flag.String("o", "", "output CSV path (default stdout)")
-	workers := flag.Int("workers", 1, "concurrent campaign workers (lulesh only; <=0: GOMAXPROCS); any value != 1 selects the per-combination seeded parallel collector")
+	out := flag.String("o", "", "output path (default stdout)")
 	parbench := flag.Bool("parbench", false, "run the serial-vs-parallel simulator benchmark harness and write JSON instead of collecting a campaign")
 	parbenchOut := flag.String("parbench-out", "results/BENCH_parallel.json", "output path for -parbench")
+	// -workers keeps its historical default of 1: any other value
+	// selects the per-combination seeded parallel campaign collector.
+	common := cli.RegisterCommon(flag.CommandLine, 1)
 	flag.Parse()
 
+	ses, err := common.Begin("besst-bench")
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	if *parbench {
-		runParBench(*parbenchOut, *workers, *seed)
+		runParBench(*parbenchOut, common.Workers, common.Seed)
+		closeSession(ses)
 		return
 	}
 
@@ -70,6 +80,7 @@ func main() {
 		fatalf("-ranks: %v", err)
 	}
 
+	collectDone := ses.Phase("collect-campaign")
 	var campaign *benchdata.Campaign
 	switch *app {
 	case "lulesh":
@@ -87,18 +98,19 @@ func main() {
 		}
 		plan := benchdata.LuleshPlan{
 			EPRs: eprList, Ranks: rankList, Levels: fls,
-			SamplesPer: *samples, Seed: *seed,
+			SamplesPer: *samples, Seed: common.Seed,
 		}
-		if *workers == 1 {
+		if common.Workers == 1 {
 			campaign = benchdata.CollectLulesh(em, plan)
 		} else {
-			campaign = benchdata.CollectLuleshParallel(em, plan, *workers)
+			campaign = benchdata.CollectLuleshParallel(em, plan, common.Workers)
 		}
 	case "cmtbone":
-		campaign = benchdata.CollectCmtBone(em, eprList, rankList, *samples, *seed)
+		campaign = benchdata.CollectCmtBone(em, eprList, rankList, *samples, common.Seed)
 	default:
 		fatalf("unknown app %q", *app)
 	}
+	collectDone()
 
 	w := os.Stdout
 	if *out != "" {
@@ -108,16 +120,32 @@ func main() {
 		}
 		w = f
 	}
-	if err := campaign.WriteCSV(w); err != nil {
-		fatalf("write CSV: %v", err)
+	if common.JSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(campaign); err != nil {
+			fatalf("write JSON: %v", err)
+		}
+	} else {
+		if err := campaign.WriteCSV(w); err != nil {
+			fatalf("write CSV: %v", err)
+		}
 	}
 	if w != os.Stdout {
 		if err := w.Close(); err != nil {
 			fatalf("close %s: %v", *out, err)
 		}
 	}
+	closeSession(ses)
 	fmt.Fprintf(os.Stderr, "collected %d samples across %d ops on %s\n",
 		len(campaign.Samples), len(campaign.Ops()), em.M.Name)
+}
+
+// closeSession flushes the observability session (profiles, metrics).
+func closeSession(ses *cli.Session) {
+	if err := ses.Close(); err != nil {
+		fatalf("%v", err)
+	}
 }
 
 func fatalf(format string, args ...any) {

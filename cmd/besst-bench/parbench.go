@@ -62,14 +62,18 @@ func runParBench(outPath string, workers int, seed uint64) {
 	arch := beo.NewArchBEO(em.M, em.Cost.Config.NodeSize)
 	workflow.BindLulesh(arch, models)
 	cr := besst.Compile(app, arch)
-	opt := besst.Options{Mode: besst.Direct, PerRankNoise: true, Seed: seed}
+	opts := []besst.Option{
+		besst.WithMode(besst.Direct), besst.WithPerRankNoise(true), besst.WithSeed(seed),
+	}
+	serialOpts := append(opts[:len(opts):len(opts)], besst.WithConcurrency(1))
+	parallelOpts := append(opts[:len(opts):len(opts)], besst.WithConcurrency(w))
 
 	identical := identicalMakespans(
-		besst.Makespans(cr.MonteCarlo(opt, mcN, besst.WithConcurrency(1))),
-		besst.Makespans(cr.MonteCarlo(opt, mcN, besst.WithConcurrency(w))))
+		besst.Makespans(cr.Replicate(mcN, serialOpts...)),
+		besst.Makespans(cr.Replicate(mcN, parallelOpts...)))
 
-	mcSerial := benchLoop(func() { cr.MonteCarlo(opt, mcN, besst.WithConcurrency(1)) })
-	mcParallel := benchLoop(func() { cr.MonteCarlo(opt, mcN, besst.WithConcurrency(w)) })
+	mcSerial := benchLoop(func() { cr.Replicate(mcN, serialOpts...) })
+	mcParallel := benchLoop(func() { cr.Replicate(mcN, parallelOpts...) })
 
 	// Tier 2: DSE overhead sweep.
 	sweep := dse.SweepConfig{

@@ -6,9 +6,11 @@
 //
 //	besst-dse
 //	besst-dse -threshold 10 -epr 15 -ranks 216
+//	besst-dse -json -metrics results/
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,14 @@ import (
 	"besst/internal/workflow"
 )
 
+// jsonReport is the -json output: every sweep cell, the FT-level
+// ranking at the chosen design point, and the pruning report.
+type jsonReport struct {
+	Cells   []dse.Cell       `json:"cells"`
+	Ranking []dse.Cell       `json:"ranking"`
+	Pruning []dse.Divergence `json:"pruning"`
+}
+
 func main() {
 	samples := flag.Int("samples", 10, "benchmark samples per combination")
 	steps := flag.Int("steps", 200, "timesteps per simulated run")
@@ -27,47 +37,73 @@ func main() {
 	threshold := flag.Float64("threshold", 15, "pruning threshold, percent divergence")
 	epr := flag.Int("epr", 15, "design point for FT-level ranking: problem size")
 	ranks := flag.Int("ranks", 216, "design point for FT-level ranking: ranks")
-	seed := flag.Uint64("seed", 42, "random seed")
-	workers := flag.Int("workers", 0, "concurrent sweep workers (<=0: GOMAXPROCS); results are identical for every worker count")
+	common := cli.RegisterCommon(flag.CommandLine, 0)
 	flag.Parse()
 
 	out := cli.NewPrinter(os.Stdout)
+	ses, err := common.Begin("besst-dse")
+	if err != nil {
+		fatalf("%v", err)
+	}
 	em := groundtruth.NewQuartz()
-	out.Printf("developing models (%d samples/combination)...\n", *samples)
-	models, campaign := workflow.DevelopLuleshQuartz(em, *samples, workflow.SymbolicRegression, *seed)
+	if !common.JSON {
+		out.Printf("developing models (%d samples/combination)...\n", *samples)
+	}
+	devDone := ses.Phase("develop-models")
+	models, campaign := workflow.DevelopLuleshQuartz(em, *samples, workflow.SymbolicRegression, common.Seed)
+	devDone()
 
+	sweepDone := ses.Phase("overhead-sweep")
 	cells := dse.OverheadSweep(models, em.M, em.Cost.Config.NodeSize, dse.SweepConfig{
 		EPRs:      []int{10, 15, 20, 25},
 		Ranks:     []int{64, 216, 1000},
 		Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT, lulesh.ScenarioL1, lulesh.ScenarioL1L2},
 		Timesteps: *steps,
 		MCRuns:    *mc,
-		Seed:      *seed + 1,
-		Workers:   *workers,
+		Seed:      common.Seed + 1,
+		Workers:   common.Workers,
+		Collector: ses.SweepCollector(),
 	})
+	sweepDone()
 
-	out.Println("\nOverhead prediction (percent of no-FT runtime at 64 ranks per epr):")
-	for _, r := range []int{64, 216, 1000} {
-		out.Println(dse.FormatOverheadTable(cells, r))
-	}
+	pruneDone := ses.Phase("prune-report")
+	pruning := dse.PruneReport(models, campaign, *threshold)
+	pruneDone()
+	ranking := dse.RankFTLevels(cells, *epr, *ranks)
 
-	out.Printf("FT-level ranking at epr=%d, ranks=%d:\n", *epr, *ranks)
-	for i, c := range dse.RankFTLevels(cells, *epr, *ranks) {
-		out.Printf("  %d. %-8s %.4gs (%.0f%%)\n", i+1, c.Scenario, c.MeanSec, c.OverheadPct)
-	}
-
-	out.Printf("\nPruning report (|divergence| > %.0f%%):\n", *threshold)
-	flagged := 0
-	for _, d := range dse.PruneReport(models, campaign, *threshold) {
-		if !d.Flagged {
-			continue
+	if common.JSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReport{Cells: cells, Ranking: ranking, Pruning: pruning}); err != nil {
+			fatalf("encode report: %v", err)
 		}
-		flagged++
-		out.Printf("  %-18s epr=%-3d ranks=%-5d measured %.4gs predicted %.4gs (%+.1f%%)\n    -> %s\n",
-			d.Op, d.EPR, d.Ranks, d.MeasuredSec, d.PredictedSec, d.PercentError, d.Advice)
+	} else {
+		out.Println("\nOverhead prediction (percent of no-FT runtime at 64 ranks per epr):")
+		for _, r := range []int{64, 216, 1000} {
+			out.Println(dse.FormatOverheadTable(cells, r))
+		}
+
+		out.Printf("FT-level ranking at epr=%d, ranks=%d:\n", *epr, *ranks)
+		for i, c := range ranking {
+			out.Printf("  %d. %-8s %.4gs (%.0f%%)\n", i+1, c.Scenario, c.MeanSec, c.OverheadPct)
+		}
+
+		out.Printf("\nPruning report (|divergence| > %.0f%%):\n", *threshold)
+		flagged := 0
+		for _, d := range pruning {
+			if !d.Flagged {
+				continue
+			}
+			flagged++
+			out.Printf("  %-18s epr=%-3d ranks=%-5d measured %.4gs predicted %.4gs (%+.1f%%)\n    -> %s\n",
+				d.Op, d.EPR, d.Ranks, d.MeasuredSec, d.PredictedSec, d.PercentError, d.Advice)
+		}
+		if flagged == 0 {
+			out.Println("  no design-space regions flagged; models cover the grid")
+		}
 	}
-	if flagged == 0 {
-		out.Println("  no design-space regions flagged; models cover the grid")
+	if err := ses.Close(); err != nil {
+		fatalf("%v", err)
 	}
 	if err := out.Err(); err != nil {
 		fatalf("writing output: %v", err)

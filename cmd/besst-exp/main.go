@@ -6,9 +6,11 @@
 //	besst-exp -fig 9            # overhead tables (Fig 9)
 //	besst-exp -ext faults       # fault-injection Cases 1-4
 //	besst-exp -quick            # reduced Monte Carlo counts
+//	besst-exp -quick -json      # JSON index of experiments run + wall times
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,12 +25,18 @@ func main() {
 	fig := flag.Int("fig", 0, "reproduce one figure (1, 5-9); 0 = all")
 	ext := flag.String("ext", "", "extension experiment: faults | analytic | levels | optlevel | algdse | archdse")
 	quick := flag.Bool("quick", false, "reduced sample and Monte Carlo counts")
-	seed := flag.Uint64("seed", 42, "master random seed")
+	common := cli.RegisterCommon(flag.CommandLine, 0)
 	flag.Parse()
+	seed := &common.Seed
 
 	samples, mc, steps := 10, 10, 200
 	if *quick {
 		samples, mc, steps = 5, 3, 80
+	}
+
+	ses, err := common.Begin("besst-exp")
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	selected := func(kind string, id int, name string) bool {
@@ -47,6 +55,13 @@ func main() {
 	}
 
 	w := cli.NewPrinter(os.Stdout)
+	// phase brackets one experiment with a named wall-clock phase, so
+	// -metrics (and the -json index) report per-experiment timings.
+	phase := func(name string, fn func()) {
+		done := ses.Phase(name)
+		fn()
+		done()
+	}
 	var ctx *exp.Context
 	needCtx := selected("table", 3, "") || selected("table", 4, "") ||
 		selected("fig", 5, "") || selected("fig", 6, "") || selected("fig", 7, "") ||
@@ -56,7 +71,7 @@ func main() {
 		selected("ext", 0, "algdse") || selected("ext", 0, "archdse")
 	if needCtx {
 		w.Printf("developing case-study models (%d samples/combination, seed %d)...\n\n", samples, *seed)
-		ctx = exp.NewContext(samples, *seed)
+		phase("develop-models", func() { ctx = exp.NewContext(samples, *seed) })
 		for _, r := range ctx.Models.Reports {
 			w.Printf("  model %-18s train %6.2f%%  test %6.2f%%  validation %6.2f%%\n",
 				r.Op, r.TrainMAPE, r.TestMAPE, r.ValidationMAPE)
@@ -68,82 +83,112 @@ func main() {
 	}
 
 	if selected("table", 1, "") {
-		exp.Table1(w)
+		phase("table-1", func() { exp.Table1(w) })
 		w.Println()
 	}
 	if selected("table", 2, "") {
-		exp.Table2(w)
+		phase("table-2", func() { exp.Table2(w) })
 		w.Println()
 	}
 	if selected("fig", 1, "") {
 		w.Println("running Fig 1 (CMT-bone on Vulcan, predictions to 1M ranks)...")
-		exp.FormatFig1(w, exp.Fig1(20, mc, *seed+1))
+		phase("fig-1", func() { exp.FormatFig1(w, exp.Fig1(20, mc, *seed+1)) })
 		w.Println()
 	}
 	if selected("fig", 5, "") {
-		exp.FormatValidationPoints(w, "Fig 5: model validation vs problem size (epr)", exp.Fig5(ctx))
+		phase("fig-5", func() {
+			exp.FormatValidationPoints(w, "Fig 5: model validation vs problem size (epr)", exp.Fig5(ctx))
+		})
 		w.Println()
 	}
 	if selected("fig", 6, "") {
-		exp.FormatValidationPoints(w, "Fig 6: model validation vs number of ranks", exp.Fig6(ctx))
+		phase("fig-6", func() {
+			exp.FormatValidationPoints(w, "Fig 6: model validation vs number of ranks", exp.Fig6(ctx))
+		})
 		w.Println()
 	}
 	if selected("table", 3, "") {
-		exp.FormatTable3(w, exp.Table3(ctx))
+		phase("table-3", func() { exp.FormatTable3(w, exp.Table3(ctx)) })
 		w.Println()
 	}
 	if selected("fig", 7, "") {
 		w.Println("running Fig 7 (DES mode, 64 ranks)...")
-		exp.FormatFullRun(w, "Fig 7: full application runtime, 64 ranks, epr 10",
-			exp.FigFullRun(ctx, 10, 64, steps, mc, besst.DES), 20)
+		phase("fig-7", func() {
+			exp.FormatFullRun(w, "Fig 7: full application runtime, 64 ranks, epr 10",
+				exp.FigFullRun(ctx, 10, 64, steps, mc, besst.DES), 20)
+		})
 		w.Println()
 	}
 	if selected("fig", 8, "") {
 		w.Println("running Fig 8 (DES mode, 1000 ranks)...")
-		exp.FormatFullRun(w, "Fig 8: full application runtime, 1000 ranks, epr 10",
-			exp.FigFullRun(ctx, 10, 1000, steps, mc, besst.DES), 20)
+		phase("fig-8", func() {
+			exp.FormatFullRun(w, "Fig 8: full application runtime, 1000 ranks, epr 10",
+				exp.FigFullRun(ctx, 10, 1000, steps, mc, besst.DES), 20)
+		})
 		w.Println()
 	}
 	if selected("table", 4, "") {
 		w.Println("running Table IV (full-system validation over the Table II grid)...")
-		exp.FormatTable4(w, exp.Table4(ctx, steps, mc))
+		phase("table-4", func() { exp.FormatTable4(w, exp.Table4(ctx, steps, mc)) })
 		w.Println()
 	}
 	if selected("fig", 9, "") {
 		w.Println("running Fig 9 (overhead sweep)...")
-		exp.FormatFig9(w, exp.Fig9(ctx, steps, mc))
+		phase("fig-9", func() { exp.FormatFig9(w, exp.Fig9(ctx, steps, mc)) })
 		w.Println()
 	}
 	if selected("ext", 0, "faults") {
 		w.Println("running fault-injection extension (Fig 4 Cases 1-4)...")
-		exp.FormatFaultStudy(w, exp.FaultStudy(ctx, 25, 64, 600000, 4*mc, 5))
+		phase("ext-faults", func() {
+			exp.FormatFaultStudy(w, exp.FaultStudy(ctx, 25, 64, 600000, 4*mc, 5))
+		})
 		w.Println()
 	}
 	if selected("ext", 0, "levels") {
 		w.Println("running all-levels extension (FTI L1-L4 modeled)...")
-		exp.FormatAllLevels(w, exp.AllLevelsStudy(ctx))
+		phase("ext-levels", func() { exp.FormatAllLevels(w, exp.AllLevelsStudy(ctx)) })
 		w.Println()
 	}
 	if selected("ext", 0, "optlevel") {
 		w.Println("running optimal-level extension (FT level vs failure rate)...")
-		exp.FormatOptimalLevel(w, exp.OptimalLevelStudy(ctx, 25, 1000, 200000, mc,
-			[]float64{2000, 200, 20, 5}))
+		phase("ext-optlevel", func() {
+			exp.FormatOptimalLevel(w, exp.OptimalLevelStudy(ctx, 25, 1000, 200000, mc,
+				[]float64{2000, 200, 20, 5}))
+		})
 		w.Println()
 	}
 	if selected("ext", 0, "algdse") {
 		w.Println("running algorithmic DSE extension (C/R vs ABFT)...")
-		exp.FormatAlgDSE(w, exp.AlgorithmicDSE(ctx, 40), 40)
+		phase("ext-algdse", func() { exp.FormatAlgDSE(w, exp.AlgorithmicDSE(ctx, 40), 40) })
 		w.Println()
 	}
 	if selected("ext", 0, "archdse") {
 		w.Println("running architectural DSE extension (hardware variants)...")
-		exp.FormatArchDSE(w, exp.ArchitecturalDSE(ctx))
+		phase("ext-archdse", func() { exp.FormatArchDSE(w, exp.ArchitecturalDSE(ctx)) })
 		w.Println()
 	}
 	if selected("ext", 0, "analytic") {
-		exp.FormatAnalyticStudy(w, exp.AnalyticStudy(ctx, 1e-5,
-			[]int{64, 512, 4096, 32768, 262144, 1 << 20}))
+		phase("ext-analytic", func() {
+			exp.FormatAnalyticStudy(w, exp.AnalyticStudy(ctx, 1e-5,
+				[]int{64, 512, 4096, 32768, 262144, 1 << 20}))
+		})
 		w.Println()
+	}
+	if common.JSON {
+		// The machine-readable index of what ran and how long each
+		// experiment took (phase wall times in nanoseconds).
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Seed   uint64 `json:"seed"`
+			Quick  bool   `json:"quick"`
+			Phases any    `json:"phases"`
+		}{*seed, *quick, ses.Phases()}); err != nil {
+			fatalf("encode summary: %v", err)
+		}
+	}
+	if err := ses.Close(); err != nil {
+		fatalf("%v", err)
 	}
 	if err := w.Err(); err != nil {
 		fatalf("writing output: %v", err)

@@ -22,8 +22,12 @@ import (
 
 func main() {
 	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-	jsonFlag := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	listFlag := flag.Bool("list", false, "list available checks and exit")
+	// -seed and -workers are accepted for flag uniformity across the
+	// besst tools but have no effect on a lint run; -json switches the
+	// diagnostics to a JSON array, and the profiling flags work as in
+	// every other tool.
+	common := cli.RegisterCommon(flag.CommandLine, 0)
 	flag.Parse()
 
 	out := cli.NewPrinter(os.Stdout)
@@ -31,9 +35,13 @@ func main() {
 		for _, c := range lint.AllChecks() {
 			out.Printf("%-22s %s\n", c.Name(), c.Doc())
 		}
-		finish(out, 0)
+		finish(nil, out, 0)
 	}
 
+	ses, err := common.Begin("besst-lint")
+	if err != nil {
+		fatalf("%v", err)
+	}
 	checks, err := lint.SelectChecks(*checksFlag)
 	if err != nil {
 		fatalf("%v", err)
@@ -42,13 +50,17 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	loadDone := ses.Phase("load-packages")
 	pkgs, err := loader.LoadPatterns(flag.Args())
+	loadDone()
 	if err != nil {
 		fatalf("%v", err)
 	}
 
+	lintDone := ses.Phase("run-checks")
 	diags := lint.Run(pkgs, checks)
-	if *jsonFlag {
+	lintDone()
+	if common.JSON {
 		if diags == nil {
 			diags = []lint.Diagnostic{} // a clean run is [], not null
 		}
@@ -64,13 +76,20 @@ func main() {
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "besst-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
-		finish(out, 1)
+		finish(ses, out, 1)
 	}
-	finish(out, 0)
+	finish(ses, out, 0)
 }
 
-// finish flushes the printer's recorded error, if any, and exits.
-func finish(out *cli.Printer, code int) {
+// finish flushes the observability session and the printer's recorded
+// error, if any, and exits.
+func finish(ses *cli.Session, out *cli.Printer, code int) {
+	if ses != nil {
+		if err := ses.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "besst-lint: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if err := out.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "besst-lint: writing output: %v\n", err)
 		os.Exit(2)

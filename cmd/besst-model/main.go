@@ -10,6 +10,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,15 +27,19 @@ func main() {
 	in := flag.String("in", "", "campaign CSV (required)")
 	method := flag.String("method", "symreg", "modeling method: symreg | interp")
 	vars := flag.String("vars", "epr,ranks", "model input variables, comma separated")
-	seed := flag.Uint64("seed", 42, "random seed")
 	predict := flag.String("predict", "", "optional prediction point, e.g. \"epr=30,ranks=1331\"")
 	save := flag.String("save", "", "write the fitted model bundle as JSON to this path")
+	common := cli.RegisterCommon(flag.CommandLine, 0)
 	flag.Parse()
 
 	if *in == "" {
 		fatalf("-in is required")
 	}
 	out := cli.NewPrinter(os.Stdout)
+	ses, err := common.Begin("besst-model")
+	if err != nil {
+		fatalf("%v", err)
+	}
 	data, err := os.ReadFile(*in)
 	if err != nil {
 		fatalf("open: %v", err)
@@ -58,8 +63,18 @@ func main() {
 		varNames[i] = strings.TrimSpace(varNames[i])
 	}
 
-	models := workflow.Develop(campaign, m, varNames, *seed)
-	out.Printf("fitted %d models with %s\n", len(models.Reports), m)
+	fitDone := ses.Phase("fit-models")
+	models := workflow.Develop(campaign, m, varNames, common.Seed)
+	fitDone()
+	if common.JSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(models.Reports); err != nil {
+			fatalf("encode reports: %v", err)
+		}
+	} else {
+		out.Printf("fitted %d models with %s\n", len(models.Reports), m)
+	}
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
@@ -73,12 +88,14 @@ func main() {
 		}
 		out.Printf("saved model bundle to %s\n", *save)
 	}
-	for _, r := range models.Reports {
-		out.Printf("  %-20s validation MAPE %6.2f%%", r.Op, r.ValidationMAPE)
-		if r.Expression != "" {
-			out.Printf("  train %5.2f%% test %5.2f%%\n    %s\n", r.TrainMAPE, r.TestMAPE, r.Expression)
-		} else {
-			out.Println()
+	if !common.JSON {
+		for _, r := range models.Reports {
+			out.Printf("  %-20s validation MAPE %6.2f%%", r.Op, r.ValidationMAPE)
+			if r.Expression != "" {
+				out.Printf("  train %5.2f%% test %5.2f%%\n    %s\n", r.TrainMAPE, r.TestMAPE, r.Expression)
+			} else {
+				out.Println()
+			}
 		}
 	}
 
@@ -99,6 +116,9 @@ func main() {
 		for _, op := range campaign.Ops() {
 			out.Printf("  %-20s %.6g s\n", op, models.ByOp[op].Predict(p))
 		}
+	}
+	if err := ses.Close(); err != nil {
+		fatalf("%v", err)
 	}
 	if err := out.Err(); err != nil {
 		fatalf("writing output: %v", err)

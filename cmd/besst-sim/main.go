@@ -6,6 +6,7 @@
 //
 //	besst-sim -epr 10 -ranks 64 -steps 200 -scenario l1l2
 //	besst-sim -epr 30 -ranks 1331 -scenario l1 -mode direct   # notional
+//	besst-sim -mode des -trace results/trace.json -metrics results/
 package main
 
 import (
@@ -25,6 +26,19 @@ import (
 	"besst/internal/workflow"
 )
 
+// jsonSummary is the -json output: the run's makespan distribution,
+// breakdown, and checkpoint markers.
+type jsonSummary struct {
+	App          string          `json:"app"`
+	Machine      string          `json:"machine"`
+	Mode         string          `json:"mode"`
+	Replications int             `json:"replications"`
+	Makespan     stats.Summary   `json:"makespan"`
+	EventsPerRun uint64          `json:"events_per_run,omitempty"`
+	CkptTimes    []float64       `json:"ckpt_times,omitempty"`
+	Breakdown    besst.Breakdown `json:"breakdown"`
+}
+
 func main() {
 	epr := flag.Int("epr", 10, "problem size (elements per rank edge)")
 	ranks := flag.Int("ranks", 64, "MPI ranks (perfect cube, multiple of 8)")
@@ -38,10 +52,20 @@ func main() {
 	modelsPath := flag.String("models", "", "optional saved model bundle (besst-model -save) instead of fitting")
 	appPath := flag.String("app", "", "optional AppBEO JSON spec to simulate instead of the LULESH builder")
 	method := flag.String("method", "symreg", "modeling method: symreg | interp")
-	seed := flag.Uint64("seed", 42, "random seed")
+	common := cli.RegisterCommon(flag.CommandLine, 0)
 	flag.Parse()
 
 	out := cli.NewPrinter(os.Stdout)
+	// Progress lines move to stderr under -json so stdout stays one
+	// parseable document.
+	progress := out
+	if common.JSON {
+		progress = cli.NewPrinter(os.Stderr)
+	}
+	ses, err := common.Begin("besst-sim")
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	var sc lulesh.Scenario
 	switch *scenario {
@@ -76,6 +100,7 @@ func main() {
 	}
 
 	em := groundtruth.NewQuartz()
+	devDone := ses.Phase("develop-models")
 	var models *workflow.Models
 	if *modelsPath != "" {
 		data, err := os.ReadFile(*modelsPath)
@@ -86,7 +111,7 @@ func main() {
 		if err != nil {
 			fatalf("load models: %v", err)
 		}
-		out.Printf("loaded %d models from %s\n", len(models.ByOp), *modelsPath)
+		progress.Printf("loaded %d models from %s\n", len(models.ByOp), *modelsPath)
 	} else if *campaignCSV != "" {
 		data, err := os.ReadFile(*campaignCSV)
 		if err != nil {
@@ -96,11 +121,12 @@ func main() {
 		if err != nil {
 			fatalf("parse campaign: %v", err)
 		}
-		models = workflow.Develop(campaign, wfMethod, []string{"epr", "ranks"}, *seed)
+		models = workflow.Develop(campaign, wfMethod, []string{"epr", "ranks"}, common.Seed)
 	} else {
-		out.Printf("benchmarking and developing models (%s, %d samples/combination)...\n", wfMethod, *samples)
-		models, _ = workflow.DevelopLuleshQuartz(em, *samples, wfMethod, *seed)
+		progress.Printf("benchmarking and developing models (%s, %d samples/combination)...\n", wfMethod, *samples)
+		models, _ = workflow.DevelopLuleshQuartz(em, *samples, wfMethod, common.Seed)
 	}
+	devDone()
 
 	cfg := em.Cost.Config
 	var app *beo.AppBEO
@@ -123,29 +149,47 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	out.Printf("simulating %s on %s (%s mode, %d MC replications)\n",
+	progress.Printf("simulating %s on %s (%s mode, %d MC replications)\n",
 		app.Name, machine.Name, *mode, *mc)
-	runs := besst.MonteCarlo(app, arch, besst.Options{
-		Mode: m, PerRankNoise: true, Seed: *seed,
-	}, *mc)
+	simDone := ses.Phase("simulate")
+	runs := besst.Replicate(app, arch, *mc,
+		append(ses.RunOptions(), besst.WithMode(m), besst.WithPerRankNoise(true))...)
+	simDone()
 
 	s := stats.Summarize(besst.Makespans(runs))
-	out.Printf("makespan: mean %.4gs  std %.3gs  min %.4gs  max %.4gs  (n=%d)\n",
-		s.Mean, s.Std, s.Min, s.Max, s.N)
-	if len(runs[0].CkptTimes) > 0 {
-		out.Printf("checkpoint instances (first run): %d, completing at:", len(runs[0].CkptTimes))
-		for _, t := range runs[0].CkptTimes {
-			out.Printf(" %.4g", t)
+	if common.JSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonSummary{
+			App: app.Name, Machine: machine.Name, Mode: *mode,
+			Replications: *mc, Makespan: s,
+			EventsPerRun: runs[0].Events,
+			CkptTimes:    runs[0].CkptTimes,
+			Breakdown:    runs[0].Breakdown,
+		}); err != nil {
+			fatalf("encode summary: %v", err)
 		}
-		out.Println()
+	} else {
+		out.Printf("makespan: mean %.4gs  std %.3gs  min %.4gs  max %.4gs  (n=%d)\n",
+			s.Mean, s.Std, s.Min, s.Max, s.N)
+		if len(runs[0].CkptTimes) > 0 {
+			out.Printf("checkpoint instances (first run): %d, completing at:", len(runs[0].CkptTimes))
+			for _, t := range runs[0].CkptTimes {
+				out.Printf(" %.4g", t)
+			}
+			out.Println()
+		}
+		if runs[0].Events > 0 {
+			out.Printf("discrete events processed per run: %d\n", runs[0].Events)
+		}
+		bd := runs[0].Breakdown
+		if bd.Total() > 0 {
+			out.Printf("time breakdown (rank 0): compute %.1f%%  comm %.1f%%  checkpoint %.1f%%\n",
+				100*bd.ComputeSec/bd.Total(), 100*bd.CommSec/bd.Total(), 100*bd.CkptSec/bd.Total())
+		}
 	}
-	if runs[0].Events > 0 {
-		out.Printf("discrete events processed per run: %d\n", runs[0].Events)
-	}
-	bd := runs[0].Breakdown
-	if bd.Total() > 0 {
-		out.Printf("time breakdown (rank 0): compute %.1f%%  comm %.1f%%  checkpoint %.1f%%\n",
-			100*bd.ComputeSec/bd.Total(), 100*bd.CommSec/bd.Total(), 100*bd.CkptSec/bd.Total())
+	if err := ses.Close(); err != nil {
+		fatalf("%v", err)
 	}
 	if err := out.Err(); err != nil {
 		fatalf("writing output: %v", err)

@@ -50,7 +50,8 @@ func main() {
 	app := lulesh.App(25, 1331, 100, lulesh.ScenarioNoFT, cfg)
 	arch := beo.NewArchBEO(ctx.Quartz.M, cfg.NodeSize)
 	workflow.BindLulesh(arch, ctx.Models)
-	runs := besst.MonteCarlo(app, arch, besst.Options{Mode: besst.Direct, PerRankNoise: true, Seed: 5}, 10)
+	runs := besst.Replicate(app, arch, 10,
+		besst.WithMode(besst.Direct), besst.WithPerRankNoise(true), besst.WithSeed(5))
 	s := stats.Summarize(besst.Makespans(runs))
 	out.Printf("\nsimulated %s: mean %.4gs std %.3gs\n", app.Name, s.Mean, s.Std)
 

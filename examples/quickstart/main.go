@@ -50,7 +50,8 @@ func main() {
 	arch := beo.NewArchBEO(quartz.M, quartz.Cost.Config.NodeSize)
 	workflow.BindLulesh(arch, models)
 
-	runs := besst.MonteCarlo(app, arch, besst.Options{Mode: besst.DES, PerRankNoise: true, Seed: 3}, 10)
+	runs := besst.Replicate(app, arch, 10,
+		besst.WithMode(besst.DES), besst.WithPerRankNoise(true), besst.WithSeed(3))
 	s := stats.Summarize(besst.Makespans(runs))
 	out.Printf("\npredicted runtime for %s:\n", app.Name)
 	out.Printf("  mean %.4gs  std %.3gs over %d replications (%d events/run)\n",

@@ -19,7 +19,7 @@
 //     orders of magnitude faster and is used for mega-scale notional
 //     predictions (Fig 1 extends to a million ranks).
 //
-// Both modes are deterministic for a given Options.Seed.
+// Both modes are deterministic for a given RunConfig.Seed.
 package besst
 
 import (
@@ -30,7 +30,6 @@ import (
 	"besst/internal/fti"
 	"besst/internal/groundtruth"
 	"besst/internal/network"
-	"besst/internal/par"
 	"besst/internal/perfmodel"
 	"besst/internal/stats"
 )
@@ -45,23 +44,6 @@ const (
 	// Direct evaluates the lockstep program closed-form.
 	Direct
 )
-
-// Options configures a simulation.
-type Options struct {
-	// Mode selects DES (default) or Direct execution.
-	Mode Mode
-	// MonteCarlo, when true, draws from each model's sample
-	// distribution (reproducing calibration variance); when false the
-	// simulator uses deterministic Predict values.
-	MonteCarlo bool
-	// Seed drives all randomness.
-	Seed uint64
-	// PerRankNoise controls whether compute blocks draw independent
-	// noise per rank (the step then completes at the slowest rank).
-	// Enabled by default in Monte Carlo runs; ignored when MonteCarlo
-	// is false.
-	PerRankNoise bool
-}
 
 // Result is the outcome of one simulated run.
 type Result struct {
@@ -244,72 +226,6 @@ func Compile(app *beo.AppBEO, arch *beo.ArchBEO) *CompiledRun {
 	return cr
 }
 
-// Run executes one replication of the compiled program.
-func (cr *CompiledRun) Run(opt Options) *Result {
-	if opt.Mode == Direct {
-		return simulateDirect(cr, opt)
-	}
-	return simulateDES(cr, opt)
-}
-
-// Simulate runs app on arch once and returns the result.
-func Simulate(app *beo.AppBEO, arch *beo.ArchBEO, opt Options) *Result {
-	return Compile(app, arch).Run(opt)
-}
-
-// MCOption configures a Monte Carlo invocation.
-type MCOption func(*mcCfg)
-
-type mcCfg struct {
-	workers int
-}
-
-// WithConcurrency overrides the replication worker count. Values <= 0
-// (the default) select runtime.GOMAXPROCS workers; 1 forces serial
-// execution. Results are byte-identical for every worker count.
-func WithConcurrency(n int) MCOption {
-	return func(c *mcCfg) { c.workers = n }
-}
-
-// MonteCarlo runs n replications with independent random streams and
-// returns all results — the Monte Carlo capability BE-SST uses to
-// "capture the variance that exists in the calibration samples".
-//
-// Validation, program compilation, and network-model construction are
-// hoisted out of the replication loop, and the trials fan out over a
-// bounded worker pool. Every trial seed is pre-drawn from the master
-// RNG in index order before any trial starts, so seed assignment —
-// and therefore every result — is independent of completion order and
-// worker count, and identical to the serial reference.
-func MonteCarlo(app *beo.AppBEO, arch *beo.ArchBEO, opt Options, n int, opts ...MCOption) []*Result {
-	if n <= 0 {
-		panic("besst: non-positive Monte Carlo count")
-	}
-	return Compile(app, arch).MonteCarlo(opt, n, opts...)
-}
-
-// MonteCarlo runs n replications of the compiled program, reusing the
-// compiled state across trials. See the package-level MonteCarlo for
-// the determinism contract.
-func (cr *CompiledRun) MonteCarlo(opt Options, n int, opts ...MCOption) []*Result {
-	if n <= 0 {
-		panic("besst: non-positive Monte Carlo count")
-	}
-	var cfg mcCfg
-	for _, o := range opts {
-		o(&cfg)
-	}
-	opt.MonteCarlo = true
-	seeds := par.SeedFan(opt.Seed, n)
-	out := make([]*Result, n)
-	par.ForEach(cfg.workers, n, func(i int) {
-		o := opt
-		o.Seed = seeds[i]
-		out[i] = cr.Run(o)
-	})
-	return out
-}
-
 // Makespans extracts the makespan distribution from replications.
 func Makespans(rs []*Result) []float64 {
 	out := make([]float64, len(rs))
@@ -323,8 +239,8 @@ func Makespans(rs []*Result) []float64 {
 // loop indexes the shared compiled program in place (no per-iteration
 // struct copy) and uses the result-series lengths counted at compile
 // time so the per-trial slices never reallocate mid-run.
-func simulateDirect(cr *CompiledRun, opt Options) *Result {
-	rng := stats.NewRNG(opt.Seed)
+func simulateDirect(cr *CompiledRun, cfg RunConfig) *Result {
+	rng := stats.NewRNG(cfg.Seed)
 	res := &Result{
 		StepCompletions: make([]float64, 0, cr.steps),
 		CkptTimes:       make([]float64, 0, cr.ckpts),
@@ -336,8 +252,8 @@ func simulateDirect(cr *CompiledRun, opt Options) *Result {
 		switch c.kind {
 		case ckComp:
 			before := now
-			if opt.MonteCarlo {
-				if opt.PerRankNoise {
+			if cfg.MonteCarlo {
+				if cfg.PerRankNoise {
 					// The step completes when the slowest rank's
 					// draw does; reuse the shared extreme-value
 					// helper for identical semantics with the
@@ -358,7 +274,7 @@ func simulateDirect(cr *CompiledRun, opt Options) *Result {
 			now += dt
 		case ckCkpt:
 			var dt float64
-			if opt.MonteCarlo {
+			if cfg.MonteCarlo {
 				dt = c.model.Sample(c.params, rng) // one coordinated draw
 			} else {
 				dt = c.model.Predict(c.params)

@@ -1,0 +1,78 @@
+package besst
+
+import "besst/internal/beo"
+
+// This file holds the pre-RunConfig configuration surface. Everything
+// here is a thin shim over runconfig.go, kept so existing callers keep
+// compiling; new code should use RunConfig and the functional options.
+
+// Options configures a simulation.
+//
+// Deprecated: use RunConfig (or the functional options of Run,
+// Replicate, and CompiledRun.RunWith), which adds concurrency and
+// instrumentation knobs in the same place.
+type Options struct {
+	// Mode selects DES (default) or Direct execution.
+	Mode Mode
+	// MonteCarlo, when true, draws from each model's sample
+	// distribution (reproducing calibration variance); when false the
+	// simulator uses deterministic Predict values.
+	MonteCarlo bool
+	// Seed drives all randomness.
+	Seed uint64
+	// PerRankNoise controls whether compute blocks draw independent
+	// noise per rank (the step then completes at the slowest rank).
+	// Ignored when MonteCarlo is false.
+	PerRankNoise bool
+}
+
+// Config converts the legacy Options to an equivalent RunConfig.
+func (o Options) Config() RunConfig {
+	return RunConfig{
+		Mode:         o.Mode,
+		MonteCarlo:   o.MonteCarlo,
+		Seed:         o.Seed,
+		PerRankNoise: o.PerRankNoise,
+	}
+}
+
+// MCOption configures a Monte Carlo invocation.
+//
+// Deprecated: MCOption is now an alias of Option; existing
+// WithConcurrency call sites work unchanged with Replicate.
+type MCOption = Option
+
+// Run executes one replication of the compiled program.
+//
+// Deprecated: use CompiledRun.RunWith.
+func (cr *CompiledRun) Run(opt Options) *Result {
+	return cr.RunWith(opt.Config())
+}
+
+// Simulate runs app on arch once and returns the result.
+//
+// Deprecated: use Run with functional options.
+func Simulate(app *beo.AppBEO, arch *beo.ArchBEO, opt Options) *Result {
+	return Compile(app, arch).RunWith(opt.Config())
+}
+
+// MonteCarlo runs n replications with independent random streams and
+// returns all results.
+//
+// Deprecated: use Replicate with functional options.
+func MonteCarlo(app *beo.AppBEO, arch *beo.ArchBEO, opt Options, n int, opts ...MCOption) []*Result {
+	if n <= 0 {
+		panic("besst: non-positive Monte Carlo count")
+	}
+	return Compile(app, arch).MonteCarlo(opt, n, opts...)
+}
+
+// MonteCarlo runs n replications of the compiled program, reusing the
+// compiled state across trials.
+//
+// Deprecated: use CompiledRun.Replicate.
+func (cr *CompiledRun) MonteCarlo(opt Options, n int, opts ...MCOption) []*Result {
+	base := opt.Config()
+	all := append([]Option{func(c *RunConfig) { *c = base }}, opts...)
+	return cr.Replicate(n, all...)
+}

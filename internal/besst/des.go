@@ -52,7 +52,7 @@ type desSim struct {
 	net       *network.Model
 	prog      []cinstr
 	syncInstr map[int]cinstr // syncID -> its Comm/Ckpt instruction
-	opt       Options
+	cfg       RunConfig
 	eng       *des.Engine
 	res       *Result
 	ranks     []des.ComponentID
@@ -60,8 +60,11 @@ type desSim struct {
 	ends      []des.Time // per-rank completion time
 }
 
-func simulateDES(cr *CompiledRun, opt Options) *Result {
-	master := stats.NewRNG(opt.Seed)
+// simulateDES runs one DES-mode replication. stream tags tracer hooks
+// so trials sharing one tracer stay distinguishable (Replicate passes
+// the trial index).
+func simulateDES(cr *CompiledRun, cfg RunConfig, stream int) *Result {
+	master := stats.NewRNG(cfg.Seed)
 	app := cr.app
 	s := &desSim{
 		app:       app,
@@ -69,7 +72,7 @@ func simulateDES(cr *CompiledRun, opt Options) *Result {
 		net:       cr.net,
 		prog:      cr.prog,
 		syncInstr: map[int]cinstr{},
-		opt:       opt,
+		cfg:       cfg,
 		eng:       des.NewEngine(),
 		res: &Result{
 			StepCompletions: make([]float64, 0, cr.steps),
@@ -96,10 +99,16 @@ func simulateDES(cr *CompiledRun, opt Options) *Result {
 		s.eng.Connect(id, portCoord, s.coord, "in", 0)
 		s.eng.Connect(s.coord, rankPort(r), id, "release", 0)
 	}
+	if cfg.Tracer != nil {
+		s.eng.SetTracer(cfg.Tracer, stream)
+	}
 	for r := 0; r < app.Ranks; r++ {
 		s.eng.ScheduleAt(0, s.ranks[r], advanceMsg{})
 	}
 	s.eng.Run(0)
+	if cfg.Collector != nil {
+		cfg.Collector.EngineTotals(s.eng.Processed(), s.eng.PeakQueueDepth())
+	}
 	// Makespan: the slowest rank's completion.
 	var max des.Time
 	for _, t := range s.ends {
@@ -154,7 +163,7 @@ func (rc *rankComp) HandleEvent(ctx *des.Context, ev des.Event) {
 		case ckComp:
 			rc.pc++
 			var dt float64
-			if s.opt.MonteCarlo {
+			if s.cfg.MonteCarlo {
 				dt = c.model.Sample(c.params, rc.rng)
 			} else {
 				dt = c.model.Predict(c.params)
@@ -208,7 +217,7 @@ func (cc *coordComp) HandleEvent(ctx *des.Context, ev des.Event) {
 	case ckComm:
 		cost = commCost(s.net, c, s.app.Ranks)
 	case ckCkpt:
-		if s.opt.MonteCarlo {
+		if s.cfg.MonteCarlo {
 			cost = c.model.Sample(c.params, cc.rng) // one coordinated draw
 		} else {
 			cost = c.model.Predict(c.params)

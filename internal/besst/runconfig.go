@@ -1,0 +1,160 @@
+package besst
+
+import (
+	"besst/internal/beo"
+	"besst/internal/des"
+	"besst/internal/par"
+)
+
+// RunConfig is the unified configuration for single runs and Monte
+// Carlo replication. It subsumes the legacy Options struct and the
+// variadic MCOption knobs: construct one with functional options
+// (WithSeed, WithConcurrency, WithTracer, ...) or fill the struct
+// directly — the zero value is a deterministic single DES run.
+type RunConfig struct {
+	// Mode selects DES (default) or Direct execution.
+	Mode Mode
+	// MonteCarlo, when true, draws from each model's sample
+	// distribution (reproducing calibration variance); when false the
+	// simulator uses deterministic Predict values. Replicate forces it
+	// on for every trial.
+	MonteCarlo bool
+	// Seed drives all randomness.
+	Seed uint64
+	// PerRankNoise controls whether compute blocks draw independent
+	// noise per rank (the step then completes at the slowest rank).
+	// Ignored when MonteCarlo is false.
+	PerRankNoise bool
+	// Workers bounds Monte Carlo replication concurrency. Values <= 0
+	// select runtime.GOMAXPROCS workers; 1 forces serial execution.
+	// Results are byte-identical for every worker count.
+	Workers int
+	// Tracer, when non-nil, receives DES lifecycle hooks (dispatch,
+	// send, barrier wait). Replicate tags each trial's hooks with the
+	// trial index as the stream. Tracing is a DES-engine feature:
+	// Direct mode has no events and emits nothing. The tracer must be
+	// safe for concurrent use when Workers != 1.
+	Tracer Tracer
+	// Collector, when non-nil, receives run-level metrics callbacks
+	// (per-trial timings, engine totals). It must be safe for
+	// concurrent use when Workers != 1.
+	Collector Collector
+}
+
+// Tracer is the DES lifecycle hook interface; see des.Tracer for the
+// hook contract. The alias lets callers configure tracing through this
+// package alone.
+type Tracer = des.Tracer
+
+// Collector receives run-level metrics. The interface is typed with
+// builtins only, so the observability layer (internal/obs) implements
+// it structurally without this package importing it.
+type Collector interface {
+	// TrialStart and TrialDone bracket Monte Carlo trial i. Replicate
+	// calls them from worker goroutines.
+	TrialStart(i int)
+	TrialDone(i int)
+	// EngineTotals reports one DES run's totals: events processed and
+	// the peak event-queue depth. Not called in Direct mode.
+	EngineTotals(processed uint64, peakQueueDepth int)
+}
+
+// Option mutates a RunConfig.
+type Option func(*RunConfig)
+
+// WithMode selects DES or Direct execution.
+func WithMode(m Mode) Option { return func(c *RunConfig) { c.Mode = m } }
+
+// WithSeed sets the master seed driving all randomness.
+func WithSeed(seed uint64) Option { return func(c *RunConfig) { c.Seed = seed } }
+
+// WithMonteCarlo enables sampling from each model's distribution
+// instead of deterministic Predict values. Replicate implies it.
+func WithMonteCarlo(on bool) Option { return func(c *RunConfig) { c.MonteCarlo = on } }
+
+// WithPerRankNoise enables independent per-rank compute noise (the
+// step then completes at the slowest rank).
+func WithPerRankNoise(on bool) Option { return func(c *RunConfig) { c.PerRankNoise = on } }
+
+// WithConcurrency bounds the replication worker count. Values <= 0
+// (the default) select runtime.GOMAXPROCS workers; 1 forces serial
+// execution. Results are byte-identical for every worker count.
+func WithConcurrency(n int) Option { return func(c *RunConfig) { c.Workers = n } }
+
+// WithTracer attaches a DES lifecycle tracer (nil detaches).
+func WithTracer(t Tracer) Option { return func(c *RunConfig) { c.Tracer = t } }
+
+// WithCollector attaches a run-metrics collector (nil detaches).
+func WithCollector(col Collector) Option { return func(c *RunConfig) { c.Collector = col } }
+
+// NewRunConfig applies opts to a zero RunConfig.
+func NewRunConfig(opts ...Option) RunConfig {
+	var cfg RunConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// RunWith executes one replication of the compiled program under cfg.
+func (cr *CompiledRun) RunWith(cfg RunConfig) *Result {
+	return cr.runStream(cfg, 0)
+}
+
+// runStream executes one replication, tagging tracer hooks with the
+// given stream (the Monte Carlo trial index; 0 for single runs).
+func (cr *CompiledRun) runStream(cfg RunConfig, stream int) *Result {
+	if cfg.Mode == Direct {
+		return simulateDirect(cr, cfg)
+	}
+	return simulateDES(cr, cfg, stream)
+}
+
+// Replicate runs n Monte Carlo replications of the compiled program
+// with independent random streams and returns all results — the Monte
+// Carlo capability BE-SST uses to "capture the variance that exists in
+// the calibration samples".
+//
+// Every trial seed is pre-drawn from the master RNG in index order
+// before any trial starts, so seed assignment — and therefore every
+// result — is independent of completion order and worker count, and
+// identical to the serial reference. A configured Tracer sees each
+// trial as its own stream; a configured Collector gets
+// TrialStart/TrialDone brackets and per-engine totals.
+func (cr *CompiledRun) Replicate(n int, opts ...Option) []*Result {
+	if n <= 0 {
+		panic("besst: non-positive Monte Carlo count")
+	}
+	cfg := NewRunConfig(opts...)
+	cfg.MonteCarlo = true
+	seeds := par.SeedFan(cfg.Seed, n)
+	out := make([]*Result, n)
+	col := cfg.Collector
+	par.ForEach(cfg.Workers, n, func(i int) {
+		c := cfg
+		c.Seed = seeds[i]
+		if col != nil {
+			col.TrialStart(i)
+		}
+		out[i] = cr.runStream(c, i)
+		if col != nil {
+			col.TrialDone(i)
+		}
+	})
+	return out
+}
+
+// Run compiles app against arch and executes one replication.
+func Run(app *beo.AppBEO, arch *beo.ArchBEO, opts ...Option) *Result {
+	return Compile(app, arch).RunWith(NewRunConfig(opts...))
+}
+
+// Replicate compiles app against arch and runs n Monte Carlo
+// replications. See CompiledRun.Replicate for the determinism and
+// instrumentation contract.
+func Replicate(app *beo.AppBEO, arch *beo.ArchBEO, n int, opts ...Option) []*Result {
+	if n <= 0 {
+		panic("besst: non-positive Monte Carlo count")
+	}
+	return Compile(app, arch).Replicate(n, opts...)
+}

@@ -1,0 +1,225 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"besst/internal/besst"
+	"besst/internal/des"
+	"besst/internal/dse"
+	"besst/internal/obs"
+)
+
+// CommonFlags is the flag set shared by every besst command: worker
+// and seed control, machine-readable output, and the observability
+// switches (tracing, metrics, profiling). Register it with
+// RegisterCommon so the six mains stop carrying drift-prone copies of
+// the same flag block.
+type CommonFlags struct {
+	// Workers bounds worker-pool concurrency (<= 0: GOMAXPROCS).
+	Workers int
+	// Seed is the master random seed.
+	Seed uint64
+	// JSON selects machine-readable primary output where the tool
+	// defines one.
+	JSON bool
+	// Trace, when non-empty, records DES lifecycle events and writes
+	// them to this path in Chrome trace_event JSON (opens in
+	// chrome://tracing or Perfetto).
+	Trace string
+	// TraceCap bounds the trace ring buffer (records; <= 0: default).
+	TraceCap int
+	// Metrics, when non-empty, writes a versioned run-metrics JSON
+	// document. A path ending in .json is used verbatim; anything else
+	// is treated as a directory and the conventional
+	// METRICS_<tool>.json name is appended.
+	Metrics string
+	// CPUProfile and MemProfile, when non-empty, capture pprof CPU and
+	// heap profiles to these paths.
+	CPUProfile string
+	// MemProfile is the heap-profile output path.
+	MemProfile string
+}
+
+// RegisterCommon registers the shared flags on fs (use flag.CommandLine
+// in a main) and returns the bound struct. workersDefault seeds the
+// -workers default, since the tools disagree on it (besst-bench keeps
+// its historical serial default).
+func RegisterCommon(fs *flag.FlagSet, workersDefault int) *CommonFlags {
+	f := &CommonFlags{}
+	fs.IntVar(&f.Workers, "workers", workersDefault,
+		"concurrent workers (<=0: GOMAXPROCS); results are identical for every worker count")
+	fs.Uint64Var(&f.Seed, "seed", 42, "master random seed")
+	fs.BoolVar(&f.JSON, "json", false, "emit machine-readable JSON output where the tool defines one")
+	fs.StringVar(&f.Trace, "trace", "",
+		"write a Chrome trace_event JSON trace of the DES run to this path")
+	fs.IntVar(&f.TraceCap, "trace-cap", 0,
+		"trace ring-buffer capacity in records (<=0: default 65536)")
+	fs.StringVar(&f.Metrics, "metrics", "",
+		"write run metrics JSON to this path (or METRICS_<tool>.json inside this directory)")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this path")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this path")
+	return f
+}
+
+// Session is the live observability state behind one command run:
+// profiles started, recorders allocated. Create it with Begin after
+// flag parsing; call Close before exit to flush everything to disk.
+type Session struct {
+	flags   *CommonFlags
+	tool    string
+	stopCPU func() error
+	trace   *obs.TraceBuffer
+	// collector always exists (Phase timings are recorded regardless)
+	// but is only handed to engines — and only written out — when the
+	// corresponding flags ask for it, keeping uninstrumented runs on
+	// the nil-guarded fast path.
+	collector *obs.Collector
+}
+
+// Begin starts the requested instrumentation (CPU profile, trace
+// buffer) for the named tool.
+func (f *CommonFlags) Begin(tool string) (*Session, error) {
+	s := &Session{flags: f, tool: tool, collector: obs.NewCollector()}
+	if f.CPUProfile != "" {
+		stop, err := obs.StartCPUProfile(f.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		s.stopCPU = stop
+	}
+	if f.Trace != "" {
+		s.trace = obs.NewTraceBuffer(f.TraceCap)
+	}
+	return s, nil
+}
+
+// metricsEnabled reports whether run metrics were requested.
+func (s *Session) metricsEnabled() bool { return s.flags.Metrics != "" }
+
+// EngineTracer returns the tracer to install on DES engines: the trace
+// buffer and/or the metrics collector, or a truly nil interface when
+// neither was requested (so engines stay on the allocation-free
+// disabled path).
+func (s *Session) EngineTracer() des.Tracer {
+	var ts []obs.EngineTracer
+	if s.trace != nil {
+		ts = append(ts, s.trace)
+	}
+	if s.metricsEnabled() {
+		ts = append(ts, s.collector)
+	}
+	return obs.Tee(ts...)
+}
+
+// RunCollector returns the besst run collector, or nil when metrics
+// were not requested.
+func (s *Session) RunCollector() besst.Collector {
+	if !s.metricsEnabled() {
+		return nil
+	}
+	return s.collector
+}
+
+// SweepCollector returns the DSE sweep collector, or nil when metrics
+// were not requested.
+func (s *Session) SweepCollector() dse.Collector {
+	if !s.metricsEnabled() {
+		return nil
+	}
+	return s.collector
+}
+
+// RunOptions assembles the besst options the common flags imply: seed,
+// concurrency, and — when requested — tracer and collector.
+func (s *Session) RunOptions() []besst.Option {
+	opts := []besst.Option{
+		besst.WithSeed(s.flags.Seed),
+		besst.WithConcurrency(s.flags.Workers),
+	}
+	if t := s.EngineTracer(); t != nil {
+		opts = append(opts, besst.WithTracer(t))
+	}
+	if c := s.RunCollector(); c != nil {
+		opts = append(opts, besst.WithCollector(c))
+	}
+	return opts
+}
+
+// Phase opens a named wall-clock phase and returns its closer. Phase
+// timings are always recorded; they are only written to disk when
+// -metrics is set (and surfaced by tools with a JSON summary).
+func (s *Session) Phase(name string) func() {
+	return s.collector.PhaseStart(name)
+}
+
+// Phases snapshots the phase timings recorded so far.
+func (s *Session) Phases() []obs.PhaseMetrics {
+	return s.collector.Snapshot(s.tool).Phases
+}
+
+// metricsPath resolves the -metrics value: a .json path is used
+// verbatim, anything else is a directory getting the conventional
+// METRICS_<tool>.json name.
+func (s *Session) metricsPath() string {
+	if strings.HasSuffix(s.flags.Metrics, ".json") {
+		return s.flags.Metrics
+	}
+	return obs.MetricsPath(s.flags.Metrics, s.tool)
+}
+
+// Close stops profiling and flushes every requested artifact (CPU and
+// heap profiles, trace JSON, metrics JSON). It returns the first
+// failure but attempts all of them.
+func (s *Session) Close() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.stopCPU != nil {
+		keep(s.stopCPU())
+		s.stopCPU = nil
+	}
+	if s.flags.MemProfile != "" {
+		keep(obs.WriteHeapProfile(s.flags.MemProfile))
+	}
+	if s.trace != nil {
+		keep(writeFile(s.flags.Trace, func(f *os.File) error {
+			return s.trace.WriteChromeTrace(f)
+		}))
+	}
+	if s.metricsEnabled() {
+		keep(writeFile(s.metricsPath(), func(f *os.File) error {
+			return s.collector.WriteMetrics(f, s.tool)
+		}))
+	}
+	return first
+}
+
+// writeFile creates path (making parent directories) and streams
+// content into it, reporting create, write, and close failures.
+func writeFile(path string, write func(*os.File) error) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("cli: mkdir %s: %w", dir, err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("cli: create %s: %w", path, err)
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("cli: write %s: %w", path, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("cli: close %s: %w", path, cerr)
+	}
+	return nil
+}

@@ -130,6 +130,9 @@ type Engine struct {
 	seq        uint64
 	processed  uint64
 	running    bool
+	tracer     Tracer // nil unless SetTracer was called
+	stream     int    // stream tag passed to every tracer hook
+	peakQueue  int
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -181,6 +184,12 @@ func (e *Engine) schedule(ev Event) {
 	ev.seq = e.seq
 	e.seq++
 	heap.Push(&e.queue, ev)
+	if len(e.queue) > e.peakQueue {
+		e.peakQueue = len(e.queue)
+	}
+	if e.tracer != nil {
+		e.tracer.EventQueued(e.stream, 0, int(ev.Dst), int64(e.now), int64(ev.Time))
+	}
 }
 
 func (e *Engine) link(src ComponentID, port string) (halfLink, bool) {
@@ -193,6 +202,23 @@ func (e *Engine) Now() Time { return e.now }
 
 // Processed returns the number of events delivered so far.
 func (e *Engine) Processed() uint64 { return e.processed }
+
+// PeakQueueDepth returns the deepest the event queue ever grew — the
+// engine tracks it unconditionally (one comparison per schedule) so
+// run metrics are available even without a tracer.
+func (e *Engine) PeakQueueDepth() int { return e.peakQueue }
+
+// SetTracer attaches a lifecycle tracer; nil detaches. stream tags
+// every hook from this engine, letting runs that share one tracer
+// (e.g. Monte Carlo trials) stay distinguishable in the trace. Must
+// not be called while Run is in progress.
+func (e *Engine) SetTracer(t Tracer, stream int) {
+	if e.running {
+		panic("des: SetTracer during Run")
+	}
+	e.tracer = t
+	e.stream = stream
+}
 
 // Run processes events in timestamp order until the queue is empty or
 // the horizon is passed (horizon <= 0 means no horizon). It returns the
@@ -223,7 +249,13 @@ func (e *Engine) dispatch(ev Event) {
 		panic(fmt.Sprintf("des: event for unknown component %d", ev.Dst))
 	}
 	ctx := Context{sch: e, id: ev.Dst, now: e.now}
-	e.components[dst].HandleEvent(&ctx, ev)
+	if e.tracer != nil {
+		e.tracer.EventDispatch(e.stream, 0, dst, int64(e.now))
+		e.components[dst].HandleEvent(&ctx, ev)
+		e.tracer.EventReturn(e.stream, 0, int64(e.now))
+	} else {
+		e.components[dst].HandleEvent(&ctx, ev)
+	}
 	e.processed++
 }
 

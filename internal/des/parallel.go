@@ -36,6 +36,8 @@ type ParallelEngine struct {
 	running    bool
 	processed  uint64
 	crossed    []crossEvent // merge scratch buffer, reused across windows
+	tracer     Tracer       // nil unless SetTracer was called
+	stream     int          // stream tag passed to every tracer hook
 }
 
 type partition struct {
@@ -50,6 +52,15 @@ type partition struct {
 	// the owning worker at window end and by the coordinator during
 	// ScheduleAt and the barrier merge — never concurrently.
 	next Time
+	// now is the timestamp of the event currently being handled, kept
+	// so tracer hooks can stamp scheduling times without threading the
+	// context through the scheduler interface.
+	now Time
+	// stat accumulates cumulative per-partition counters for run
+	// metrics. Written under the same ownership discipline as next:
+	// by the owning worker inside a window, by the coordinator between
+	// windows — never concurrently.
+	stat PartitionStat
 }
 
 type crossEvent struct {
@@ -122,8 +133,14 @@ func (e *ParallelEngine) ScheduleAt(t Time, dst ComponentID, payload any) {
 	ev := Event{Time: t, Dst: dst, Payload: payload, seq: p.seq}
 	p.seq++
 	heap.Push(&p.queue, ev)
+	if len(p.queue) > p.stat.PeakQueueDepth {
+		p.stat.PeakQueueDepth = len(p.queue)
+	}
 	if p.next < 0 || t < p.next {
 		p.next = t
+	}
+	if e.tracer != nil {
+		e.tracer.EventQueued(e.stream, p.index, int(dst), int64(e.now), int64(t))
 	}
 }
 
@@ -133,6 +150,46 @@ func (e *ParallelEngine) Now() Time { return e.now }
 // Processed returns the number of events delivered so far.
 func (e *ParallelEngine) Processed() uint64 { return e.processed }
 
+// PartitionStats snapshots every partition's cumulative counters. It
+// must not be called while Run is in progress.
+func (e *ParallelEngine) PartitionStats() []PartitionStat {
+	if e.running {
+		panic("des: PartitionStats during Run")
+	}
+	out := make([]PartitionStat, len(e.parts))
+	for i, p := range e.parts {
+		out[i] = p.stat
+	}
+	return out
+}
+
+// PeakQueueDepth returns the deepest any partition's private queue
+// ever grew. It must not be called while Run is in progress.
+func (e *ParallelEngine) PeakQueueDepth() int {
+	if e.running {
+		panic("des: PeakQueueDepth during Run")
+	}
+	peak := 0
+	for _, p := range e.parts {
+		if p.stat.PeakQueueDepth > peak {
+			peak = p.stat.PeakQueueDepth
+		}
+	}
+	return peak
+}
+
+// SetTracer attaches a lifecycle tracer; nil detaches. Hooks fire
+// concurrently from the partition workers, so the tracer must be safe
+// for concurrent use. stream tags every hook from this engine. Must
+// not be called while Run is in progress.
+func (e *ParallelEngine) SetTracer(t Tracer, stream int) {
+	if e.running {
+		panic("des: SetTracer during Run")
+	}
+	e.tracer = t
+	e.stream = stream
+}
+
 // partition implements scheduler for the components it hosts.
 
 func (p *partition) schedule(ev Event) {
@@ -141,6 +198,12 @@ func (p *partition) schedule(ev Event) {
 		ev.seq = p.seq
 		p.seq++
 		heap.Push(&p.queue, ev)
+		if len(p.queue) > p.stat.PeakQueueDepth {
+			p.stat.PeakQueueDepth = len(p.queue)
+		}
+		if t := p.eng.tracer; t != nil {
+			t.EventQueued(p.eng.stream, p.index, int(ev.Dst), int64(p.now), int64(ev.Time))
+		}
 		return
 	}
 	p.outbox = append(p.outbox, crossEvent{
@@ -150,6 +213,9 @@ func (p *partition) schedule(ev Event) {
 		srcSeq:  p.seq,
 	})
 	p.seq++
+	if t := p.eng.tracer; t != nil {
+		t.EventQueued(p.eng.stream, p.index, int(ev.Dst), int64(p.now), int64(ev.Time))
+	}
 }
 
 func (p *partition) link(src ComponentID, port string) (halfLink, bool) {
@@ -161,12 +227,21 @@ func (p *partition) link(src ComponentID, port string) (halfLink, bool) {
 // partition, then refreshes the cached next-event time for the
 // coordinator's min-scan.
 func (p *partition) runWindow(windowEnd Time) {
+	tr := p.eng.tracer
 	for len(p.queue) > 0 && p.queue[0].Time < windowEnd {
 		ev := heap.Pop(&p.queue).(Event)
 		ctx := Context{sch: p, id: ev.Dst, now: ev.Time}
-		p.eng.components[int(ev.Dst)].HandleEvent(&ctx, ev)
+		p.now = ev.Time
+		if tr != nil {
+			tr.EventDispatch(p.eng.stream, p.index, int(ev.Dst), int64(ev.Time))
+			p.eng.components[int(ev.Dst)].HandleEvent(&ctx, ev)
+			tr.EventReturn(p.eng.stream, p.index, int64(ev.Time))
+		} else {
+			p.eng.components[int(ev.Dst)].HandleEvent(&ctx, ev)
+		}
 		p.count++
 	}
+	p.stat.Windows++
 	if len(p.queue) > 0 {
 		p.next = p.queue[0].Time
 	} else {
@@ -180,6 +255,7 @@ func (p *partition) runWindow(windowEnd Time) {
 func (e *ParallelEngine) flushCounts() {
 	for _, p := range e.parts {
 		e.processed += p.count
+		p.stat.Processed += p.count
 		p.count = 0
 	}
 }
@@ -202,7 +278,13 @@ func (e *ParallelEngine) Run(horizon Time) Time {
 		windows[i] = make(chan Time)
 		go func(p *partition, win <-chan Time) {
 			for end := range win {
+				if t := e.tracer; t != nil {
+					t.BarrierResume(e.stream, p.index, int64(end))
+				}
 				p.runWindow(end)
+				if t := e.tracer; t != nil {
+					t.BarrierArrive(e.stream, p.index, int64(end))
+				}
 				done.Done()
 			}
 		}(p, windows[i])
@@ -268,6 +350,9 @@ func (e *ParallelEngine) Run(horizon Time) Time {
 			ev.seq = p.seq
 			p.seq++
 			heap.Push(&p.queue, ev)
+			if len(p.queue) > p.stat.PeakQueueDepth {
+				p.stat.PeakQueueDepth = len(p.queue)
+			}
 			if p.next < 0 || ev.Time < p.next {
 				p.next = ev.Time
 			}

@@ -1,0 +1,52 @@
+package des
+
+// Tracer receives engine lifecycle hooks: event dispatch and return,
+// event scheduling (sends and self-schedules), and the window-barrier
+// transitions of the parallel engine. The observability layer
+// (internal/obs) implements it; the interface is deliberately typed
+// with builtins only so implementations need not import this package.
+//
+// Hook contract:
+//
+//   - Hooks are informational: implementations must not call back into
+//     the engine, and nothing they do can alter simulation results —
+//     the engines consult the tracer after their own state transitions
+//     are complete.
+//   - ParallelEngine partitions invoke hooks concurrently from their
+//     worker goroutines, so implementations must be safe for concurrent
+//     use. The sequential Engine calls from a single goroutine.
+//   - `stream` distinguishes runs sharing one tracer (e.g. Monte Carlo
+//     trials); `part` is the partition index (0 for the sequential
+//     engine); times are simulated nanoseconds.
+//
+// Both engines hold the tracer behind a nil guard: with no tracer set
+// the instrumented paths cost one pointer comparison and allocate
+// nothing, preserving the byte-identical replication gate and the
+// bench trajectory.
+type Tracer interface {
+	// EventDispatch fires immediately before a component handles an
+	// event; EventReturn fires when the handler returns.
+	EventDispatch(stream, part, comp int, simNs int64)
+	EventReturn(stream, part int, simNs int64)
+	// EventQueued fires when an event is scheduled (Send, ScheduleSelf,
+	// or an initial ScheduleAt): dst is the destination component,
+	// simNs the scheduling time, deliverNs the delivery time.
+	EventQueued(stream, part, dst int, simNs, deliverNs int64)
+	// BarrierArrive fires when a parallel partition finishes its window
+	// and begins waiting at the synchronization barrier; BarrierResume
+	// fires when the coordinator releases it into the next window.
+	// windowNs is the exclusive window edge the hook refers to.
+	BarrierArrive(stream, part int, windowNs int64)
+	BarrierResume(stream, part int, windowNs int64)
+}
+
+// PartitionStat is one partition's cumulative counters over a
+// ParallelEngine run, exposed for the run-metrics collector.
+type PartitionStat struct {
+	// Processed is the number of events this partition delivered.
+	Processed uint64
+	// PeakQueueDepth is the deepest its private event queue ever grew.
+	PeakQueueDepth int
+	// Windows is the number of synchronization windows it executed.
+	Windows uint64
+}

@@ -51,6 +51,19 @@ type SweepConfig struct {
 	// every worker count: each design point's Monte Carlo seed is
 	// pre-assigned from the master seed before evaluation starts.
 	Workers int
+	// Collector, when non-nil, receives PointStart/PointDone brackets
+	// around each design point's evaluation (in enumeration order:
+	// per-EPR baselines first, then the grid). It must be safe for
+	// concurrent use when Workers != 1. Never influences results.
+	Collector Collector
+}
+
+// Collector receives sweep timing callbacks. The interface is typed
+// with builtins only, so the observability layer (internal/obs)
+// implements it structurally without this package importing it.
+type Collector interface {
+	PointStart(i int)
+	PointDone(i int)
 }
 
 // Validate panics on an unusable sweep.
@@ -137,16 +150,22 @@ func OverheadSweep(models *workflow.Models, m *machine.Machine, ranksPerNode int
 	// Evaluate cells concurrently; each cell's replications run serially
 	// (cell-level parallelism already saturates the pool).
 	par.ForEach(cfg.Workers, len(points), func(i int) {
+		if cfg.Collector != nil {
+			cfg.Collector.PointStart(i)
+		}
 		p := &points[i]
 		app := lulesh.App(p.epr, p.ranks, cfg.Timesteps, p.sc, ftiCfg)
 		arch := beo.NewArchBEO(m, ranksPerNode)
 		workflow.BindLulesh(arch, models)
-		runs := besst.MonteCarlo(app, arch, besst.Options{
-			Mode:         besst.Direct,
-			PerRankNoise: true,
-			Seed:         p.seed,
-		}, cfg.MCRuns, besst.WithConcurrency(1))
+		runs := besst.Replicate(app, arch, cfg.MCRuns,
+			besst.WithMode(besst.Direct),
+			besst.WithPerRankNoise(true),
+			besst.WithSeed(p.seed),
+			besst.WithConcurrency(1))
 		p.mean = stats.Mean(besst.Makespans(runs))
+		if cfg.Collector != nil {
+			cfg.Collector.PointDone(i)
+		}
 	})
 
 	base := map[int]float64{}

@@ -128,11 +128,10 @@ func FigFullRun(ctx *Context, epr, ranks, timesteps, mcRuns int, mode besst.Mode
 		app := lulesh.App(epr, ranks, timesteps, sc, cfg)
 		arch := beo.NewArchBEO(ctx.Quartz.M, cfg.NodeSize)
 		workflow.BindLulesh(arch, ctx.Models)
-		runs := besst.MonteCarlo(app, arch, besst.Options{
-			Mode:         mode,
-			PerRankNoise: true,
-			Seed:         rng.Uint64(),
-		}, mcRuns)
+		runs := besst.Replicate(app, arch, mcRuns,
+			besst.WithMode(mode),
+			besst.WithPerRankNoise(true),
+			besst.WithSeed(rng.Uint64()))
 
 		pred := make([]float64, timesteps)
 		for _, r := range runs {
@@ -257,11 +256,10 @@ func Fig1(timesteps, mcRuns int, seed uint64) *Fig1Result {
 		}
 		arch := beo.NewArchBEO(m, ranksPerNode)
 		arch.Bind(cmtbone.OpTimestep, model)
-		runs := besst.MonteCarlo(app, arch, besst.Options{
-			Mode:         besst.Direct,
-			PerRankNoise: true,
-			Seed:         rng.Uint64(),
-		}, mcRuns)
+		runs := besst.Replicate(app, arch, mcRuns,
+			besst.WithMode(besst.Direct),
+			besst.WithPerRankNoise(true),
+			besst.WithSeed(rng.Uint64()))
 		ms := besst.Makespans(runs)
 		s := stats.Summarize(ms)
 		return s.Mean, s.Std, ms

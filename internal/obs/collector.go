@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"runtime"
+	"runtime/metrics"
+	"sort"
+	"sync"
+)
+
+// MetricsSchemaVersion is bumped whenever the METRICS_*.json layout
+// changes incompatibly, so downstream tooling can reject documents it
+// does not understand.
+const MetricsSchemaVersion = 1
+
+// Collector aggregates run-level metrics. It implements the engine
+// tracer hooks (per-partition event counts, barrier stalls, window
+// counts), the besst run-collector hooks (per-trial Monte Carlo
+// timings, engine totals), and the dse sweep-collector hooks (per-point
+// timings) — all structurally, so the simulation packages never import
+// obs. All methods are safe for concurrent use.
+type Collector struct {
+	mu     sync.Mutex
+	clock  func() int64
+	start  int64
+	parts  map[int]*partMetrics
+	phases []*PhaseMetrics
+	trials map[int]*spanMetrics
+	points map[int]*spanMetrics
+
+	eventsProcessed uint64
+	peakQueueDepth  int
+}
+
+type partMetrics struct {
+	events       uint64
+	stallNs      int64
+	windows      uint64
+	arrivedWall  int64 // wall ns of the open BarrierArrive, -1 when closed
+	arrivedValid bool
+}
+
+type spanMetrics struct {
+	startWall int64
+	durNs     int64
+	done      bool
+}
+
+// PhaseMetrics is one named wall-clock phase of a run.
+type PhaseMetrics struct {
+	Name   string `json:"name"`
+	WallNs int64  `json:"wall_ns"`
+
+	startWall int64
+	open      bool
+}
+
+// NewCollector returns an empty collector; its wall-clock epoch starts
+// now.
+func NewCollector() *Collector {
+	c := &Collector{
+		clock:  wallClock,
+		parts:  map[int]*partMetrics{},
+		trials: map[int]*spanMetrics{},
+		points: map[int]*spanMetrics{},
+	}
+	c.start = c.clock()
+	return c
+}
+
+// setClock swaps the wall-clock source (tests only) and restarts the
+// epoch.
+func (c *Collector) setClock(clock func() int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock = clock
+	c.start = clock()
+}
+
+func (c *Collector) part(i int) *partMetrics {
+	p, ok := c.parts[i]
+	if !ok {
+		p = &partMetrics{}
+		c.parts[i] = p
+	}
+	return p
+}
+
+// Engine tracer hooks. The collector keys counters by partition only —
+// streams (Monte Carlo trials) share partition rows, which is what the
+// per-partition stall report wants: total time partition i spent
+// blocked across the whole run.
+
+// EventDispatch counts one delivered event against the partition.
+func (c *Collector) EventDispatch(stream, part, comp int, simNs int64) {
+	c.mu.Lock()
+	c.part(part).events++
+	c.mu.Unlock()
+}
+
+// EventReturn is a no-op: the collector keeps counts, not durations, at
+// event granularity.
+func (c *Collector) EventReturn(stream, part int, simNs int64) {}
+
+// EventQueued is a no-op: queue growth is summarized by the engine's
+// own peak-depth counter, reported via EngineTotals.
+func (c *Collector) EventQueued(stream, part, dst int, simNs, deliverNs int64) {}
+
+// BarrierArrive marks the start of a barrier stall for the partition.
+func (c *Collector) BarrierArrive(stream, part int, windowNs int64) {
+	c.mu.Lock()
+	p := c.part(part)
+	p.arrivedWall = c.clock()
+	p.arrivedValid = true
+	c.mu.Unlock()
+}
+
+// BarrierResume closes the partition's open stall and counts a window.
+func (c *Collector) BarrierResume(stream, part int, windowNs int64) {
+	c.mu.Lock()
+	p := c.part(part)
+	p.windows++
+	if p.arrivedValid {
+		p.stallNs += c.clock() - p.arrivedWall
+		p.arrivedValid = false
+	}
+	c.mu.Unlock()
+}
+
+// Run-level hooks (besst / dse structural interfaces).
+
+// TrialStart marks the beginning of Monte Carlo trial i.
+func (c *Collector) TrialStart(i int) { c.spanStart(c.trials, i) }
+
+// TrialDone marks the end of Monte Carlo trial i.
+func (c *Collector) TrialDone(i int) { c.spanDone(c.trials, i) }
+
+// PointStart marks the beginning of DSE sweep point i.
+func (c *Collector) PointStart(i int) { c.spanStart(c.points, i) }
+
+// PointDone marks the end of DSE sweep point i.
+func (c *Collector) PointDone(i int) { c.spanDone(c.points, i) }
+
+func (c *Collector) spanStart(m map[int]*spanMetrics, i int) {
+	c.mu.Lock()
+	m[i] = &spanMetrics{startWall: c.clock()}
+	c.mu.Unlock()
+}
+
+func (c *Collector) spanDone(m map[int]*spanMetrics, i int) {
+	c.mu.Lock()
+	if s, ok := m[i]; ok && !s.done {
+		s.durNs = c.clock() - s.startWall
+		s.done = true
+	}
+	c.mu.Unlock()
+}
+
+// EngineTotals reports one engine run's totals; calls accumulate so a
+// Monte Carlo campaign sums across trials (peak depth takes the max).
+func (c *Collector) EngineTotals(processed uint64, peakQueueDepth int) {
+	c.mu.Lock()
+	c.eventsProcessed += processed
+	if peakQueueDepth > c.peakQueueDepth {
+		c.peakQueueDepth = peakQueueDepth
+	}
+	c.mu.Unlock()
+}
+
+// PhaseStart opens a named wall-clock phase and returns a function that
+// closes it. Phases may nest or overlap; they are reported in start
+// order.
+func (c *Collector) PhaseStart(name string) (done func()) {
+	c.mu.Lock()
+	p := &PhaseMetrics{Name: name, startWall: c.clock(), open: true}
+	c.phases = append(c.phases, p)
+	c.mu.Unlock()
+	return func() {
+		c.mu.Lock()
+		if p.open {
+			p.WallNs = c.clock() - p.startWall
+			p.open = false
+		}
+		c.mu.Unlock()
+	}
+}
+
+// PartitionEntry is one partition's row in the metrics document.
+type PartitionEntry struct {
+	Part           int    `json:"part"`
+	Events         uint64 `json:"events"`
+	BarrierStallNs int64  `json:"barrier_stall_ns"`
+	Windows        uint64 `json:"windows"`
+}
+
+// SpanEntry is one trial or sweep point's timing row.
+type SpanEntry struct {
+	Index  int   `json:"index"`
+	WallNs int64 `json:"wall_ns"`
+}
+
+// Metrics is the versioned run-metrics document written to
+// results/METRICS_<tool>.json.
+type Metrics struct {
+	SchemaVersion int    `json:"schema_version"`
+	Tool          string `json:"tool,omitempty"`
+	GoVersion     string `json:"go_version"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+
+	EventsProcessed uint64 `json:"events_processed"`
+	PeakQueueDepth  int    `json:"peak_queue_depth"`
+
+	Phases     []PhaseMetrics     `json:"phases,omitempty"`
+	Partitions []PartitionEntry   `json:"partitions,omitempty"`
+	Trials     []SpanEntry        `json:"trials,omitempty"`
+	Points     []SpanEntry        `json:"sweep_points,omitempty"`
+	Runtime    map[string]float64 `json:"runtime_metrics,omitempty"`
+}
+
+// Snapshot freezes the collector's current state into a metrics
+// document, including a runtime/metrics sample.
+func (c *Collector) Snapshot(tool string) *Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := &Metrics{
+		SchemaVersion:   MetricsSchemaVersion,
+		Tool:            tool,
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		EventsProcessed: c.eventsProcessed,
+		PeakQueueDepth:  c.peakQueueDepth,
+		Runtime:         runtimeSample(),
+	}
+	for _, p := range c.phases {
+		ph := *p
+		if ph.open {
+			ph.WallNs = c.clock() - ph.startWall
+		}
+		m.Phases = append(m.Phases, ph)
+	}
+	for _, part := range sortedKeys(c.parts) {
+		p := c.parts[part]
+		m.Partitions = append(m.Partitions, PartitionEntry{
+			Part: part, Events: p.events, BarrierStallNs: p.stallNs, Windows: p.windows,
+		})
+	}
+	m.Trials = spanEntries(c.trials)
+	m.Points = spanEntries(c.points)
+	return m
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func spanEntries(m map[int]*spanMetrics) []SpanEntry {
+	var out []SpanEntry
+	for _, i := range sortedKeys(m) {
+		if s := m[i]; s.done {
+			out = append(out, SpanEntry{Index: i, WallNs: s.durNs})
+		}
+	}
+	return out
+}
+
+// runtimeSample reads a curated set of runtime/metrics gauges. Missing
+// or unexpected metrics are skipped: the set varies across Go releases
+// and the document must not fail to write because of that.
+func runtimeSample() map[string]float64 {
+	names := []string{
+		"/gc/heap/allocs:bytes",
+		"/gc/heap/objects:objects",
+		"/gc/cycles/total:gc-cycles",
+		"/memory/classes/heap/objects:bytes",
+		"/memory/classes/total:bytes",
+		"/sched/goroutines:goroutines",
+	}
+	samples := make([]metrics.Sample, len(names))
+	for i, n := range names {
+		samples[i].Name = n
+	}
+	metrics.Read(samples)
+	out := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			out[s.Name] = float64(s.Value.Uint64())
+		case metrics.KindFloat64:
+			out[s.Name] = s.Value.Float64()
+		}
+	}
+	return out
+}
+
+// WriteMetrics writes the collector's snapshot as indented JSON.
+func (c *Collector) WriteMetrics(w io.Writer, tool string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.Snapshot(tool))
+}
+
+// MetricsPath returns the conventional metrics filename for a tool,
+// e.g. MetricsPath("results", "besst-sim") = "results/METRICS_besst-sim.json".
+func MetricsPath(dir, tool string) string {
+	return filepath.Join(dir, fmt.Sprintf("METRICS_%s.json", tool))
+}

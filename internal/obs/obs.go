@@ -1,0 +1,305 @@
+// Package obs is the observability layer of the simulator: lifecycle
+// tracing for the discrete-event engines, run-level metrics, and
+// profiling capture. It is stdlib-only and deliberately import-free of
+// the simulation packages — the engine hook interfaces (des.Tracer,
+// besst.Collector, dse.Collector) are typed with builtins, so the
+// concrete implementations here satisfy them structurally.
+//
+// Two consumers split the work:
+//
+//   - TraceBuffer records per-event lifecycle records (dispatch, send,
+//     barrier wait) into a preallocated ring buffer and exports them in
+//     Chrome trace_event JSON, so a run opens directly in
+//     chrome://tracing or Perfetto.
+//   - Collector aggregates run-level metrics — events processed,
+//     per-partition barrier stalls, peak queue depth, wall-clock per
+//     phase, per-trial Monte Carlo timings, DSE sweep point timings —
+//     and writes them as a versioned METRICS_*.json document.
+//
+// obs is the one sanctioned reader of the wall clock in the simulator
+// stack: the nodeterminism lint check keeps time.Now out of the
+// simulation packages, which instead call the primitive-typed hooks and
+// let the implementations here stamp wall time. Nothing recorded ever
+// feeds back into a simulation, so instrumented runs stay byte-identical
+// to uninstrumented ones.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Kind classifies a trace record.
+type Kind uint8
+
+// Record kinds.
+const (
+	// KindDispatch is one component handling one event: Comp is the
+	// component, Sim the event time, WallDur the handler's wall time,
+	// Aux the simulated time at handler return.
+	KindDispatch Kind = iota
+	// KindQueued is one event being scheduled: Comp is the destination
+	// component, Sim the scheduling time, Aux the delivery time.
+	KindQueued
+	// KindBarrier is one partition waiting at a window barrier: Sim is
+	// the window edge it arrived from, WallDur the wall time spent
+	// blocked, Aux the window edge it resumed into (0 while open).
+	KindBarrier
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDispatch:
+		return "dispatch"
+	case KindQueued:
+		return "queued"
+	case KindBarrier:
+		return "barrier"
+	}
+	return "unknown"
+}
+
+// Record is one fixed-size trace entry. Stream distinguishes engines
+// sharing a tracer (Monte Carlo trial index); Part is the engine
+// partition (0 for the sequential engine); Wall is nanoseconds since
+// the buffer was created.
+type Record struct {
+	Kind    Kind
+	Stream  int32
+	Part    int32
+	Comp    int32
+	Sim     int64 // simulated ns
+	Aux     int64 // kind-specific (see Kind docs)
+	Wall    int64 // wall ns since trace start
+	WallDur int64 // wall ns duration (-1 while a paired record is open)
+}
+
+// streamPart packs a (stream, part) pair into one map key.
+func streamPart(stream, part int) uint64 {
+	return uint64(uint32(stream))<<32 | uint64(uint32(part))
+}
+
+// TraceBuffer is a bounded, concurrency-safe recorder implementing the
+// engine tracer hooks. Records land in a ring buffer preallocated at
+// construction: once full, the oldest records are overwritten and
+// counted as dropped rather than growing the heap mid-run.
+type TraceBuffer struct {
+	mu      sync.Mutex
+	recs    []Record
+	n       uint64 // total records ever appended
+	dropped uint64
+	// open maps (stream, part) to the absolute index of that lane's
+	// open dispatch/barrier record awaiting its closing hook.
+	openDispatch map[uint64]uint64
+	openBarrier  map[uint64]uint64
+	clock        func() int64 // wall ns; swappable for deterministic tests
+	start        int64
+}
+
+// DefaultTraceCap is the default ring capacity: 1<<16 records ≈ 3 MiB,
+// enough for every event of a validation-scale DES run while bounding
+// tracing of mega-scale runs to the most recent window.
+const DefaultTraceCap = 1 << 16
+
+// NewTraceBuffer returns a buffer holding at most capacity records
+// (<= 0 selects DefaultTraceCap).
+func NewTraceBuffer(capacity int) *TraceBuffer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	b := &TraceBuffer{
+		recs:         make([]Record, 0, capacity),
+		openDispatch: map[uint64]uint64{},
+		openBarrier:  map[uint64]uint64{},
+		clock:        wallClock,
+	}
+	b.start = b.clock()
+	return b
+}
+
+func wallClock() int64 { return time.Now().UnixNano() }
+
+// setClock swaps the wall-clock source (tests only) and restarts the
+// trace epoch.
+func (b *TraceBuffer) setClock(clock func() int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.clock = clock
+	b.start = clock()
+}
+
+// append stores r (stamping Wall) and returns its absolute index.
+// Caller holds b.mu.
+func (b *TraceBuffer) append(r Record) uint64 {
+	r.Wall = b.clock() - b.start
+	idx := b.n
+	if len(b.recs) < cap(b.recs) {
+		b.recs = append(b.recs, r)
+	} else {
+		b.recs[idx%uint64(cap(b.recs))] = r
+		b.dropped++
+	}
+	b.n++
+	return idx
+}
+
+// at returns a pointer to the record at absolute index idx, or nil if
+// the ring has already overwritten it. Caller holds b.mu.
+func (b *TraceBuffer) at(idx uint64) *Record {
+	if b.n-idx > uint64(cap(b.recs)) {
+		return nil
+	}
+	return &b.recs[idx%uint64(cap(b.recs))]
+}
+
+// EventDispatch implements the engine tracer hook: it opens a dispatch
+// record that EventReturn closes with the handler's wall duration.
+func (b *TraceBuffer) EventDispatch(stream, part, comp int, simNs int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	idx := b.append(Record{
+		Kind: KindDispatch, Stream: int32(stream), Part: int32(part),
+		Comp: int32(comp), Sim: simNs, WallDur: -1,
+	})
+	b.openDispatch[streamPart(stream, part)] = idx
+}
+
+// EventReturn closes the lane's open dispatch record.
+func (b *TraceBuffer) EventReturn(stream, part int, simNs int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	idx, ok := b.openDispatch[streamPart(stream, part)]
+	if !ok {
+		return
+	}
+	delete(b.openDispatch, streamPart(stream, part))
+	if r := b.at(idx); r != nil && r.Kind == KindDispatch && r.WallDur < 0 {
+		r.WallDur = (b.clock() - b.start) - r.Wall
+		r.Aux = simNs
+	}
+}
+
+// EventQueued records one event being scheduled.
+func (b *TraceBuffer) EventQueued(stream, part, dst int, simNs, deliverNs int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.append(Record{
+		Kind: KindQueued, Stream: int32(stream), Part: int32(part),
+		Comp: int32(dst), Sim: simNs, Aux: deliverNs,
+	})
+}
+
+// BarrierArrive opens a barrier-wait record for the partition.
+func (b *TraceBuffer) BarrierArrive(stream, part int, windowNs int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	idx := b.append(Record{
+		Kind: KindBarrier, Stream: int32(stream), Part: int32(part),
+		Comp: -1, Sim: windowNs, WallDur: -1,
+	})
+	b.openBarrier[streamPart(stream, part)] = idx
+}
+
+// BarrierResume closes the partition's open barrier-wait record with
+// the wall time it spent blocked.
+func (b *TraceBuffer) BarrierResume(stream, part int, windowNs int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	idx, ok := b.openBarrier[streamPart(stream, part)]
+	if !ok {
+		return // first window: resume without a prior arrive
+	}
+	delete(b.openBarrier, streamPart(stream, part))
+	if r := b.at(idx); r != nil && r.Kind == KindBarrier && r.WallDur < 0 {
+		r.WallDur = (b.clock() - b.start) - r.Wall
+		r.Aux = windowNs
+	}
+}
+
+// Len returns the number of records currently retained.
+func (b *TraceBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.recs)
+}
+
+// Dropped returns how many records the ring overwrote.
+func (b *TraceBuffer) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Records returns the retained records in append order (oldest first).
+func (b *TraceBuffer) Records() []Record {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Record, len(b.recs))
+	if b.dropped == 0 {
+		copy(out, b.recs)
+		return out
+	}
+	head := int(b.n % uint64(cap(b.recs)))
+	copy(out, b.recs[head:])
+	copy(out[len(b.recs)-head:], b.recs[:head])
+	return out
+}
+
+// EngineTracer is the engine hook interface, restated locally (method
+// sets are identical to des.Tracer) so Tee can compose tracers without
+// importing the simulation packages.
+type EngineTracer interface {
+	EventDispatch(stream, part, comp int, simNs int64)
+	EventReturn(stream, part int, simNs int64)
+	EventQueued(stream, part, dst int, simNs, deliverNs int64)
+	BarrierArrive(stream, part int, windowNs int64)
+	BarrierResume(stream, part int, windowNs int64)
+}
+
+// tee fans every hook out to multiple tracers.
+type tee []EngineTracer
+
+func (t tee) EventDispatch(stream, part, comp int, simNs int64) {
+	for _, x := range t {
+		x.EventDispatch(stream, part, comp, simNs)
+	}
+}
+func (t tee) EventReturn(stream, part int, simNs int64) {
+	for _, x := range t {
+		x.EventReturn(stream, part, simNs)
+	}
+}
+func (t tee) EventQueued(stream, part, dst int, simNs, deliverNs int64) {
+	for _, x := range t {
+		x.EventQueued(stream, part, dst, simNs, deliverNs)
+	}
+}
+func (t tee) BarrierArrive(stream, part int, windowNs int64) {
+	for _, x := range t {
+		x.BarrierArrive(stream, part, windowNs)
+	}
+}
+func (t tee) BarrierResume(stream, part int, windowNs int64) {
+	for _, x := range t {
+		x.BarrierResume(stream, part, windowNs)
+	}
+}
+
+// Tee combines tracers into one, skipping nils. It returns nil when
+// none remain and the sole survivor unwrapped, so callers can hand the
+// result straight to an engine's nil-guarded tracer slot.
+func Tee(tracers ...EngineTracer) EngineTracer {
+	var live tee
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

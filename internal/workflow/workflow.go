@@ -165,11 +165,10 @@ func ValidateSystem(em *groundtruth.Emulator, models *Models, eprs, ranks []int,
 			app := lulesh.App(epr, r, timesteps, sc, cfg)
 			arch := beo.NewArchBEO(em.M, cfg.NodeSize)
 			BindLulesh(arch, models)
-			runs := besst.MonteCarlo(app, arch, besst.Options{
-				Mode:         besst.Direct,
-				PerRankNoise: true,
-				Seed:         rng.Uint64(),
-			}, mcRuns)
+			runs := besst.Replicate(app, arch, mcRuns,
+				besst.WithMode(besst.Direct),
+				besst.WithPerRankNoise(true),
+				besst.WithSeed(rng.Uint64()))
 			pred := stats.Mean(besst.Makespans(runs))
 
 			cum = em.FullRunInto(cum, epr, r, timesteps, sc, rng.Split())
