@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build test vet fmt lint lint-fixtures race bench parbench profile trace-fixtures
+.PHONY: check build test vet fmt lint lint-fixtures race bench parbench profile trace-fixtures chaos fuzz
 
 # check is the tier-1 gate: formatting, static analysis (vet and
 # besst-lint), build, the race-enabled internal test suite (the
-# parallel tiers are only trusted under -race), and the observability
-# fixtures.
-check: fmt vet lint build race trace-fixtures
+# parallel tiers are only trusted under -race), the observability
+# fixtures, and the campaign-resilience chaos/crash suite.
+check: fmt vet lint build race trace-fixtures chaos
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,18 @@ parbench: build
 trace-fixtures:
 	$(GO) test ./internal/obs ./internal/des ./internal/besst \
 		-run 'Trace|Metrics|Tracer|Collector|Instrumentation|Observability' -v
+
+# chaos exercises the campaign fault envelope end to end: deterministic
+# panic/delay injection through the retry and quarantine machinery, and
+# the SIGKILL-mid-campaign resume test asserting byte-identical output.
+chaos:
+	$(GO) test -race ./internal/resilience -run 'Chaos|KillAndResume|Resume|Retries|Watchdog' -v
+
+# fuzz runs the short corruption fuzzers: the checkpoint-journal reader
+# (torn tails, garbage lines) and the AppBEO JSON decoder.
+fuzz:
+	$(GO) test ./internal/resilience -run xxx -fuzz FuzzReadJournal -fuzztime 20s
+	$(GO) test ./internal/beo -run xxx -fuzz FuzzAppBEOJSON -fuzztime 20s
 
 # profile captures a full observability bundle from a small DES run:
 # CPU and heap profiles, a Chrome trace, and the run-metrics document,

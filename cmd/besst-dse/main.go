@@ -19,6 +19,7 @@ import (
 	"besst/internal/dse"
 	"besst/internal/groundtruth"
 	"besst/internal/lulesh"
+	"besst/internal/resilience"
 	"besst/internal/workflow"
 )
 
@@ -54,7 +55,7 @@ func main() {
 	devDone()
 
 	sweepDone := ses.Phase("overhead-sweep")
-	cells := dse.OverheadSweep(models, em.M, em.Cost.Config.NodeSize, dse.SweepConfig{
+	sweepCfg := dse.SweepConfig{
 		EPRs:      []int{10, 15, 20, 25},
 		Ranks:     []int{64, 216, 1000},
 		Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT, lulesh.ScenarioL1, lulesh.ScenarioL1L2},
@@ -63,7 +64,24 @@ func main() {
 		Seed:      common.Seed + 1,
 		Workers:   common.Workers,
 		Collector: ses.SweepCollector(),
-	})
+	}
+	var cells []dse.Cell
+	if ses.CampaignEnabled() {
+		prepared := dse.PrepareSweep(models, em.M, em.Cost.Config.NodeSize, sweepCfg)
+		hash := resilience.ConfigHash("besst-dse", *samples, *steps, *mc, common.Seed)
+		sweepCells, rep, err := resilience.SweepResumable(prepared, ses.Campaign(hash))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		progress := cli.NewPrinter(os.Stderr)
+		cli.ReportCampaign(progress, rep)
+		if err := progress.Err(); err != nil {
+			fatalf("writing progress: %v", err)
+		}
+		cells = sweepCells
+	} else {
+		cells = dse.OverheadSweep(models, em.M, em.Cost.Config.NodeSize, sweepCfg)
+	}
 	sweepDone()
 
 	pruneDone := ses.Phase("prune-report")

@@ -22,6 +22,7 @@ import (
 	"besst/internal/cli"
 	"besst/internal/groundtruth"
 	"besst/internal/lulesh"
+	"besst/internal/resilience"
 	"besst/internal/stats"
 	"besst/internal/workflow"
 )
@@ -152,8 +153,31 @@ func main() {
 	progress.Printf("simulating %s on %s (%s mode, %d MC replications)\n",
 		app.Name, machine.Name, *mode, *mc)
 	simDone := ses.Phase("simulate")
-	runs := besst.Replicate(app, arch, *mc,
-		append(ses.RunOptions(), besst.WithMode(m), besst.WithPerRankNoise(true))...)
+	opts := append(ses.RunOptions(), besst.WithMode(m), besst.WithPerRankNoise(true))
+	var runs []*besst.Result
+	if ses.CampaignEnabled() {
+		cr, err := besst.CompileErr(app, arch)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		hash := resilience.ConfigHash("besst-sim", app.Name, machine.Name, *mode, *mc,
+			*epr, *ranks, *steps, *scenario, *period, common.Seed)
+		all, rep, err := resilience.ReplicateResumable(cr, *mc, ses.Campaign(hash), opts...)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cli.ReportCampaign(progress, rep)
+		for _, r := range all {
+			if r != nil {
+				runs = append(runs, r)
+			}
+		}
+		if len(runs) == 0 {
+			fatalf("every replication was quarantined; no results")
+		}
+	} else {
+		runs = besst.Replicate(app, arch, *mc, opts...)
+	}
 	simDone()
 
 	s := stats.Summarize(besst.Makespans(runs))

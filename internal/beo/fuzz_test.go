@@ -1,0 +1,51 @@
+package beo
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzAppBEOJSON drives arbitrary bytes through the AppBEO decoder —
+// the path a hand-written or truncated -app spec takes into besst-sim.
+// Properties: the decoder never panics, and any accepted spec
+// re-marshals to a fixed point (marshal → unmarshal → marshal is
+// stable), so corrupted files either error out cleanly or normalize.
+func FuzzAppBEOJSON(f *testing.F) {
+	f.Add([]byte(`{"name":"solver","ranks":64,"program":[
+		{"kind":"loop","count":200,"body":[
+			{"kind":"comp","op":"timestep","params":{"epr":10,"ranks":64}},
+			{"kind":"comm","pattern":"allreduce","bytes":8},
+			{"kind":"periodic","period":40,"offset":39,"body":[
+				{"kind":"ckpt","op":"fti_ckpt_l1","level":1,"params":{"epr":10}}]}]}]}`))
+	f.Add([]byte(`{"name":"x","ranks":8,"program":[{"kind":"comm","pattern":"halo","bytes":4,"neighbors":6}]}`))
+	f.Add([]byte(`{"name":"x","ranks":8,"program":[{"kind":"comp"}]}`))
+	f.Add([]byte(`{"name":"x","ranks":0}`))
+	f.Add([]byte(`{"name":"x","ranks":8,"program":[{"kind":"loop","count":2,"body":null}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var app AppBEO
+		if err := json.Unmarshal(data, &app); err != nil {
+			return
+		}
+		if app.Ranks <= 0 {
+			t.Fatalf("decoder accepted non-positive ranks %d", app.Ranks)
+		}
+		first, err := json.Marshal(&app)
+		if err != nil {
+			t.Fatalf("accepted app does not re-marshal: %v", err)
+		}
+		var back AppBEO
+		if err := json.Unmarshal(first, &back); err != nil {
+			t.Fatalf("re-marshaled app does not decode: %v\n%s", err, first)
+		}
+		second, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("marshal not a fixed point:\n%s\n%s", first, second)
+		}
+	})
+}

@@ -191,11 +191,18 @@ type CompiledRun struct {
 
 // Compile validates app against arch and builds the reusable run
 // object shared by Simulate and Monte Carlo replication. It panics on
-// validation failure, matching Simulate's historical contract.
+// validation failure, matching Simulate's historical contract; use
+// CompileErr for a typed-error return.
 func Compile(app *beo.AppBEO, arch *beo.ArchBEO) *CompiledRun {
-	if err := arch.Validate(app); err != nil {
+	cr, err := CompileErr(app, arch)
+	if err != nil {
 		panic(err)
 	}
+	return cr
+}
+
+// newCompiledRun builds the run object from validated inputs.
+func newCompiledRun(app *beo.AppBEO, arch *beo.ArchBEO) *CompiledRun {
 	cr := &CompiledRun{
 		app:  app,
 		arch: arch,

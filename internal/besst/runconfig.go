@@ -110,10 +110,45 @@ func (cr *CompiledRun) runStream(cfg RunConfig, stream int) *Result {
 	return simulateDES(cr, cfg, stream)
 }
 
+// TrialRunner pre-draws the n per-trial seeds from cfg.Seed and
+// returns the per-trial executor behind Replicate: runner(i) executes
+// Monte Carlo trial i (seed fan index i, tracer stream i, collector
+// brackets) independently of every other trial. Because the seeds are
+// drawn up front, runner(i) is a pure function of i — callable in any
+// order, from any worker, and re-callable after a crash — which is
+// what lets an external campaign runner (internal/resilience) replay a
+// checkpoint journal and re-run only the missing indices while staying
+// byte-identical to an uninterrupted Replicate.
+func (cr *CompiledRun) TrialRunner(n int, opts ...Option) (func(i int) *Result, error) {
+	if err := validateTrials(n); err != nil {
+		return nil, err
+	}
+	cfg := NewRunConfig(opts...)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.MonteCarlo = true
+	seeds := par.SeedFan(cfg.Seed, n)
+	col := cfg.Collector
+	return func(i int) *Result {
+		c := cfg
+		c.Seed = seeds[i]
+		if col != nil {
+			col.TrialStart(i)
+		}
+		r := cr.runStream(c, i)
+		if col != nil {
+			col.TrialDone(i)
+		}
+		return r
+	}, nil
+}
+
 // Replicate runs n Monte Carlo replications of the compiled program
 // with independent random streams and returns all results — the Monte
 // Carlo capability BE-SST uses to "capture the variance that exists in
-// the calibration samples".
+// the calibration samples". It panics on invalid inputs; ReplicateErr
+// is the typed-error variant.
 //
 // Every trial seed is pre-drawn from the master RNG in index order
 // before any trial starts, so seed assignment — and therefore every
@@ -122,26 +157,26 @@ func (cr *CompiledRun) runStream(cfg RunConfig, stream int) *Result {
 // trial as its own stream; a configured Collector gets
 // TrialStart/TrialDone brackets and per-engine totals.
 func (cr *CompiledRun) Replicate(n int, opts ...Option) []*Result {
-	if n <= 0 {
-		panic("besst: non-positive Monte Carlo count")
+	out, err := cr.ReplicateErr(n, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ReplicateErr is Replicate returning a *ConfigError for non-positive
+// trial counts or an invalid configuration instead of panicking.
+func (cr *CompiledRun) ReplicateErr(n int, opts ...Option) ([]*Result, error) {
+	run, err := cr.TrialRunner(n, opts...)
+	if err != nil {
+		return nil, err
 	}
 	cfg := NewRunConfig(opts...)
-	cfg.MonteCarlo = true
-	seeds := par.SeedFan(cfg.Seed, n)
 	out := make([]*Result, n)
-	col := cfg.Collector
 	par.ForEach(cfg.Workers, n, func(i int) {
-		c := cfg
-		c.Seed = seeds[i]
-		if col != nil {
-			col.TrialStart(i)
-		}
-		out[i] = cr.runStream(c, i)
-		if col != nil {
-			col.TrialDone(i)
-		}
+		out[i] = run(i)
 	})
-	return out
+	return out, nil
 }
 
 // Run compiles app against arch and executes one replication.
@@ -151,10 +186,26 @@ func Run(app *beo.AppBEO, arch *beo.ArchBEO, opts ...Option) *Result {
 
 // Replicate compiles app against arch and runs n Monte Carlo
 // replications. See CompiledRun.Replicate for the determinism and
-// instrumentation contract.
+// instrumentation contract. It panics on invalid inputs; ReplicateErr
+// is the typed-error variant.
 func Replicate(app *beo.AppBEO, arch *beo.ArchBEO, n int, opts ...Option) []*Result {
-	if n <= 0 {
-		panic("besst: non-positive Monte Carlo count")
+	out, err := ReplicateErr(app, arch, n, opts...)
+	if err != nil {
+		panic(err)
 	}
-	return Compile(app, arch).Replicate(n, opts...)
+	return out
+}
+
+// ReplicateErr compiles and replicates with typed-error validation of
+// every input: nil app or arch, app/arch mismatch, non-positive trial
+// count, unknown mode, absurd worker count.
+func ReplicateErr(app *beo.AppBEO, arch *beo.ArchBEO, n int, opts ...Option) ([]*Result, error) {
+	if err := validateTrials(n); err != nil {
+		return nil, err
+	}
+	cr, err := CompileErr(app, arch)
+	if err != nil {
+		return nil, err
+	}
+	return cr.ReplicateErr(n, opts...)
 }

@@ -11,6 +11,7 @@ import (
 	"besst/internal/des"
 	"besst/internal/dse"
 	"besst/internal/obs"
+	"besst/internal/resilience"
 )
 
 // CommonFlags is the flag set shared by every besst command: worker
@@ -42,6 +43,21 @@ type CommonFlags struct {
 	CPUProfile string
 	// MemProfile is the heap-profile output path.
 	MemProfile string
+	// Ckpt, when non-empty, checkpoints the tool's campaign to an
+	// append-only journal. A path ending in .jsonl is used verbatim;
+	// anything else is treated as a directory and the conventional
+	// CKPT_<tool>.jsonl name is appended.
+	Ckpt string
+	// Resume replays an existing checkpoint journal and re-runs only
+	// the missing trials. With -ckpt unset it looks in "results".
+	Resume bool
+	// CkptEvery is how many completed trials may ride in the journal's
+	// write buffer before an fsync (the most a crash can lose).
+	CkptEvery int
+	// Chaos injects deterministic panics and delays into each trial at
+	// this per-attempt rate (0 disables) to exercise the retry and
+	// quarantine machinery.
+	Chaos float64
 }
 
 // RegisterCommon registers the shared flags on fs (use flag.CommandLine
@@ -62,6 +78,14 @@ func RegisterCommon(fs *flag.FlagSet, workersDefault int) *CommonFlags {
 		"write run metrics JSON to this path (or METRICS_<tool>.json inside this directory)")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this path")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this path")
+	fs.StringVar(&f.Ckpt, "ckpt", "",
+		"checkpoint the campaign to this journal (or CKPT_<tool>.jsonl inside this directory)")
+	fs.BoolVar(&f.Resume, "resume", false,
+		"resume from the checkpoint journal, re-running only missing trials (default journal dir: results)")
+	fs.IntVar(&f.CkptEvery, "ckpt-every", 16,
+		"fsync the checkpoint journal every N completed trials (<=0: every trial)")
+	fs.Float64Var(&f.Chaos, "chaos", 0,
+		"inject deterministic panics and delays into each trial at this rate (testing the fault envelope)")
 	return f
 }
 
@@ -159,6 +183,70 @@ func (s *Session) Phase(name string) func() {
 // Phases snapshots the phase timings recorded so far.
 func (s *Session) Phases() []obs.PhaseMetrics {
 	return s.collector.Snapshot(s.tool).Phases
+}
+
+// CampaignEnabled reports whether any campaign-resilience flag asks
+// for the checkpointing/retry runner instead of the plain path.
+func (s *Session) CampaignEnabled() bool {
+	return s.flags.Ckpt != "" || s.flags.Resume || s.flags.Chaos > 0
+}
+
+// ckptPath resolves the -ckpt value for this tool: a .jsonl path is
+// used verbatim, anything else is a directory getting the conventional
+// CKPT_<tool>.jsonl name; -resume with no -ckpt defaults to the
+// results directory. Empty when checkpointing is off (chaos-only
+// campaigns run without a journal).
+func (s *Session) ckptPath() string {
+	dir := s.flags.Ckpt
+	if dir == "" {
+		if !s.flags.Resume {
+			return ""
+		}
+		dir = "results"
+	}
+	if strings.HasSuffix(dir, ".jsonl") {
+		return dir
+	}
+	return resilience.JournalPath(dir, s.tool)
+}
+
+// Campaign assembles the resilience campaign the common flags imply.
+// configHash must fingerprint every flag that influences trial results
+// (build it with resilience.ConfigHash); it is what stops -resume from
+// splicing a stale journal into a differently configured run. The
+// session collector always receives fault provenance, so quarantines
+// and retries land in METRICS_<tool>.json whenever -metrics is set.
+func (s *Session) Campaign(configHash string) resilience.Campaign {
+	return resilience.Campaign{
+		Tool:       s.tool,
+		Path:       s.ckptPath(),
+		ConfigHash: configHash,
+		Seed:       s.flags.Seed,
+		Workers:    s.flags.Workers,
+		CkptEvery:  s.flags.CkptEvery,
+		Resume:     s.flags.Resume,
+		Chaos: resilience.ChaosConfig{
+			PanicRate: s.flags.Chaos,
+			DelayRate: s.flags.Chaos,
+			Seed:      s.flags.Seed ^ 0x9e3779b97f4a7c15, // distinct from trial seeds
+		},
+		Collector: s.collector,
+	}
+}
+
+// ReportCampaign prints the campaign's fault provenance to p: replayed
+// trials on resume, and quarantined indices when the run degraded to a
+// partial result. Tools call it right after the campaign completes so
+// partial output is always labeled as such.
+func ReportCampaign(p *Printer, rep resilience.Report) {
+	if rep.Replayed > 0 {
+		p.Printf("resumed: %d of %d trials replayed from checkpoint, %d re-run\n",
+			rep.Replayed, rep.N, rep.N-rep.Replayed)
+	}
+	if len(rep.FailedIndices) > 0 {
+		p.Printf("WARNING: %d of %d trials quarantined after retries (indices %v); results are partial\n",
+			len(rep.FailedIndices), rep.N, rep.FailedIndices)
+	}
 }
 
 // metricsPath resolves the -metrics value: a .json path is used

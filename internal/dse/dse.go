@@ -88,7 +88,152 @@ type sweepPoint struct {
 	epr, ranks int
 	sc         lulesh.Scenario
 	seed       uint64
-	mean       float64
+}
+
+// pointKey identifies a distinct design point in a sweep's index.
+type pointKey struct {
+	epr, ranks int
+	sc         string
+}
+
+// PreparedSweep is an overhead sweep with its design points enumerated,
+// seeded, and model state warmed, but not yet evaluated. It decomposes
+// OverheadSweep into independently callable pieces — NumPoints,
+// EvalPoint, Cells — so a checkpointing campaign runner
+// (internal/resilience) can evaluate points in any order, persist each
+// one as it completes, and re-run only the missing indices after a
+// crash while producing cells byte-identical to an uninterrupted
+// sweep: every point's Monte Carlo seed is pre-drawn in enumeration
+// order before any evaluation starts.
+type PreparedSweep struct {
+	cfg          SweepConfig
+	ftiCfg       fti.Config
+	models       *workflow.Models
+	m            *machine.Machine
+	ranksPerNode int
+	points       []sweepPoint
+	index        map[pointKey]int
+	baseIdx      []int // per-EPR baseline point indices
+}
+
+// PrepareSweep validates the config, enumerates the distinct design
+// points (per-EPR no-FT baselines first, then the grid in (scenario,
+// ranks, epr) order), pre-draws one Monte Carlo seed per point from the
+// master seed, and warms the lazy model state so concurrent EvalPoint
+// calls only perform pure reads on the shared models.
+func PrepareSweep(models *workflow.Models, m *machine.Machine, ranksPerNode int, cfg SweepConfig) *PreparedSweep {
+	cfg.Validate()
+	s := &PreparedSweep{
+		cfg:          cfg,
+		ftiCfg:       fti.Config{GroupSize: 4, NodeSize: ranksPerNode},
+		models:       models,
+		m:            m,
+		ranksPerNode: ranksPerNode,
+		index:        map[pointKey]int{},
+	}
+	add := func(epr, ranks int, sc lulesh.Scenario) int {
+		k := pointKey{epr, ranks, sc.Name}
+		if i, ok := s.index[k]; ok {
+			return i
+		}
+		s.index[k] = len(s.points)
+		s.points = append(s.points, sweepPoint{epr: epr, ranks: ranks, sc: sc})
+		return len(s.points) - 1
+	}
+	s.baseIdx = make([]int, len(cfg.EPRs))
+	for i, epr := range cfg.EPRs {
+		s.baseIdx[i] = add(epr, cfg.Ranks[0], lulesh.ScenarioNoFT)
+	}
+	for _, sc := range cfg.Scenarios {
+		for _, ranks := range cfg.Ranks {
+			for _, epr := range cfg.EPRs {
+				add(epr, ranks, sc)
+			}
+		}
+	}
+
+	// Seed fan-out: one pre-drawn seed per point, in enumeration order.
+	seeds := par.SeedFan(cfg.Seed, len(s.points))
+	for i := range s.points {
+		s.points[i].seed = seeds[i]
+	}
+
+	// Force lazy model state to materialize before sharing the models
+	// across workers.
+	models.Warm(perfmodel.Params{
+		"epr": float64(cfg.EPRs[0]), "ranks": float64(cfg.Ranks[0]),
+	})
+	return s
+}
+
+// NumPoints returns the number of distinct design points to evaluate.
+func (s *PreparedSweep) NumPoints() int { return len(s.points) }
+
+// PointLabel describes point i (for logs and campaign provenance).
+func (s *PreparedSweep) PointLabel(i int) string {
+	p := &s.points[i]
+	return fmt.Sprintf("%s/epr=%d/ranks=%d", p.sc.Name, p.epr, p.ranks)
+}
+
+// EvalPoint evaluates design point i — cfg.MCRuns Monte Carlo
+// replications under the point's pre-drawn seed — and returns the mean
+// makespan. It is a pure function of i, safe for concurrent use, and
+// brackets the configured Collector. Each point's replications run
+// serially (point-level parallelism already saturates the pool).
+func (s *PreparedSweep) EvalPoint(i int) float64 {
+	cfg := s.cfg
+	if cfg.Collector != nil {
+		cfg.Collector.PointStart(i)
+	}
+	p := &s.points[i]
+	app := lulesh.App(p.epr, p.ranks, cfg.Timesteps, p.sc, s.ftiCfg)
+	arch := beo.NewArchBEO(s.m, s.ranksPerNode)
+	workflow.BindLulesh(arch, s.models)
+	runs := besst.Replicate(app, arch, cfg.MCRuns,
+		besst.WithMode(besst.Direct),
+		besst.WithPerRankNoise(true),
+		besst.WithSeed(p.seed),
+		besst.WithConcurrency(1))
+	mean := stats.Mean(besst.Makespans(runs))
+	if cfg.Collector != nil {
+		cfg.Collector.PointDone(i)
+	}
+	return mean
+}
+
+// Cells assembles the Fig 9-style normalized overhead cells from the
+// per-point means (means[i] = EvalPoint(i)). A non-positive baseline
+// mean — possible only when a baseline point failed in a
+// fault-isolated campaign — yields OverheadPct 0 for its column
+// instead of dividing by zero.
+func (s *PreparedSweep) Cells(means []float64) []Cell {
+	if len(means) != len(s.points) {
+		panic(fmt.Sprintf("dse: %d means for %d sweep points", len(means), len(s.points)))
+	}
+	base := map[int]float64{}
+	for i, epr := range s.cfg.EPRs {
+		base[epr] = means[s.baseIdx[i]]
+	}
+	var out []Cell
+	for _, sc := range s.cfg.Scenarios {
+		for _, ranks := range s.cfg.Ranks {
+			for _, epr := range s.cfg.EPRs {
+				mean := means[s.index[pointKey{epr, ranks, sc.Name}]]
+				// Grouped so memoized baseline cells divide their own
+				// mean exactly (x/x == 1) and report precisely 100%.
+				pct := 0.0
+				if base[epr] > 0 {
+					pct = 100 * (mean / base[epr])
+				}
+				out = append(out, Cell{
+					EPR: epr, Ranks: ranks, Scenario: sc.Name,
+					MeanSec:     mean,
+					OverheadPct: pct,
+				})
+			}
+		}
+	}
+	return out
 }
 
 // OverheadSweep evaluates every grid point with the developed models
@@ -104,90 +249,12 @@ type sweepPoint struct {
 // shared between the baseline normalizer and its own grid cell (so
 // baseline cells report exactly 100%).
 func OverheadSweep(models *workflow.Models, m *machine.Machine, ranksPerNode int, cfg SweepConfig) []Cell {
-	cfg.Validate()
-	ftiCfg := fti.Config{GroupSize: 4, NodeSize: ranksPerNode}
-
-	// Distinct design points, baselines first.
-	type key struct {
-		epr, ranks int
-		sc         string
-	}
-	index := map[key]int{}
-	var points []sweepPoint
-	add := func(epr, ranks int, sc lulesh.Scenario) int {
-		k := key{epr, ranks, sc.Name}
-		if i, ok := index[k]; ok {
-			return i
-		}
-		index[k] = len(points)
-		points = append(points, sweepPoint{epr: epr, ranks: ranks, sc: sc})
-		return len(points) - 1
-	}
-	baseIdx := make([]int, len(cfg.EPRs))
-	for i, epr := range cfg.EPRs {
-		baseIdx[i] = add(epr, cfg.Ranks[0], lulesh.ScenarioNoFT)
-	}
-	for _, sc := range cfg.Scenarios {
-		for _, ranks := range cfg.Ranks {
-			for _, epr := range cfg.EPRs {
-				add(epr, ranks, sc)
-			}
-		}
-	}
-
-	// Seed fan-out: one pre-drawn seed per point, in enumeration order.
-	seeds := par.SeedFan(cfg.Seed, len(points))
-	for i := range points {
-		points[i].seed = seeds[i]
-	}
-
-	// Force lazy model state to materialize before sharing the models
-	// across workers.
-	models.Warm(perfmodel.Params{
-		"epr": float64(cfg.EPRs[0]), "ranks": float64(cfg.Ranks[0]),
+	s := PrepareSweep(models, m, ranksPerNode, cfg)
+	means := make([]float64, s.NumPoints())
+	par.ForEach(cfg.Workers, len(means), func(i int) {
+		means[i] = s.EvalPoint(i)
 	})
-
-	// Evaluate cells concurrently; each cell's replications run serially
-	// (cell-level parallelism already saturates the pool).
-	par.ForEach(cfg.Workers, len(points), func(i int) {
-		if cfg.Collector != nil {
-			cfg.Collector.PointStart(i)
-		}
-		p := &points[i]
-		app := lulesh.App(p.epr, p.ranks, cfg.Timesteps, p.sc, ftiCfg)
-		arch := beo.NewArchBEO(m, ranksPerNode)
-		workflow.BindLulesh(arch, models)
-		runs := besst.Replicate(app, arch, cfg.MCRuns,
-			besst.WithMode(besst.Direct),
-			besst.WithPerRankNoise(true),
-			besst.WithSeed(p.seed),
-			besst.WithConcurrency(1))
-		p.mean = stats.Mean(besst.Makespans(runs))
-		if cfg.Collector != nil {
-			cfg.Collector.PointDone(i)
-		}
-	})
-
-	base := map[int]float64{}
-	for i, epr := range cfg.EPRs {
-		base[epr] = points[baseIdx[i]].mean
-	}
-	var out []Cell
-	for _, sc := range cfg.Scenarios {
-		for _, ranks := range cfg.Ranks {
-			for _, epr := range cfg.EPRs {
-				p := points[index[key{epr, ranks, sc.Name}]]
-				// Grouped so memoized baseline cells divide their own
-				// mean exactly (x/x == 1) and report precisely 100%.
-				out = append(out, Cell{
-					EPR: epr, Ranks: ranks, Scenario: sc.Name,
-					MeanSec:     p.mean,
-					OverheadPct: 100 * (p.mean / base[epr]),
-				})
-			}
-		}
-	}
-	return out
+	return s.Cells(means)
 }
 
 // FormatOverheadTable renders the cells for one rank count as a Fig 9

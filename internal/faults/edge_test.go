@@ -1,0 +1,133 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"besst/internal/fti"
+	"besst/internal/stats"
+)
+
+// TestWeibullShapeOneIsExponential pins the degenerate case: shape
+// exactly 1 must take the exponential path (a Weibull with shape 1 IS
+// the exponential, and the explicit branch avoids a needless Gamma
+// evaluation), consuming the same RNG stream as an unset shape.
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	exp := FaultModel{Nodes: 16, FaultsPerNodeHour: 2}
+	one := exp
+	one.WeibullShape = 1
+	for trial := 0; trial < 50; trial++ {
+		a := exp.nextFailure(stats.NewRNG(uint64(trial)))
+		b := one.nextFailure(stats.NewRNG(uint64(trial)))
+		if a != b {
+			t.Fatalf("seed %d: shape=1 drew %v, exponential drew %v", trial, b, a)
+		}
+	}
+	// And a shape meaningfully different from 1 must NOT reproduce the
+	// exponential stream — the branch has to actually discriminate.
+	weib := exp
+	weib.WeibullShape = 0.7
+	same := 0
+	for trial := 0; trial < 50; trial++ {
+		if exp.nextFailure(stats.NewRNG(uint64(trial))) == weib.nextFailure(stats.NewRNG(uint64(trial))) {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("shape=0.7 reproduced the exponential stream exactly")
+	}
+}
+
+// TestCorrelatedBurstLargerThanJob pins the clamp: a burst configured
+// wider than the job still fails each node at most once, all hard.
+func TestCorrelatedBurstLargerThanJob(t *testing.T) {
+	fm := FaultModel{
+		Nodes: 3, FaultsPerNodeHour: 1,
+		CorrelatedProb: 1, CorrelatedSize: 10,
+	}
+	fm.Validate()
+	for trial := 0; trial < 20; trial++ {
+		fs := fm.drawFailures(stats.NewRNG(uint64(trial)))
+		if len(fs) != fm.Nodes {
+			t.Fatalf("burst of %d from %d nodes", len(fs), fm.Nodes)
+		}
+		seen := map[int]bool{}
+		for _, f := range fs {
+			if f.Node < 0 || f.Node >= fm.Nodes {
+				t.Fatalf("failure on node %d of %d", f.Node, fm.Nodes)
+			}
+			if seen[f.Node] {
+				t.Fatalf("node %d failed twice in one burst", f.Node)
+			}
+			seen[f.Node] = true
+			if f.Kind != fti.HardFailure {
+				t.Fatalf("correlated burst drew a soft failure")
+			}
+		}
+	}
+}
+
+// TestZeroFaultRateEdge pins the injection-disabled sentinel across
+// every consumer: infinite MTBF, infinite next arrival, and a run that
+// never sees a fault even under a Weibull shape and correlated config.
+func TestZeroFaultRateEdge(t *testing.T) {
+	fm := FaultModel{
+		Nodes: 8, FaultsPerNodeHour: 0,
+		WeibullShape: 0.7, HardFraction: 0.5,
+		CorrelatedProb: 0.5, CorrelatedSize: 4,
+	}
+	fm.Validate()
+	if !math.IsInf(fm.SystemMTBFSeconds(), 1) {
+		t.Fatalf("MTBF = %v, want +Inf", fm.SystemMTBFSeconds())
+	}
+	if got := fm.nextFailure(stats.NewRNG(9)); !math.IsInf(got, 1) {
+		t.Fatalf("nextFailure = %v, want +Inf", got)
+	}
+	st := Run(withL1(baseSpec(), 100), fm, cfg, stats.NewRNG(9))
+	if st.Faults != 0 || st.Scratch != 0 || st.ReworkSec != 0 {
+		t.Fatalf("zero-rate run saw faults: %+v", st)
+	}
+	wantWall := st.SolveSec + st.CkptSec
+	if st.WallSec != wantWall {
+		t.Fatalf("wall = %v, want solve+ckpt = %v", st.WallSec, wantWall)
+	}
+}
+
+// TestCorrelatedSizeOneIsNotABurst pins the boundary: CorrelatedSize
+// must exceed 1 for the burst branch, otherwise the single-failure path
+// (with its soft/hard coin) runs even at CorrelatedProb 1.
+func TestCorrelatedSizeOneIsNotABurst(t *testing.T) {
+	fm := FaultModel{
+		Nodes: 8, FaultsPerNodeHour: 1, HardFraction: 0,
+		CorrelatedProb: 1, CorrelatedSize: 1,
+	}
+	for trial := 0; trial < 20; trial++ {
+		fs := fm.drawFailures(stats.NewRNG(uint64(trial)))
+		if len(fs) != 1 {
+			t.Fatalf("size-1 burst drew %d failures", len(fs))
+		}
+		if fs[0].Kind != fti.SoftFailure {
+			t.Fatal("single-failure path ignored HardFraction=0")
+		}
+	}
+}
+
+// TestWeibullShapeMeanPreserved pins the scale normalization: for any
+// shape, mean inter-arrival stays 1/rate, so changing the shape changes
+// burstiness without silently changing the failure rate.
+func TestWeibullShapeMeanPreserved(t *testing.T) {
+	for _, shape := range []float64{0.5, 1, 2.5} {
+		fm := FaultModel{Nodes: 4, FaultsPerNodeHour: 9, WeibullShape: shape}
+		rng := stats.NewRNG(77)
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += fm.nextFailure(rng)
+		}
+		mean := sum / n
+		want := fm.SystemMTBFSeconds()
+		if math.Abs(mean-want)/want > 0.03 {
+			t.Errorf("shape %v: mean arrival %v, want %v (±3%%)", shape, mean, want)
+		}
+	}
+}

@@ -31,6 +31,13 @@ type Collector struct {
 	trials map[int]*spanMetrics
 	points map[int]*spanMetrics
 
+	// Campaign fault provenance (resilience runner hooks): failed
+	// attempts per retried trial, attempt counts of quarantined trials,
+	// and how many trials a resumed campaign replayed from its journal.
+	retries     map[int]int
+	quarantined map[int]int
+	replayed    int
+
 	eventsProcessed uint64
 	peakQueueDepth  int
 }
@@ -62,10 +69,12 @@ type PhaseMetrics struct {
 // now.
 func NewCollector() *Collector {
 	c := &Collector{
-		clock:  wallClock,
-		parts:  map[int]*partMetrics{},
-		trials: map[int]*spanMetrics{},
-		points: map[int]*spanMetrics{},
+		clock:       wallClock,
+		parts:       map[int]*partMetrics{},
+		trials:      map[int]*spanMetrics{},
+		points:      map[int]*spanMetrics{},
+		retries:     map[int]int{},
+		quarantined: map[int]int{},
 	}
 	c.start = c.clock()
 	return c
@@ -159,6 +168,34 @@ func (c *Collector) spanDone(m map[int]*spanMetrics, i int) {
 	c.mu.Unlock()
 }
 
+// Campaign fault hooks (resilience runner structural interface).
+
+// TrialRetry records that attempt `attempt` of trial i failed and will
+// be retried; the per-trial count keeps the highest failed attempt.
+func (c *Collector) TrialRetry(i, attempt int) {
+	c.mu.Lock()
+	if attempt > c.retries[i] {
+		c.retries[i] = attempt
+	}
+	c.mu.Unlock()
+}
+
+// TrialQuarantined records that trial i exhausted its attempts and was
+// quarantined: the campaign degrades to a partial result without it.
+func (c *Collector) TrialQuarantined(i, attempts int) {
+	c.mu.Lock()
+	c.quarantined[i] = attempts
+	c.mu.Unlock()
+}
+
+// TrialsReplayed records how many completed trials a resumed campaign
+// recovered from its checkpoint journal instead of re-running.
+func (c *Collector) TrialsReplayed(n int) {
+	c.mu.Lock()
+	c.replayed += n
+	c.mu.Unlock()
+}
+
 // EngineTotals reports one engine run's totals; calls accumulate so a
 // Monte Carlo campaign sums across trials (peak depth takes the max).
 func (c *Collector) EngineTotals(processed uint64, peakQueueDepth int) {
@@ -202,6 +239,13 @@ type SpanEntry struct {
 	WallNs int64 `json:"wall_ns"`
 }
 
+// RetryEntry is one trial's fault-provenance row: how many attempts
+// failed (retries) or were consumed before quarantine.
+type RetryEntry struct {
+	Index    int `json:"index"`
+	Attempts int `json:"attempts"`
+}
+
 // Metrics is the versioned run-metrics document written to
 // results/METRICS_<tool>.json.
 type Metrics struct {
@@ -218,6 +262,14 @@ type Metrics struct {
 	Trials     []SpanEntry        `json:"trials,omitempty"`
 	Points     []SpanEntry        `json:"sweep_points,omitempty"`
 	Runtime    map[string]float64 `json:"runtime_metrics,omitempty"`
+
+	// Campaign fault provenance: indices that ended quarantined after
+	// exhausting their retries, per-trial failed-attempt counts, and
+	// the number of trials a resumed campaign replayed from its
+	// checkpoint journal.
+	FailedIndices  []int        `json:"failed_indices,omitempty"`
+	TrialRetries   []RetryEntry `json:"trial_retries,omitempty"`
+	ReplayedTrials int          `json:"replayed_trials,omitempty"`
 }
 
 // Snapshot freezes the collector's current state into a metrics
@@ -249,6 +301,14 @@ func (c *Collector) Snapshot(tool string) *Metrics {
 	}
 	m.Trials = spanEntries(c.trials)
 	m.Points = spanEntries(c.points)
+	m.FailedIndices = sortedKeys(c.quarantined)
+	if len(m.FailedIndices) == 0 {
+		m.FailedIndices = nil
+	}
+	for _, i := range sortedKeys(c.retries) {
+		m.TrialRetries = append(m.TrialRetries, RetryEntry{Index: i, Attempts: c.retries[i]})
+	}
+	m.ReplayedTrials = c.replayed
 	return m
 }
 

@@ -12,7 +12,9 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -128,4 +130,67 @@ func ForEachErr(workers, n int, fn func(i int) error) error {
 		panic(panicVal)
 	}
 	return firstErr
+}
+
+// PanicError is a work-item panic captured by ForEachIsolated: the item
+// index, the recovered value, and the goroutine stack at recovery time.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: work item %d panicked: %v", e.Index, e.Value)
+}
+
+// ForEachIsolated runs fn(i) for every i in [0, n) like ForEachErr, but
+// with full fault isolation between items: a panic or error in one item
+// never stops the others — every index runs exactly once, panics are
+// captured as *PanicError instead of crossing the pool boundary, and
+// the per-index outcome slice is returned (nil entries succeeded). This
+// is the entry point long-running campaigns use so one poison trial
+// cannot take down hours of completed work.
+func ForEachIsolated(workers, n int, fn func(i int) error) []error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		errs[i] = fn(i)
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			call(i)
+		}
+		return errs
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				call(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
 }

@@ -2,6 +2,7 @@ package par
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -138,5 +139,59 @@ func TestForEachZeroAndNegativeN(t *testing.T) {
 	ForEach(4, -5, func(int) { called = true })
 	if called {
 		t.Fatal("fn called for empty index space")
+	}
+}
+
+// TestForEachIsolatedCapturesPanics is the regression gate for worker
+// panics: before ForEachIsolated, a panicking work item either took
+// down the process or (via ForEach) aborted the whole campaign. Run
+// under -race it also proves the per-index error slots are written
+// race-free.
+func TestForEachIsolatedCapturesPanics(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		const n = 64
+		var ran atomic.Int64
+		errs := ForEachIsolated(workers, n, func(i int) error {
+			ran.Add(1)
+			if i%7 == 3 {
+				panic(fmt.Sprintf("poison %d", i))
+			}
+			if i%10 == 9 {
+				return errors.New("soft failure")
+			}
+			return nil
+		})
+		if got := ran.Load(); got != n {
+			t.Fatalf("workers=%d: %d items ran, want %d (isolation must not stop the pool)", workers, got, n)
+		}
+		if len(errs) != n {
+			t.Fatalf("workers=%d: %d error slots, want %d", workers, len(errs), n)
+		}
+		for i, err := range errs {
+			switch {
+			case i%7 == 3:
+				var pe *PanicError
+				if !errors.As(err, &pe) {
+					t.Fatalf("workers=%d: index %d: err = %v, want *PanicError", workers, i, err)
+				}
+				if pe.Index != i || len(pe.Stack) == 0 {
+					t.Fatalf("workers=%d: index %d: PanicError missing provenance: %+v", workers, i, pe)
+				}
+			case i%10 == 9:
+				if err == nil || err.Error() != "soft failure" {
+					t.Fatalf("workers=%d: index %d: err = %v, want soft failure", workers, i, err)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("workers=%d: index %d: unexpected error %v", workers, i, err)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachIsolatedEmpty(t *testing.T) {
+	if errs := ForEachIsolated(4, 0, func(int) error { return errors.New("x") }); errs != nil {
+		t.Fatalf("empty index space returned %v", errs)
 	}
 }

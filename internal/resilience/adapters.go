@@ -1,0 +1,57 @@
+package resilience
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"besst/internal/besst"
+	"besst/internal/dse"
+)
+
+// ReplicateResumable runs an n-trial Monte Carlo campaign over a
+// compiled run under the campaign's fault envelope: checkpointed,
+// resumable, panic-isolated. Quarantined trials come back as nil
+// Results with their indices in the Report.
+//
+// Every trial — freshly run or replayed from the journal — passes
+// through the same JSON round-trip, and encoding/json emits exact
+// (shortest round-trippable) float64 representations, so a resumed
+// campaign's results are identical to an uninterrupted run's.
+func ReplicateResumable(cr *besst.CompiledRun, n int, camp Campaign, opts ...besst.Option) ([]*besst.Result, Report, error) {
+	runner, err := cr.TrialRunner(n, opts...)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	payloads, rep, err := camp.Run(n, func(i int) (json.RawMessage, error) {
+		return json.Marshal(runner(i))
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	results, err := Decode[besst.Result](payloads)
+	return results, rep, err
+}
+
+// SweepResumable evaluates a prepared DSE sweep under the campaign's
+// fault envelope. Quarantined points surface in the Report and
+// contribute a zero mean; Cells reports 0% overhead for any point whose
+// per-EPR baseline failed rather than dividing by zero.
+func SweepResumable(s *dse.PreparedSweep, camp Campaign) ([]dse.Cell, Report, error) {
+	n := s.NumPoints()
+	payloads, rep, err := camp.Run(n, func(i int) (json.RawMessage, error) {
+		return json.Marshal(s.EvalPoint(i))
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	means := make([]float64, n)
+	for i, p := range payloads {
+		if p == nil {
+			continue
+		}
+		if jerr := json.Unmarshal(p, &means[i]); jerr != nil {
+			return nil, rep, fmt.Errorf("resilience: decode sweep point %d (%s): %w", i, s.PointLabel(i), jerr)
+		}
+	}
+	return s.Cells(means), rep, nil
+}

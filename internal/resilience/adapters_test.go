@@ -1,0 +1,151 @@
+package resilience
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"besst/internal/beo"
+	"besst/internal/besst"
+	"besst/internal/dse"
+	"besst/internal/fti"
+	"besst/internal/groundtruth"
+	"besst/internal/lulesh"
+	"besst/internal/machine"
+	"besst/internal/workflow"
+)
+
+var (
+	onceModels sync.Once
+	testModels *workflow.Models
+)
+
+// devModels fits cheap interpolation models once for the package.
+func devModels(t *testing.T) *workflow.Models {
+	t.Helper()
+	onceModels.Do(func() {
+		em := groundtruth.NewQuartz()
+		testModels, _ = workflow.DevelopLuleshQuartz(em, 5, workflow.Interpolation, 7)
+	})
+	return testModels
+}
+
+func testCompiledRun(t *testing.T) *besst.CompiledRun {
+	t.Helper()
+	app := lulesh.App(10, 8, 12, lulesh.ScenarioL1, fti.Config{GroupSize: 4, NodeSize: 2})
+	arch := beo.NewArchBEO(machine.Quartz(), 2)
+	workflow.BindLulesh(arch, devModels(t))
+	cr, err := besst.CompileErr(app, arch)
+	if err != nil {
+		t.Fatalf("CompileErr: %v", err)
+	}
+	return cr
+}
+
+// jsonRoundTrip normalizes a Result the way a journal payload does, so
+// in-memory reference results compare equal to decoded ones (nil vs
+// empty slice distinctions wash out identically on both sides).
+func jsonRoundTrip(t *testing.T, r *besst.Result) *besst.Result {
+	t.Helper()
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := new(besst.Result)
+	if err := json.Unmarshal(raw, out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestReplicateResumableMatchesReplicate runs the same campaign through
+// the plain path and the resumable path (with a journal, then resumed
+// against the complete journal) and asserts identical results.
+func TestReplicateResumableMatchesReplicate(t *testing.T) {
+	const n, seed = 6, uint64(11)
+	cr := testCompiledRun(t)
+	opts := []besst.Option{
+		besst.WithMode(besst.Direct), besst.WithPerRankNoise(true),
+		besst.WithSeed(seed), besst.WithConcurrency(1),
+	}
+	ref, err := cr.ReplicateErr(n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "CKPT_a.jsonl")
+	camp := Campaign{Tool: "a", Path: path, ConfigHash: "h", Seed: seed, Workers: 2}
+	got, rep, err := ReplicateResumable(cr, n, camp, opts...)
+	if err != nil {
+		t.Fatalf("ReplicateResumable: %v", err)
+	}
+	if rep.Completed != n || len(rep.FailedIndices) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	for i := range ref {
+		if !reflect.DeepEqual(jsonRoundTrip(t, ref[i]), got[i]) {
+			t.Errorf("trial %d: resumable result differs from Replicate", i)
+		}
+	}
+
+	// Resume against the complete journal: everything replays, nothing
+	// re-runs, same results.
+	camp.Resume = true
+	again, rep, err := ReplicateResumable(cr, n, camp, opts...)
+	if err != nil {
+		t.Fatalf("resumed ReplicateResumable: %v", err)
+	}
+	if rep.Replayed != n {
+		t.Errorf("Replayed = %d, want %d", rep.Replayed, n)
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], again[i]) {
+			t.Errorf("trial %d: replayed result differs", i)
+		}
+	}
+}
+
+// TestSweepResumableMatchesOverheadSweep compares the resumable sweep
+// against the plain OverheadSweep, then resumes against the complete
+// journal.
+func TestSweepResumableMatchesOverheadSweep(t *testing.T) {
+	models := devModels(t)
+	m := machine.Quartz()
+	cfg := dse.SweepConfig{
+		EPRs:      []int{10},
+		Ranks:     []int{8, 64},
+		Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT, lulesh.ScenarioL1},
+		Timesteps: 20,
+		MCRuns:    2,
+		Seed:      3,
+	}
+	ref := dse.OverheadSweep(models, m, 2, cfg)
+
+	s := dse.PrepareSweep(models, m, 2, cfg)
+	path := filepath.Join(t.TempDir(), "CKPT_s.jsonl")
+	camp := Campaign{Tool: "s", Path: path, ConfigHash: "h", Seed: cfg.Seed, Workers: 2}
+	cells, rep, err := SweepResumable(s, camp)
+	if err != nil {
+		t.Fatalf("SweepResumable: %v", err)
+	}
+	if rep.Completed != s.NumPoints() {
+		t.Fatalf("completed %d of %d points", rep.Completed, s.NumPoints())
+	}
+	if !reflect.DeepEqual(ref, cells) {
+		t.Errorf("resumable sweep differs from OverheadSweep:\n%+v\n%+v", ref, cells)
+	}
+
+	camp.Resume = true
+	cells2, rep, err := SweepResumable(s, camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replayed != s.NumPoints() {
+		t.Errorf("Replayed = %d, want %d", rep.Replayed, s.NumPoints())
+	}
+	if !reflect.DeepEqual(cells, cells2) {
+		t.Error("replayed sweep differs")
+	}
+}

@@ -1,0 +1,87 @@
+package resilience
+
+import (
+	"fmt"
+	"time"
+
+	"besst/internal/par"
+	"besst/internal/stats"
+)
+
+// ChaosConfig parameterizes the deterministic fault injector used to
+// stress the campaign runner: before each trial attempt it may inject a
+// delay, a panic, or both, each decided by a coin flip from an RNG
+// derived purely from (chaos seed, trial index, attempt). The same
+// config therefore produces the same fault schedule on every run and at
+// every worker count — chaos tests are as reproducible as the
+// simulations they harden. The zero value injects nothing.
+type ChaosConfig struct {
+	// PanicRate is the per-attempt probability of an injected panic
+	// (simulating a crashed worker or a poison trial).
+	PanicRate float64
+	// DelayRate is the per-attempt probability of an injected delay
+	// (simulating a straggling or descheduled worker).
+	DelayRate float64
+	// MaxDelay bounds the injected delay (default 2ms).
+	MaxDelay time.Duration
+	// Seed drives the injector's RNG, independent of trial seeds.
+	Seed uint64
+}
+
+// enabled reports whether the config injects anything.
+func (c ChaosConfig) enabled() bool { return c.PanicRate > 0 || c.DelayRate > 0 }
+
+// chaosPanic is the injected panic value, recognizable in quarantine
+// provenance.
+type chaosPanic struct {
+	index, attempt int
+}
+
+func (p chaosPanic) String() string {
+	return fmt.Sprintf("chaos: injected panic at trial %d attempt %d", p.index, p.attempt)
+}
+
+// injector is a materialized ChaosConfig for an n-trial campaign, with
+// one pre-drawn base seed per trial index (the same SeedFan discipline
+// the simulator uses, so injection never depends on completion order).
+type injector struct {
+	cfg   ChaosConfig
+	seeds []uint64
+}
+
+func (c ChaosConfig) newInjector(n int) *injector {
+	if !c.enabled() {
+		return nil
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	return &injector{cfg: c, seeds: par.SeedFan(c.Seed, n)}
+}
+
+// attemptSeed derives the RNG seed for one (trial, attempt) pair from
+// the trial's base seed via a splitmix64 step, so every retry of a
+// trial sees an independent — but fixed — fault decision.
+func attemptSeed(base uint64, attempt int) uint64 {
+	x := base + uint64(attempt)*0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// inject runs the fault decisions for one trial attempt: possibly
+// sleep, possibly panic. Called inside the recover() guard, so an
+// injected panic exercises exactly the retry path a real one would.
+func (in *injector) inject(index, attempt int) {
+	if in == nil {
+		return
+	}
+	rng := stats.NewRNG(attemptSeed(in.seeds[index], attempt))
+	if rng.Float64() < in.cfg.DelayRate {
+		frac := rng.Float64()
+		time.Sleep(time.Duration(frac * float64(in.cfg.MaxDelay)))
+	}
+	if rng.Float64() < in.cfg.PanicRate {
+		panic(chaosPanic{index: index, attempt: attempt})
+	}
+}

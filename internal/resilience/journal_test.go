@@ -1,0 +1,237 @@
+package resilience
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testManifest(n int) Manifest {
+	return Manifest{Tool: "test", ConfigHash: "cafe0123", Seed: 42, N: n}
+}
+
+// writeTestJournal creates a journal with k entries and returns its
+// path and full byte content.
+func writeTestJournal(t *testing.T, k int) (string, []byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "CKPT_test.jsonl")
+	j, err := Create(path, testManifest(k), 1)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i := 0; i < k; i++ {
+		payload, _ := json.Marshal(map[string]int{"i": i})
+		if err := j.Append(Entry{Kind: EntryTrial, Index: i, Attempts: 1, Payload: payload}); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	return path, data
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path, _ := writeTestJournal(t, 5)
+	m, entries, _, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	want := testManifest(5)
+	want.Kind = "manifest"
+	want.SchemaVersion = JournalSchemaVersion
+	if *m != want {
+		t.Errorf("manifest = %+v, want %+v", *m, want)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("got %d entries, want 5", len(entries))
+	}
+	for i, e := range entries {
+		if e.Kind != EntryTrial || e.Index != i || e.Attempts != 1 {
+			t.Errorf("entry %d = %+v", i, e)
+		}
+	}
+}
+
+// TestJournalTornTailEveryOffset truncates the journal at every byte
+// length and asserts ReadJournal never errors (once the manifest line
+// is whole), never panics, and returns exactly the whole entry lines
+// that survived.
+func TestJournalTornTailEveryOffset(t *testing.T) {
+	_, data := writeTestJournal(t, 4)
+	manifestLen := 0
+	for i, b := range data {
+		if b == '\n' {
+			manifestLen = i + 1
+			break
+		}
+	}
+	// Count entry-line boundaries so we know how many whole entries a
+	// prefix of each length retains.
+	wholeAt := func(n int) int {
+		count := 0
+		for i := manifestLen; i < n; i++ {
+			if data[i] == '\n' {
+				count++
+			}
+		}
+		return count
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		torn := filepath.Join(t.TempDir(), "torn.jsonl")
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatalf("write torn copy: %v", err)
+		}
+		m, entries, validLen, err := ReadJournal(torn)
+		if cut < manifestLen {
+			if !errors.Is(err, ErrNoManifest) {
+				t.Fatalf("cut=%d: err = %v, want ErrNoManifest", cut, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut=%d: unexpected error %v", cut, err)
+		}
+		if m == nil {
+			t.Fatalf("cut=%d: nil manifest", cut)
+		}
+		if want := wholeAt(cut); len(entries) != want {
+			t.Errorf("cut=%d: got %d entries, want %d", cut, len(entries), want)
+		}
+		if validLen > int64(cut) {
+			t.Errorf("cut=%d: validLen %d exceeds file size", cut, validLen)
+		}
+	}
+}
+
+// TestResumeTruncatesTornTail appends garbage to a valid journal and
+// verifies Resume cuts it away so subsequent appends produce a clean
+// file.
+func TestResumeTruncatesTornTail(t *testing.T) {
+	path, data := writeTestJournal(t, 3)
+	if err := os.WriteFile(path, append(data, []byte(`{"kind":"trial","ind`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, entries, err := Resume(path, testManifest(3), 1)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(entries))
+	}
+	if err := j.Append(Entry{Kind: EntryTrial, Index: 3}); err != nil {
+		t.Fatalf("Append after resume: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, entries, _, err = ReadJournal(path); err != nil || len(entries) != 4 {
+		t.Fatalf("after torn-tail resume: entries=%d err=%v, want 4 nil", len(entries), err)
+	}
+}
+
+func TestResumeRejectsManifestMismatch(t *testing.T) {
+	path, _ := writeTestJournal(t, 2)
+	cases := []Manifest{
+		{Tool: "other", ConfigHash: "cafe0123", Seed: 42, N: 2},
+		{Tool: "test", ConfigHash: "deadbeef", Seed: 42, N: 2},
+		{Tool: "test", ConfigHash: "cafe0123", Seed: 7, N: 2},
+		{Tool: "test", ConfigHash: "cafe0123", Seed: 42, N: 3},
+	}
+	for i, m := range cases {
+		if _, _, err := Resume(path, m, 1); !errors.Is(err, ErrManifestMismatch) {
+			t.Errorf("case %d: err = %v, want ErrManifestMismatch", i, err)
+		}
+	}
+}
+
+func TestResumeMissingFileCreates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "CKPT_test.jsonl")
+	j, entries, err := Resume(path, testManifest(1), 1)
+	if err != nil {
+		t.Fatalf("Resume on missing file: %v", err)
+	}
+	if entries != nil {
+		t.Errorf("fresh journal returned %d entries", len(entries))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m, _, _, err := ReadJournal(path); err != nil || m.Tool != "test" {
+		t.Fatalf("created journal unreadable: %v", err)
+	}
+}
+
+func TestReadJournalRejectsNonManifestFirstLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte(`{"kind":"trial","index":0}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadJournal(path); !errors.Is(err, ErrNoManifest) {
+		t.Errorf("err = %v, want ErrNoManifest", err)
+	}
+}
+
+// FuzzReadJournal feeds arbitrary bytes through the journal reader: it
+// must never panic, and any accepted journal must report a validLen
+// within the file.
+func FuzzReadJournal(f *testing.F) {
+	valid := `{"kind":"manifest","schema_version":1,"tool":"t","config_hash":"x","seed":1,"n":2}` + "\n" +
+		`{"kind":"trial","index":0,"attempts":1,"payload":{"i":0}}` + "\n" +
+		`{"kind":"failed","index":1,"attempts":3,"error":"boom"}` + "\n"
+	f.Add([]byte(valid))
+	f.Add([]byte(""))
+	f.Add([]byte("{\n"))
+	f.Add([]byte(`{"kind":"manifest","schema_version":1}` + "\n" + `{"kind":"trial"`))
+	f.Add([]byte(`{"kind":"manifest"}` + "\n" + `{"kind":"weird","index":1}` + "\n"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.jsonl")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Skip()
+		}
+		m, entries, validLen, err := ReadJournal(path)
+		if err != nil {
+			return
+		}
+		if m == nil {
+			t.Fatal("nil manifest with nil error")
+		}
+		if validLen < 0 || validLen > int64(len(raw)) {
+			t.Fatalf("validLen %d outside [0, %d]", validLen, len(raw))
+		}
+		for _, e := range entries {
+			if e.Kind != EntryTrial && e.Kind != EntryFailed {
+				t.Fatalf("accepted entry of kind %q", e.Kind)
+			}
+		}
+	})
+}
+
+func TestJournalPath(t *testing.T) {
+	got := JournalPath("results", "besst-sim")
+	want := filepath.Join("results", "CKPT_besst-sim.jsonl")
+	if got != want {
+		t.Errorf("JournalPath = %q, want %q", got, want)
+	}
+}
+
+func TestConfigHashStableAndSensitive(t *testing.T) {
+	a := ConfigHash("besst-sim", 100, uint64(42), "quartz")
+	b := ConfigHash("besst-sim", 100, uint64(42), "quartz")
+	c := ConfigHash("besst-sim", 101, uint64(42), "quartz")
+	if a != b {
+		t.Errorf("hash not stable: %q vs %q", a, b)
+	}
+	if a == c {
+		t.Errorf("hash insensitive to config change: %q", a)
+	}
+	if len(a) != 16 {
+		t.Errorf("hash length = %d, want 16", len(a))
+	}
+}

@@ -1,0 +1,164 @@
+package resilience
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// The kill-resume integration test re-executes this test binary as a
+// "child" campaign process (selected by env var, dispatched from
+// TestMain), SIGKILLs it mid-campaign — the one fault recover() cannot
+// see — and asserts that resuming in-process completes the campaign
+// with output byte-identical to an uninterrupted run.
+
+const (
+	childEnv        = "BESST_KILLRESUME_CHILD"
+	childJournalEnv = "BESST_KILLRESUME_JOURNAL"
+	childWorkersEnv = "BESST_KILLRESUME_WORKERS"
+)
+
+const (
+	killResumeN    = 24
+	killResumeSeed = uint64(4242)
+	killResumeHash = "killresume-v1"
+)
+
+// killResumeWork builds the shared trial function: a pure function of
+// the index, optionally slowed so the parent has time to kill the
+// child mid-campaign.
+func killResumeWork(delay time.Duration) WorkFunc {
+	inner := fakeWork(killResumeSeed, killResumeN)
+	return func(i int) (json.RawMessage, error) {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		return inner(i)
+	}
+}
+
+func killResumeCampaign(path string, workers int) Campaign {
+	return Campaign{
+		Tool:       "killresume",
+		Path:       path,
+		ConfigHash: killResumeHash,
+		Seed:       killResumeSeed,
+		Workers:    workers,
+		CkptEvery:  1, // fsync every trial so the kill loses nothing journaled
+	}
+}
+
+// killResumeChild is the re-executed child's entry point: run the slow
+// campaign to completion (it never gets there — the parent kills it)
+// and exit 0.
+func killResumeChild() int {
+	workers, err := strconv.Atoi(os.Getenv(childWorkersEnv))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad workers:", err)
+		return 2
+	}
+	camp := killResumeCampaign(os.Getenv(childJournalEnv), workers)
+	camp.Resume = true // tolerate being killed and re-spawned
+	if _, _, err := camp.Run(killResumeN, killResumeWork(30*time.Millisecond)); err != nil {
+		fmt.Fprintln(os.Stderr, "child campaign:", err)
+		return 1
+	}
+	return 0
+}
+
+func TestMain(m *testing.M) {
+	if os.Getenv(childEnv) == "1" {
+		os.Exit(killResumeChild())
+	}
+	os.Exit(m.Run())
+}
+
+// journalLines counts whole lines currently in the journal file.
+func journalLines(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		n++
+	}
+	return n
+}
+
+func TestKillAndResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-executes the test binary")
+	}
+	ref, rep, err := Campaign{Workers: 1}.Run(killResumeN, killResumeWork(0))
+	if err != nil || rep.Completed != killResumeN {
+		t.Fatalf("reference run: %+v, %v", rep, err)
+	}
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "CKPT_killresume.jsonl")
+
+			cmd := exec.Command(os.Args[0], "-test.run=TestMain")
+			cmd.Env = append(os.Environ(),
+				childEnv+"=1",
+				childJournalEnv+"="+path,
+				childWorkersEnv+"="+strconv.Itoa(workers),
+			)
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				t.Fatalf("start child: %v", err)
+			}
+
+			// Wait until the child has durably journaled a few trials
+			// (manifest line + >= 3 entries), then SIGKILL it mid-flight.
+			deadline := time.Now().Add(10 * time.Second)
+			for journalLines(path) < 4 {
+				if time.Now().After(deadline) {
+					_ = cmd.Process.Kill()
+					_ = cmd.Wait()
+					t.Fatalf("child journaled %d lines in 10s", journalLines(path))
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			if err := cmd.Process.Kill(); err != nil {
+				t.Fatalf("kill child: %v", err)
+			}
+			if err := cmd.Wait(); err == nil {
+				t.Fatal("child exited cleanly before the kill — campaign too fast to interrupt")
+			}
+
+			// The journal must hold a strict subset of the campaign.
+			_, entries, _, err := ReadJournal(path)
+			if err != nil {
+				t.Fatalf("journal unreadable after SIGKILL: %v", err)
+			}
+			if len(entries) == 0 || len(entries) >= killResumeN {
+				t.Fatalf("journal has %d of %d trials — kill landed outside the campaign", len(entries), killResumeN)
+			}
+
+			// Resume in-process at full speed and compare byte-for-byte.
+			camp := killResumeCampaign(path, workers)
+			camp.Resume = true
+			got, rep, err := camp.Run(killResumeN, killResumeWork(0))
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if rep.Replayed != len(entries) {
+				t.Errorf("Replayed = %d, want %d journaled trials", rep.Replayed, len(entries))
+			}
+			if rep.Completed != killResumeN || len(rep.FailedIndices) != 0 {
+				t.Fatalf("resumed report = %+v", rep)
+			}
+			samePayloads(t, "kill-resume", ref, got)
+		})
+	}
+}
