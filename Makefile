@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build test vet fmt lint lint-fixtures race bench parbench profile trace-fixtures chaos fuzz
+.PHONY: check build test vet fmt lint lint-fixtures race bench parbench bench-hotpath bench-compare profile trace-fixtures chaos fuzz
 
 # check is the tier-1 gate: formatting, static analysis (vet and
 # besst-lint), build, the race-enabled internal test suite (the
 # parallel tiers are only trusted under -race), the observability
-# fixtures, and the campaign-resilience chaos/crash suite.
-check: fmt vet lint build race trace-fixtures chaos
+# fixtures, the campaign-resilience chaos/crash suite, and the hot-path
+# bench-regression gate.
+check: fmt vet lint build race trace-fixtures chaos bench-compare
 
 build:
 	$(GO) build ./...
@@ -43,6 +44,19 @@ bench:
 # simulator timings; speedup scales with available cores).
 parbench: build
 	$(GO) run ./cmd/besst-bench -parbench -workers 0
+
+# bench-hotpath regenerates results/BENCH_hotpath.json, the
+# allocation-sensitive hot-path measurements (raw DES dispatch plus the
+# Monte Carlo and DSE macro tiers). The file is gitignored; commit its
+# contents to results/BENCH_hotpath_baseline.json to move the gate.
+bench-hotpath: build
+	$(GO) run ./cmd/besst-bench -hotpath
+
+# bench-compare is the bench-regression gate: fresh hot-path numbers
+# are diffed against the committed baseline and the target fails on
+# >10% ns/op growth or ANY allocs/op growth.
+bench-compare: bench-hotpath
+	$(GO) run ./cmd/benchdiff
 
 # trace-fixtures runs the observability golden fixtures: trace-buffer
 # pairing, Chrome trace and metrics document round-trips, and the

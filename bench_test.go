@@ -279,7 +279,7 @@ func BenchmarkAblationParallelDES(b *testing.B) {
 	run := func(parts int) {
 		register := func(c des.Component) des.ComponentID { panic("unset") }
 		var connect func(des.ComponentID, string, des.ComponentID, string, des.Time)
-		var schedule func(des.Time, des.ComponentID, any)
+		var schedule func(des.Time, des.ComponentID, des.Payload)
 		var runAll func()
 		if parts == 1 {
 			e := des.NewEngine()
@@ -308,7 +308,7 @@ func BenchmarkAblationParallelDES(b *testing.B) {
 			first = append(first, ids[0])
 		}
 		for _, id := range first {
-			schedule(0, id, hops)
+			schedule(0, id, des.Payload{A: hops})
 		}
 		runAll()
 	}
@@ -326,7 +326,7 @@ func BenchmarkAblationParallelDES(b *testing.B) {
 type ringHop struct{}
 
 func (ringHop) HandleEvent(ctx *des.Context, ev des.Event) {
-	if n := ev.Payload.(int); n > 0 {
+	if n := ev.Payload.A; n > 0 {
 		// Synthetic handler work standing in for a model poll.
 		acc := uint64(n)
 		for i := 0; i < 2000; i++ {
@@ -335,7 +335,63 @@ func (ringHop) HandleEvent(ctx *des.Context, ev des.Event) {
 		if acc == 0 {
 			panic("unreachable")
 		}
-		ctx.Send("next", 0, n-1)
+		ctx.Send("next", 0, des.Payload{A: n - 1})
+	}
+}
+
+// BenchmarkDESDispatch measures the raw DES event hot path — schedule,
+// queue, dispatch — with a near-empty handler, so the number is the
+// engine's per-event overhead rather than model-poll cost. One op is
+// one delivered event. "sequential" drives the sequential engine;
+// "parallel-2" drives two independent rings pinned to two partitions of
+// the parallel engine (intra-partition dispatch, wide lookahead), the
+// per-partition steady-state path.
+func BenchmarkDESDispatch(b *testing.B) {
+	const ringNodes = 64
+	buildRing := func(register func(des.Component) des.ComponentID,
+		connect func(des.ComponentID, string, des.ComponentID, string, des.Time)) des.ComponentID {
+		ids := make([]des.ComponentID, ringNodes)
+		for i := range ids {
+			ids[i] = register(lightHop{})
+		}
+		for i := range ids {
+			connect(ids[i], "next", ids[(i+1)%ringNodes], "next", 1)
+		}
+		return ids[0]
+	}
+	b.Run("sequential", func(b *testing.B) {
+		e := des.NewEngine()
+		first := buildRing(e.Register, e.Connect)
+		b.ReportAllocs()
+		b.ResetTimer()
+		e.ScheduleAt(0, first, des.Payload{A: int64(b.N)})
+		e.Run(0)
+	})
+	b.Run("parallel-2", func(b *testing.B) {
+		e := des.NewParallelEngine(2, 1000)
+		part := 0
+		register := func(c des.Component) des.ComponentID {
+			id := e.RegisterIn(part, c)
+			return id
+		}
+		firstA := buildRing(register, e.Connect)
+		part = 1
+		firstB := buildRing(register, e.Connect)
+		b.ReportAllocs()
+		b.ResetTimer()
+		e.ScheduleAt(0, firstA, des.Payload{A: int64(b.N / 2)})
+		e.ScheduleAt(0, firstB, des.Payload{A: int64(b.N / 2)})
+		e.Run(0)
+	})
+}
+
+// lightHop forwards a decrementing counter around its ring with no
+// synthetic handler work: the benchmark time is engine overhead.
+type lightHop struct{}
+
+func (lightHop) HandleEvent(ctx *des.Context, ev des.Event) {
+	if n := ev.Payload.A; n > 0 {
+		ctx.Send("next", 0, des.Payload{A: n - 1})
 	}
 }
 

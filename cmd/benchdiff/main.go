@@ -1,0 +1,60 @@
+// Command benchdiff is the bench-regression gate: it diffs a freshly
+// generated hot-path benchmark report (besst-bench -hotpath) against
+// the committed baseline and exits nonzero when performance regressed.
+//
+// A benchmark fails the gate when its ns/op exceeds the baseline by
+// more than the tolerance (default 10%), or when its allocs/op exceeds
+// the baseline at all — allocation counts on a warmed hot path are
+// deterministic, so any growth is a real regression, not noise.
+//
+//	benchdiff -base results/BENCH_hotpath_baseline.json -cur results/BENCH_hotpath.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"besst/internal/benchdata"
+)
+
+func main() {
+	base := flag.String("base", "results/BENCH_hotpath_baseline.json", "committed baseline report")
+	cur := flag.String("cur", "results/BENCH_hotpath.json", "freshly generated report to gate")
+	tol := flag.Float64("tol", 10, "allowed ns/op growth in percent (allocs/op tolerance is always zero)")
+	flag.Parse()
+
+	baseRep, err := benchdata.LoadHotpath(*base)
+	if err != nil {
+		fatalf("load baseline: %v", err)
+	}
+	curRep, err := benchdata.LoadHotpath(*cur)
+	if err != nil {
+		fatalf("load current: %v", err)
+	}
+
+	for _, b := range baseRep.Benchmarks {
+		c, ok := curRep.Lookup(b.Name)
+		if !ok {
+			continue // reported as a regression below
+		}
+		fmt.Fprintf(os.Stderr, "  %-26s ns/op %8d -> %8d   allocs/op %6d -> %6d\n",
+			b.Name, b.NsPerOp, c.NsPerOp, b.AllocsPerOp, c.AllocsPerOp)
+	}
+
+	regs := benchdata.CompareHotpath(curRep, baseRep, *tol)
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: OK — no regressions vs %s (ns/op tolerance %.0f%%, allocs/op tolerance 0)\n",
+			*base, *tol)
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION: %s\n", r)
+	}
+	os.Exit(1)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

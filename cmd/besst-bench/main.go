@@ -45,6 +45,9 @@ func main() {
 	out := flag.String("o", "", "output path (default stdout)")
 	parbench := flag.Bool("parbench", false, "run the serial-vs-parallel simulator benchmark harness and write JSON instead of collecting a campaign")
 	parbenchOut := flag.String("parbench-out", "results/BENCH_parallel.json", "output path for -parbench")
+	hotpath := flag.Bool("hotpath", false, "run the allocation-sensitive hot-path benchmark harness and write JSON instead of collecting a campaign")
+	hotpathOut := flag.String("hotpath-out", "results/BENCH_hotpath.json", "output path for -hotpath")
+	hotpathPre := flag.String("hotpath-prepr", "results/BENCH_hotpath_prepr.json", "committed pre-optimization snapshot to report improvement factors against")
 	// -workers keeps its historical default of 1: any other value
 	// selects the per-combination seeded parallel campaign collector.
 	common := cli.RegisterCommon(flag.CommandLine, 1)
@@ -57,6 +60,12 @@ func main() {
 
 	if *parbench {
 		runParBench(*parbenchOut, common.Workers, common.Seed)
+		closeSession(ses)
+		return
+	}
+
+	if *hotpath {
+		runHotpath(*hotpathOut, *hotpathPre)
 		closeSession(ses)
 		return
 	}

@@ -1,0 +1,106 @@
+package benchdata
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Hot-path benchmark reports and the regression comparator behind
+// `make bench-compare`. besst-bench -hotpath writes a HotpathReport for
+// the allocation-sensitive simulator benchmarks; the comparator diffs a
+// fresh report against the committed baseline and reports regressions:
+// any ns/op growth beyond the tolerance, or ANY allocs/op growth at
+// all. Allocation counts are deterministic for a warmed hot path, so a
+// single extra alloc/op is a real code regression, never noise — the
+// zero-tolerance rule is what keeps the zero-allocation dispatch
+// property from eroding one "harmless" box at a time.
+
+// HotpathEntry is one benchmark measurement.
+type HotpathEntry struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// HotpathReport is the machine-readable output of besst-bench -hotpath.
+type HotpathReport struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	CPU        string         `json:"cpu,omitempty"`
+	Benchmarks []HotpathEntry `json:"benchmarks"`
+}
+
+// Lookup returns the entry with the given benchmark name.
+func (r *HotpathReport) Lookup(name string) (HotpathEntry, bool) {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return HotpathEntry{}, false
+}
+
+// LoadHotpath reads a report written by besst-bench -hotpath.
+func LoadHotpath(path string) (*HotpathReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r HotpathReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parse %s: %v", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("parse %s: no benchmarks in report", path)
+	}
+	return &r, nil
+}
+
+// HotpathRegression describes one metric that got worse than the
+// baseline allows.
+type HotpathRegression struct {
+	Name   string // benchmark name
+	Metric string // "ns/op" or "allocs/op" or "missing"
+	Base   int64
+	Cur    int64
+	Detail string
+}
+
+func (r HotpathRegression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: benchmark missing from current report", r.Name)
+	}
+	return fmt.Sprintf("%s: %s %d -> %d (%s)", r.Name, r.Metric, r.Base, r.Cur, r.Detail)
+}
+
+// CompareHotpath diffs cur against base. A benchmark regresses when its
+// ns/op exceeds the baseline by more than nsTolPct percent, or when its
+// allocs/op exceeds the baseline at all. Baseline benchmarks absent
+// from cur count as regressions (a silently dropped benchmark must not
+// pass the gate); extra benchmarks in cur are ignored so the baseline
+// can trail new additions by one regeneration.
+func CompareHotpath(cur, base *HotpathReport, nsTolPct float64) []HotpathRegression {
+	var regs []HotpathRegression
+	for _, b := range base.Benchmarks {
+		c, ok := cur.Lookup(b.Name)
+		if !ok {
+			regs = append(regs, HotpathRegression{Name: b.Name, Metric: "missing"})
+			continue
+		}
+		limit := float64(b.NsPerOp) * (1 + nsTolPct/100)
+		if float64(c.NsPerOp) > limit {
+			regs = append(regs, HotpathRegression{
+				Name: b.Name, Metric: "ns/op", Base: b.NsPerOp, Cur: c.NsPerOp,
+				Detail: fmt.Sprintf("limit %.0f at +%.0f%%", limit, nsTolPct),
+			})
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			regs = append(regs, HotpathRegression{
+				Name: b.Name, Metric: "allocs/op", Base: b.AllocsPerOp, Cur: c.AllocsPerOp,
+				Detail: "any allocation growth fails the gate",
+			})
+		}
+	}
+	return regs
+}

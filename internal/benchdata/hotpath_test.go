@@ -1,0 +1,82 @@
+package benchdata
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func hotReport(entries ...HotpathEntry) *HotpathReport {
+	return &HotpathReport{GOMAXPROCS: 1, Benchmarks: entries}
+}
+
+func TestCompareHotpathPasses(t *testing.T) {
+	base := hotReport(
+		HotpathEntry{Name: "a", NsPerOp: 1000, AllocsPerOp: 3},
+		HotpathEntry{Name: "b", NsPerOp: 500, AllocsPerOp: 0},
+	)
+	cur := hotReport(
+		HotpathEntry{Name: "a", NsPerOp: 1099, AllocsPerOp: 3}, // within 10%
+		HotpathEntry{Name: "b", NsPerOp: 450, AllocsPerOp: 0},  // improved
+		HotpathEntry{Name: "new", NsPerOp: 9999, AllocsPerOp: 99},
+	)
+	if regs := CompareHotpath(cur, base, 10); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareHotpathFlagsNsGrowth(t *testing.T) {
+	base := hotReport(HotpathEntry{Name: "a", NsPerOp: 1000, AllocsPerOp: 3})
+	cur := hotReport(HotpathEntry{Name: "a", NsPerOp: 1101, AllocsPerOp: 3})
+	regs := CompareHotpath(cur, base, 10)
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("want one ns/op regression, got %v", regs)
+	}
+}
+
+func TestCompareHotpathFlagsAnyAllocGrowth(t *testing.T) {
+	base := hotReport(HotpathEntry{Name: "a", NsPerOp: 1000, AllocsPerOp: 0})
+	cur := hotReport(HotpathEntry{Name: "a", NsPerOp: 900, AllocsPerOp: 1})
+	regs := CompareHotpath(cur, base, 10)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("want one allocs/op regression, got %v", regs)
+	}
+}
+
+func TestCompareHotpathFlagsMissingBenchmark(t *testing.T) {
+	base := hotReport(
+		HotpathEntry{Name: "a", NsPerOp: 1000, AllocsPerOp: 0},
+		HotpathEntry{Name: "gone", NsPerOp: 10, AllocsPerOp: 0},
+	)
+	cur := hotReport(HotpathEntry{Name: "a", NsPerOp: 1000, AllocsPerOp: 0})
+	regs := CompareHotpath(cur, base, 10)
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("want one missing-benchmark regression, got %v", regs)
+	}
+}
+
+func TestLoadHotpathRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := os.WriteFile(path, []byte(`{
+		"gomaxprocs": 1,
+		"benchmarks": [{"name": "a", "ns_per_op": 7, "bytes_per_op": 8, "allocs_per_op": 9}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadHotpath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := r.Lookup("a")
+	if !ok || e.NsPerOp != 7 || e.BytesPerOp != 8 || e.AllocsPerOp != 9 {
+		t.Fatalf("bad round-trip: %+v ok=%v", e, ok)
+	}
+	if _, err := LoadHotpath(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	os.WriteFile(empty, []byte(`{"gomaxprocs":1,"benchmarks":[]}`), 0o644)
+	if _, err := LoadHotpath(empty); err == nil {
+		t.Fatal("want error for report with no benchmarks")
+	}
+}

@@ -25,6 +25,7 @@ package besst
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"besst/internal/beo"
 	"besst/internal/fti"
@@ -96,6 +97,13 @@ type cinstr struct {
 	level     fti.Level
 	step      int // ckStepEnd: completed top-level iteration index
 	syncID    int // ckComm/ckCkpt: dynamic synchronization instance id
+	// detCost is the instruction's deterministic cost, precomputed once
+	// per CompiledRun: Predict(params) for ckComp/ckCkpt, the network
+	// collective cost for ckComm. Both are pure functions of compiled
+	// state, so hoisting them out of the per-rank per-trial hot loops
+	// changes no output bytes. Monte Carlo Sample draws still happen
+	// per trial; ckComm costs are deterministic in every mode.
+	detCost float64
 }
 
 // compile expands the program into the flat dynamic instruction list
@@ -187,6 +195,24 @@ type CompiledRun struct {
 	net   *network.Model
 	steps int // number of ckStepEnd markers per run
 	ckpts int // number of ckCkpt instances per run
+
+	// syncIdx is the dense syncID -> prog index table for the DES
+	// coordinator (syncIDs are assigned contiguously by compile), and
+	// ports the matching precomputed coordinator->rank release port
+	// names — both replace per-trial map builds and string formatting.
+	// Indices rather than instruction copies: cinstr is large and half a
+	// program can be sync points, so duplicating them would roughly
+	// double the compile footprint that DSE sweeps pay per cell.
+	syncIdx []int32
+	ports   []string
+
+	// desPool recycles fully wired DES simulations across trials: a
+	// desSim is reset (engine rewound, RNGs reseeded, program counters
+	// zeroed) before every run, so a pooled instance is byte-identical
+	// to a freshly built one. Trials are pure functions of their
+	// pre-drawn seeds, which keeps the pool safe under concurrent
+	// replication.
+	desPool sync.Pool
 }
 
 // Compile validates app against arch and builds the reusable run
@@ -209,28 +235,71 @@ func newCompiledRun(app *beo.AppBEO, arch *beo.ArchBEO) *CompiledRun {
 		prog: compile(app),
 		net:  arch.Machine.Network(),
 	}
-	warmed := map[string]bool{}
+	// Loop expansion repeats the same (op, params) pair once per
+	// iteration — often hundreds of copies sharing one params map — and
+	// table-model Predict allocates interpolation scratch per call, so
+	// memoize the deterministic cost per op. Entries are only reused when
+	// the params compare exactly equal, which keeps the memo a pure
+	// shortcut: every path still yields Predict(params) bit for bit.
+	type costMemo struct {
+		params perfmodel.Params
+		cost   float64
+	}
+	memo := make(map[string]costMemo)
 	for i := range cr.prog {
 		c := &cr.prog[i]
 		switch c.kind {
 		case ckComp, ckCkpt:
 			c.model = arch.ModelFor(c.op)
-			if !warmed[c.op] {
-				warmed[c.op] = true
-				// Trigger lazy state (table rebuilds) now; Predict and
-				// Sample are read-only afterwards.
-				c.model.Predict(c.params)
+			// Precompute the deterministic cost. The first Predict per
+			// model also triggers its lazy state (table rebuilds) while
+			// still single-threaded; Predict and Sample are read-only
+			// afterwards.
+			if m, ok := memo[c.op]; ok && sameParams(m.params, c.params) {
+				c.detCost = m.cost
+			} else {
+				c.detCost = c.model.Predict(c.params)
+				memo[c.op] = costMemo{params: c.params, cost: c.detCost}
 			}
 			if c.kind == ckCkpt {
 				cr.ckpts++
 			}
+		case ckComm:
+			c.detCost = commCost(cr.net, *c, app.Ranks)
 		case ckStepEnd:
 			cr.steps++
 		}
+		if c.kind == ckComm || c.kind == ckCkpt {
+			if c.syncID != len(cr.syncIdx) {
+				panic(fmt.Sprintf("besst: non-contiguous syncID %d at instruction %d", c.syncID, i))
+			}
+			cr.syncIdx = append(cr.syncIdx, int32(i))
+		}
+	}
+	cr.ports = make([]string, app.Ranks)
+	for r := range cr.ports {
+		cr.ports[r] = rankPort(r)
 	}
 	// Warm the diameter cache backing every collective cost.
 	cr.net.Barrier(2)
 	return cr
+}
+
+// sameParams reports whether two parameter maps are exactly equal. Used
+// only to validate compile-time cost memo hits; exact (not approximate)
+// float comparison is deliberate — any difference at all must force a
+// fresh Predict so memoization stays invisible in the output bytes.
+func sameParams(a, b perfmodel.Params) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		//lint:ignore floateq memo validity needs bit-exact comparison
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
 }
 
 // Makespans extracts the makespan distribution from replications.
@@ -265,18 +334,18 @@ func simulateDirect(cr *CompiledRun, cfg RunConfig) *Result {
 					// draw does; reuse the shared extreme-value
 					// helper for identical semantics with the
 					// ground-truth emulator.
-					mean := c.model.Predict(c.params)
-					sigma := modelSigma(c.model, c.params, rng)
+					mean := c.detCost
+					sigma := modelSigma(c.model, c.params, mean, rng)
 					now += groundtruth.StepMax(mean, sigma, ranks, rng)
 				} else {
 					now += c.model.Sample(c.params, rng)
 				}
 			} else {
-				now += c.model.Predict(c.params)
+				now += c.detCost
 			}
 			res.Breakdown.ComputeSec += now - before
 		case ckComm:
-			dt := commCost(cr.net, *c, ranks)
+			dt := c.detCost
 			res.Breakdown.CommSec += dt
 			now += dt
 		case ckCkpt:
@@ -284,7 +353,7 @@ func simulateDirect(cr *CompiledRun, cfg RunConfig) *Result {
 			if cfg.MonteCarlo {
 				dt = c.model.Sample(c.params, rng) // one coordinated draw
 			} else {
-				dt = c.model.Predict(c.params)
+				dt = c.detCost
 			}
 			res.Breakdown.CkptSec += dt
 			now += dt
@@ -299,9 +368,9 @@ func simulateDirect(cr *CompiledRun, cfg RunConfig) *Result {
 
 // modelSigma estimates a model's relative spread at params by drawing a
 // handful of samples. For symreg.Fitted this recovers ResidualSigma; for
-// tables it reflects the stored sample spread.
-func modelSigma(m perfmodel.Model, p perfmodel.Params, rng *stats.RNG) float64 {
-	mean := m.Predict(p)
+// tables it reflects the stored sample spread. mean must be the model's
+// Predict(p) value (callers pass the precomputed per-instruction cost).
+func modelSigma(m perfmodel.Model, p perfmodel.Params, mean float64, rng *stats.RNG) float64 {
 	if mean <= 0 {
 		return 0
 	}

@@ -1,9 +1,9 @@
 package besst
 
 import (
-	"besst/internal/beo"
+	"fmt"
+
 	"besst/internal/des"
-	"besst/internal/network"
 	"besst/internal/stats"
 )
 
@@ -13,13 +13,15 @@ import (
 // the coordinator charges the communication (or checkpoint-instance)
 // cost and releases everyone.
 
-// payloads
-type advanceMsg struct{}
-type arriveMsg struct {
-	syncID int
-	rank   int
-}
-type releaseMsg struct{ syncID int }
+// Payload kinds on des.Payload.Kind. The protocol encodes entirely into
+// the typed fields — pkArrive carries (syncID, rank) in (A, B) and
+// pkRelease carries syncID in A — so the steady-state event path never
+// boxes a payload.
+const (
+	pkAdvance int32 = iota + 1 // resume a rank's program (self event or release)
+	pkArrive                   // rank -> coordinator: A = syncID, B = rank
+	pkRelease                  // coordinator -> rank: A = syncID
+)
 
 const (
 	portCoord = "coord" // rank -> coordinator
@@ -38,72 +40,100 @@ type rankComp struct {
 	waiting   bool
 }
 
-// coordComp synchronizes collective instructions.
+// coordComp synchronizes collective instructions. pending is indexed
+// directly by syncID (compile assigns them contiguously); each slot is
+// zeroed again when its collective completes, so the slice needs no
+// per-trial clearing — a finished run leaves it all-zero. The seed
+// engine also kept a latest-arrival map, but events arrive in time
+// order so the coordinator's clock already is that maximum; the map
+// was dead state and is gone.
 type coordComp struct {
 	sim     *desSim
-	pending map[int]int      // syncID -> arrivals so far
-	arrived map[int]des.Time // syncID -> latest arrival time
+	pending []int32 // syncID -> arrivals so far
 	rng     *stats.RNG
 }
 
+// desSim is one fully wired DES simulation of a CompiledRun. Engines,
+// components, links, and RNG allocations are built once and recycled
+// through CompiledRun.desPool; reset rewinds everything per trial.
 type desSim struct {
-	app       *beo.AppBEO
-	arch      *beo.ArchBEO
-	net       *network.Model
-	prog      []cinstr
-	syncInstr map[int]cinstr // syncID -> its Comm/Ckpt instruction
-	cfg       RunConfig
-	eng       *des.Engine
-	res       *Result
-	ranks     []des.ComponentID
-	coord     des.ComponentID
-	ends      []des.Time // per-rank completion time
+	cr     *CompiledRun
+	cfg    RunConfig
+	eng    *des.Engine
+	res    *Result
+	ranks  []des.ComponentID
+	coord  des.ComponentID
+	coordC *coordComp
+	rankC  []*rankComp
+	ends   []des.Time // per-rank completion time
+}
+
+// newDesSim builds and wires a simulation for cr. All per-trial state
+// is set by reset.
+func newDesSim(cr *CompiledRun) *desSim {
+	s := &desSim{
+		cr:    cr,
+		eng:   des.NewEngine(),
+		ranks: make([]des.ComponentID, 0, cr.app.Ranks),
+		rankC: make([]*rankComp, 0, cr.app.Ranks),
+		ends:  make([]des.Time, cr.app.Ranks),
+	}
+	s.coordC = &coordComp{
+		sim:     s,
+		pending: make([]int32, len(cr.syncIdx)),
+		rng:     new(stats.RNG),
+	}
+	s.coord = s.eng.Register(s.coordC)
+	for r := 0; r < cr.app.Ranks; r++ {
+		rc := &rankComp{sim: s, rank: r, rng: new(stats.RNG)}
+		id := s.eng.Register(rc)
+		s.ranks = append(s.ranks, id)
+		s.rankC = append(s.rankC, rc)
+		s.eng.Connect(id, portCoord, s.coord, "in", 0)
+		s.eng.Connect(s.coord, cr.ports[r], id, "release", 0)
+	}
+	return s
+}
+
+// reset rewinds the simulation for one trial: the engine goes back to
+// time zero keeping its queue capacity, every RNG is reseeded in place
+// to the exact stream a fresh build would draw (coordinator first, then
+// ranks in order — the seed engine's Split order), and per-rank state
+// is zeroed. The result object is fresh per trial since callers keep it.
+func (s *desSim) reset(cfg RunConfig, stream int) {
+	s.cfg = cfg
+	var master stats.RNG
+	master.Reseed(cfg.Seed)
+	master.SplitTo(s.coordC.rng)
+	for _, rc := range s.rankC {
+		master.SplitTo(rc.rng)
+		rc.pc = 0
+		rc.waiting = false
+		rc.waitKind = 0
+		rc.waitSince = 0
+	}
+	for i := range s.ends {
+		s.ends[i] = 0
+	}
+	s.res = &Result{
+		StepCompletions: make([]float64, 0, s.cr.steps),
+		CkptTimes:       make([]float64, 0, s.cr.ckpts),
+	}
+	s.eng.Reset()
+	s.eng.SetTracer(cfg.Tracer, stream)
 }
 
 // simulateDES runs one DES-mode replication. stream tags tracer hooks
 // so trials sharing one tracer stay distinguishable (Replicate passes
 // the trial index).
 func simulateDES(cr *CompiledRun, cfg RunConfig, stream int) *Result {
-	master := stats.NewRNG(cfg.Seed)
-	app := cr.app
-	s := &desSim{
-		app:       app,
-		arch:      cr.arch,
-		net:       cr.net,
-		prog:      cr.prog,
-		syncInstr: map[int]cinstr{},
-		cfg:       cfg,
-		eng:       des.NewEngine(),
-		res: &Result{
-			StepCompletions: make([]float64, 0, cr.steps),
-			CkptTimes:       make([]float64, 0, cr.ckpts),
-		},
-		ends: make([]des.Time, app.Ranks),
+	s, _ := cr.desPool.Get().(*desSim)
+	if s == nil {
+		s = newDesSim(cr)
 	}
-	for _, c := range cr.prog {
-		if c.kind == ckComm || c.kind == ckCkpt {
-			s.syncInstr[c.syncID] = c
-		}
-	}
-	coord := &coordComp{
-		sim:     s,
-		pending: map[int]int{},
-		arrived: map[int]des.Time{},
-		rng:     master.Split(),
-	}
-	s.coord = s.eng.Register(coord)
-	for r := 0; r < app.Ranks; r++ {
-		rc := &rankComp{sim: s, rank: r, rng: master.Split()}
-		id := s.eng.Register(rc)
-		s.ranks = append(s.ranks, id)
-		s.eng.Connect(id, portCoord, s.coord, "in", 0)
-		s.eng.Connect(s.coord, rankPort(r), id, "release", 0)
-	}
-	if cfg.Tracer != nil {
-		s.eng.SetTracer(cfg.Tracer, stream)
-	}
-	for r := 0; r < app.Ranks; r++ {
-		s.eng.ScheduleAt(0, s.ranks[r], advanceMsg{})
+	s.reset(cfg, stream)
+	for r := 0; r < cr.app.Ranks; r++ {
+		s.eng.ScheduleAt(0, s.ranks[r], des.Payload{Kind: pkAdvance})
 	}
 	s.eng.Run(0)
 	if cfg.Collector != nil {
@@ -116,18 +146,29 @@ func simulateDES(cr *CompiledRun, cfg RunConfig, stream int) *Result {
 			max = t
 		}
 	}
-	s.res.Makespan = max.Seconds()
-	s.res.Events = s.eng.Processed()
-	return s.res
+	res := s.res
+	res.Makespan = max.Seconds()
+	res.Events = s.eng.Processed()
+	// Only a run that completed normally goes back to the pool: a panic
+	// mid-run would leave dirty coordinator slots and queued events.
+	s.res = nil
+	cr.desPool.Put(s)
+	return res
 }
 
 func rankPort(rank int) string {
-	// Small allocation-free-ish formatting is unnecessary here: ports
-	// are wired once at construction.
+	// Port names are wired once per CompiledRun (see CompiledRun.ports),
+	// never on the event path.
 	return "r" + itoa(rank)
 }
 
 func itoa(n int) string {
+	if n < 0 {
+		// A negative rank index can only come from corrupted wiring
+		// logic; an empty or garbled port name would surface much later
+		// as a baffling missing-link panic, so fail at the source.
+		panic(fmt.Sprintf("besst: itoa on negative value %d", n))
+	}
 	if n == 0 {
 		return "0"
 	}
@@ -145,6 +186,7 @@ func itoa(n int) string {
 // collective or schedules compute time.
 func (rc *rankComp) HandleEvent(ctx *des.Context, ev des.Event) {
 	s := rc.sim
+	prog := s.cr.prog
 	if rc.rank == 0 && rc.waiting {
 		// A release just arrived: charge the blocked interval (wait
 		// for stragglers + the collective/checkpoint cost itself) to
@@ -157,8 +199,8 @@ func (rc *rankComp) HandleEvent(ctx *des.Context, ev des.Event) {
 		}
 		rc.waiting = false
 	}
-	for rc.pc < len(s.prog) {
-		c := s.prog[rc.pc]
+	for rc.pc < len(prog) {
+		c := &prog[rc.pc]
 		switch c.kind {
 		case ckComp:
 			rc.pc++
@@ -166,12 +208,12 @@ func (rc *rankComp) HandleEvent(ctx *des.Context, ev des.Event) {
 			if s.cfg.MonteCarlo {
 				dt = c.model.Sample(c.params, rc.rng)
 			} else {
-				dt = c.model.Predict(c.params)
+				dt = c.detCost
 			}
 			if rc.rank == 0 {
 				s.res.Breakdown.ComputeSec += dt
 			}
-			ctx.ScheduleSelf(des.FromSeconds(dt), advanceMsg{})
+			ctx.ScheduleSelf(des.FromSeconds(dt), des.Payload{Kind: pkAdvance})
 			return
 		case ckComm, ckCkpt:
 			rc.pc++
@@ -180,8 +222,10 @@ func (rc *rankComp) HandleEvent(ctx *des.Context, ev des.Event) {
 				rc.waitKind = c.kind
 				rc.waitSince = ctx.Now()
 			}
-			ctx.Send(portCoord, 0, arriveMsg{syncID: c.syncID, rank: rc.rank})
-			return // resume on releaseMsg
+			ctx.Send(portCoord, 0, des.Payload{
+				Kind: pkArrive, A: int64(c.syncID), B: int64(rc.rank),
+			})
+			return // resume on release
 		case ckStepEnd:
 			rc.pc++
 			if rc.rank == 0 {
@@ -194,38 +238,41 @@ func (rc *rankComp) HandleEvent(ctx *des.Context, ev des.Event) {
 
 // HandleEvent gathers arrivals and releases ranks when complete.
 func (cc *coordComp) HandleEvent(ctx *des.Context, ev des.Event) {
-	msg, ok := ev.Payload.(arriveMsg)
-	if !ok {
-		return
+	p := ev.Payload
+	if p.Kind != pkArrive {
+		// Anything but an arrival reaching the coordinator means the
+		// wiring or protocol is broken; match the engine's policy that
+		// wiring errors are construction bugs, not runtime conditions.
+		panic(fmt.Sprintf(
+			"besst: coordinator received payload kind %d (data %v) on port %q at %v; only arrivals are wired here",
+			p.Kind, p.Data, ev.SrcPort, ctx.Now()))
 	}
 	s := cc.sim
-	cc.pending[msg.syncID]++
-	if t := ctx.Now(); t > cc.arrived[msg.syncID] {
-		cc.arrived[msg.syncID] = t
-	}
-	if cc.pending[msg.syncID] < s.app.Ranks {
+	syncID := int(p.A)
+	cc.pending[syncID]++
+	if int(cc.pending[syncID]) < s.cr.app.Ranks {
 		return
 	}
-	delete(cc.pending, msg.syncID)
-	delete(cc.arrived, msg.syncID)
+	cc.pending[syncID] = 0 // slot reuse: all-zero again between trials
 
 	// All ranks arrived (the coordinator's clock is already at the
 	// latest arrival, since events are processed in time order).
-	c := s.syncInstr[msg.syncID]
+	c := &s.cr.prog[s.cr.syncIdx[syncID]]
 	var cost float64
 	switch c.kind {
 	case ckComm:
-		cost = commCost(s.net, c, s.app.Ranks)
+		cost = c.detCost
 	case ckCkpt:
 		if s.cfg.MonteCarlo {
 			cost = c.model.Sample(c.params, cc.rng) // one coordinated draw
 		} else {
-			cost = c.model.Predict(c.params)
+			cost = c.detCost
 		}
 		s.res.CkptTimes = append(s.res.CkptTimes, ctx.Now().Seconds()+cost)
 	}
 	extra := des.FromSeconds(cost)
-	for r := 0; r < s.app.Ranks; r++ {
-		ctx.Send(rankPort(r), extra, releaseMsg{syncID: msg.syncID})
+	release := des.Payload{Kind: pkRelease, A: p.A}
+	for r := 0; r < s.cr.app.Ranks; r++ {
+		ctx.Send(s.cr.ports[r], extra, release)
 	}
 }

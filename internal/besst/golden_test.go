@@ -1,0 +1,121 @@
+package besst
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"besst/internal/lulesh"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden Result fixtures")
+
+// goldenCases are the replication configs pinned by the golden fixture:
+// both execution modes, deterministic and Monte Carlo noise, exercised
+// at worker counts 1 and 8 (the fixture stores one result vector per
+// case; both worker counts must reproduce it byte-for-byte).
+func goldenCases() []struct {
+	name string
+	run  func(workers int) []*Result
+} {
+	return []struct {
+		name string
+		run  func(workers int) []*Result
+	}{
+		{"des-deterministic", func(workers int) []*Result {
+			app := lulesh.App(10, 8, 15, lulesh.ScenarioL1L2, cfg)
+			cr := Compile(app, noisyArch())
+			return []*Result{cr.RunWith(NewRunConfig(WithMode(DES), WithSeed(7)))}
+		}},
+		{"des-montecarlo", func(workers int) []*Result {
+			app := lulesh.App(10, 8, 15, lulesh.ScenarioL1L2, cfg)
+			cr := Compile(app, noisyArch())
+			return cr.Replicate(6, WithMode(DES), WithSeed(31), WithConcurrency(workers))
+		}},
+		{"direct-deterministic", func(workers int) []*Result {
+			app := lulesh.App(10, 64, 40, lulesh.ScenarioL1, cfg)
+			cr := Compile(app, noisyArch())
+			return []*Result{cr.RunWith(NewRunConfig(WithMode(Direct), WithSeed(7)))}
+		}},
+		{"direct-montecarlo-perrank", func(workers int) []*Result {
+			app := lulesh.App(10, 64, 40, lulesh.ScenarioL1, cfg)
+			cr := Compile(app, noisyArch())
+			return cr.Replicate(6, WithMode(Direct), WithSeed(31),
+				WithPerRankNoise(true), WithConcurrency(workers))
+		}},
+	}
+}
+
+// TestSeedEngineGolden is the cross-PR equivalence gate for the DES
+// hot-path work: the optimized engines must produce Result JSON that is
+// byte-identical to the seed engine's, for deterministic and Monte
+// Carlo modes, at worker counts 1 and 8. The fixture was generated from
+// the pre-optimization engine; regenerating it (-update) is only
+// legitimate when simulation semantics intentionally change.
+func TestSeedEngineGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "golden_results.json")
+	got := map[string]json.RawMessage{}
+	for _, tc := range goldenCases() {
+		var ref []byte
+		for _, workers := range []int{1, 8} {
+			data, err := json.MarshalIndent(tc.run(workers), "", " ")
+			if err != nil {
+				t.Fatalf("%s: marshal: %v", tc.name, err)
+			}
+			if ref == nil {
+				ref = data
+			} else if !bytes.Equal(ref, data) {
+				t.Fatalf("%s: workers 8 diverges from workers 1", tc.name)
+			}
+		}
+		got[tc.name] = ref
+	}
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatalf("marshal fixture: %v", err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(golden, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+		return
+	}
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	var want map[string]json.RawMessage
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse golden: %v", err)
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("golden case %q no longer produced", name)
+		}
+		// Compact strips the indentation MarshalIndent re-applies to
+		// nested raw messages; number literals pass through untouched,
+		// so value bytes still must match exactly.
+		if !bytes.Equal(compactJSON(t, w), compactJSON(t, g)) {
+			t.Errorf("%s: Result JSON diverges from the seed engine", name)
+		}
+	}
+	if len(want) != len(got) {
+		t.Fatalf("case count %d, golden has %d", len(got), len(want))
+	}
+}
+
+func compactJSON(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,38 @@
+package besst
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestItoaFormatsNonNegative(t *testing.T) {
+	for _, n := range []int{0, 1, 9, 10, 42, 999, 1000, 123456, 1 << 30} {
+		if got, want := itoa(n), strconv.Itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestItoaPanicsOnNegative(t *testing.T) {
+	// The old implementation silently returned "" for negative input,
+	// which would have produced colliding empty port names and a
+	// baffling missing-link panic far from the cause.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("itoa(-3) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "-3") {
+			t.Fatalf("panic %v does not name the offending value", r)
+		}
+	}()
+	itoa(-3)
+}
+
+func TestRankPort(t *testing.T) {
+	if got := rankPort(17); got != "r17" {
+		t.Errorf("rankPort(17) = %q, want %q", got, "r17")
+	}
+}

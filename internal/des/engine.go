@@ -1,17 +1,26 @@
 package des
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a timestamped message delivered to a component. Payload is
-// opaque to the engine.
+// Payload is the typed content of an event. Kind is a component-defined
+// message tag and A/B carry two integer arguments inline, so the common
+// protocol messages of a simulation travel without heap allocation.
+// Data is the escape hatch for arbitrary values; storing a non-nil Data
+// boxes it into the interface at the sender — exactly the per-event
+// allocation the typed fields exist to avoid — so hot-path protocols
+// should encode into Kind/A/B and leave Data nil.
+type Payload struct {
+	Kind int32
+	A, B int64
+	Data any
+}
+
+// Event is a timestamped message delivered to a component.
 type Event struct {
 	Time    Time
 	Dst     ComponentID
 	SrcPort string // name of the link/port the event arrived on ("" for self events)
-	Payload any
+	Payload Payload
 
 	seq uint64 // FIFO tie-breaker for deterministic ordering
 }
@@ -24,7 +33,9 @@ type ComponentID int
 // time. Components react by scheduling self events and sending on links.
 type Component interface {
 	// HandleEvent processes one event. ctx provides scheduling and
-	// link-send operations valid only for the duration of the call.
+	// link-send operations valid only for the duration of the call;
+	// implementations must not retain ctx (the engine reuses one
+	// Context across all dispatches).
 	HandleEvent(ctx *Context, ev Event)
 }
 
@@ -50,7 +61,7 @@ func (c *Context) Now() Time { return c.now }
 func (c *Context) Self() ComponentID { return c.id }
 
 // ScheduleSelf enqueues an event for the handling component after delay.
-func (c *Context) ScheduleSelf(delay Time, payload any) {
+func (c *Context) ScheduleSelf(delay Time, payload Payload) {
 	if delay < 0 {
 		panic("des: negative delay")
 	}
@@ -61,7 +72,7 @@ func (c *Context) ScheduleSelf(delay Time, payload any) {
 // component. Delivery occurs after the link's configured latency plus
 // extra. It panics if the component has no such link: wiring errors are
 // construction bugs, not runtime conditions.
-func (c *Context) Send(port string, extra Time, payload any) {
+func (c *Context) Send(port string, extra Time, payload Payload) {
 	l, ok := c.sch.link(c.id, port)
 	if !ok {
 		panic(fmt.Sprintf("des: component %d has no link %q", c.id, port))
@@ -98,34 +109,15 @@ type halfLink struct {
 	latency Time
 }
 
-// eventHeap orders events by (time, seq) so simultaneous events are
-// processed in schedule order, making runs bit-reproducible.
-type eventHeap []Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(Event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	*h = old[:n-1]
-	return
-}
-
 // Engine is the sequential discrete-event simulator. Construct with
 // NewEngine, register components and links, seed initial events with
-// ScheduleAt, then call Run.
+// ScheduleAt, then call Run. A finished engine can be rewound with
+// Reset and rerun, reusing its components, links, and queue capacity.
 type Engine struct {
 	components []Component
 	links      map[portKey]halfLink
-	queue      eventHeap
+	queue      eventQueue
+	ctx        Context // reused across dispatches; one escape, not one per event
 	now        Time
 	seq        uint64
 	processed  uint64
@@ -137,7 +129,9 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{links: make(map[portKey]halfLink)}
+	e := &Engine{links: make(map[portKey]halfLink)}
+	e.ctx.sch = e
+	return e
 }
 
 // Register adds a component and returns its ID.
@@ -170,7 +164,7 @@ func (e *Engine) ConnectBidirectional(a ComponentID, aPort string, b ComponentID
 }
 
 // ScheduleAt enqueues an initial event for dst at absolute time t.
-func (e *Engine) ScheduleAt(t Time, dst ComponentID, payload any) {
+func (e *Engine) ScheduleAt(t Time, dst ComponentID, payload Payload) {
 	if t < e.now {
 		panic("des: scheduling into the past")
 	}
@@ -183,9 +177,9 @@ func (e *Engine) schedule(ev Event) {
 	}
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
-	if len(e.queue) > e.peakQueue {
-		e.peakQueue = len(e.queue)
+	e.queue.push(ev)
+	if e.queue.len() > e.peakQueue {
+		e.peakQueue = e.queue.len()
 	}
 	if e.tracer != nil {
 		e.tracer.EventQueued(e.stream, 0, int(ev.Dst), int64(e.now), int64(ev.Time))
@@ -200,7 +194,8 @@ func (e *Engine) link(src ComponentID, port string) (halfLink, bool) {
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// Processed returns the number of events delivered so far.
+// Processed returns the number of events delivered since construction
+// or the last Reset.
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // PeakQueueDepth returns the deepest the event queue ever grew — the
@@ -220,20 +215,35 @@ func (e *Engine) SetTracer(t Tracer, stream int) {
 	e.stream = stream
 }
 
+// Reset rewinds the engine to time zero for another run: pending events
+// are discarded and the clock, sequence counter, and metrics counters
+// are cleared, while components, links, the tracer, and the queue's
+// backing capacity are all kept. This is what lets replication loops
+// reuse one wired engine per trial instead of reconstructing it.
+func (e *Engine) Reset() {
+	if e.running {
+		panic("des: Reset during Run")
+	}
+	e.queue.reset()
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
+	e.peakQueue = 0
+}
+
 // Run processes events in timestamp order until the queue is empty or
 // the horizon is passed (horizon <= 0 means no horizon). It returns the
 // final simulated time.
 func (e *Engine) Run(horizon Time) Time {
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(Event)
-		if horizon > 0 && ev.Time > horizon {
-			// Leave the event unprocessed; clock stops at horizon.
-			heap.Push(&e.queue, ev)
+	for e.queue.len() > 0 {
+		if horizon > 0 && e.queue.peek().Time > horizon {
+			// Leave the event queued; the clock stops at the horizon.
 			e.now = horizon
 			return e.now
 		}
+		ev := e.queue.pop()
 		if ev.Time < e.now {
 			panic("des: event queue went backwards")
 		}
@@ -248,13 +258,14 @@ func (e *Engine) dispatch(ev Event) {
 	if dst < 0 || dst >= len(e.components) {
 		panic(fmt.Sprintf("des: event for unknown component %d", ev.Dst))
 	}
-	ctx := Context{sch: e, id: ev.Dst, now: e.now}
+	e.ctx.id = ev.Dst
+	e.ctx.now = e.now
 	if e.tracer != nil {
 		e.tracer.EventDispatch(e.stream, 0, dst, int64(e.now))
-		e.components[dst].HandleEvent(&ctx, ev)
+		e.components[dst].HandleEvent(&e.ctx, ev)
 		e.tracer.EventReturn(e.stream, 0, int64(e.now))
 	} else {
-		e.components[dst].HandleEvent(&ctx, ev)
+		e.components[dst].HandleEvent(&e.ctx, ev)
 	}
 	e.processed++
 }
@@ -262,14 +273,14 @@ func (e *Engine) dispatch(ev Event) {
 // Step processes exactly one event if available, returning false when
 // the queue is empty. It is exposed for tests and debugging tooling.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if e.queue.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(Event)
+	ev := e.queue.pop()
 	e.now = ev.Time
 	e.dispatch(ev)
 	return true
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }

@@ -8,7 +8,7 @@ import (
 // recorder logs the order and time of every event it receives.
 type recorder struct {
 	times    []Time
-	payloads []any
+	payloads []Payload
 	ports    []string
 }
 
@@ -28,9 +28,9 @@ func (p *pinger) HandleEvent(ctx *Context, ev Event) {
 		return
 	}
 	p.remaining--
-	ctx.Send("out", 0, p.remaining)
+	ctx.Send("out", 0, Payload{A: int64(p.remaining)})
 	if p.remaining > 0 {
-		ctx.ScheduleSelf(Microsecond, nil)
+		ctx.ScheduleSelf(Microsecond, Payload{})
 	}
 }
 
@@ -60,15 +60,15 @@ func TestSequentialOrdering(t *testing.T) {
 	e := NewEngine()
 	r := &recorder{}
 	id := e.Register(r)
-	e.ScheduleAt(30, id, "c")
-	e.ScheduleAt(10, id, "a")
-	e.ScheduleAt(20, id, "b")
+	e.ScheduleAt(30, id, Payload{Data: "c"})
+	e.ScheduleAt(10, id, Payload{Data: "a"})
+	e.ScheduleAt(20, id, Payload{Data: "b"})
 	e.Run(0)
 	if len(r.payloads) != 3 {
 		t.Fatalf("got %d events", len(r.payloads))
 	}
 	for i, want := range []string{"a", "b", "c"} {
-		if r.payloads[i] != want {
+		if r.payloads[i].Data != want {
 			t.Fatalf("event %d = %v, want %v", i, r.payloads[i], want)
 		}
 	}
@@ -82,11 +82,11 @@ func TestSimultaneousEventsFIFO(t *testing.T) {
 	r := &recorder{}
 	id := e.Register(r)
 	for i := 0; i < 10; i++ {
-		e.ScheduleAt(5, id, i)
+		e.ScheduleAt(5, id, Payload{A: int64(i)})
 	}
 	e.Run(0)
 	for i := 0; i < 10; i++ {
-		if r.payloads[i] != i {
+		if r.payloads[i].A != int64(i) {
 			t.Fatalf("tie-break not FIFO: %v", r.payloads)
 		}
 	}
@@ -99,7 +99,7 @@ func TestLinkLatencyDelivery(t *testing.T) {
 	pid := e.Register(p)
 	rid := e.Register(r)
 	e.Connect(pid, "out", rid, "in", 50)
-	e.ScheduleAt(100, pid, nil)
+	e.ScheduleAt(100, pid, Payload{})
 	e.Run(0)
 	if len(r.times) != 1 || r.times[0] != 150 {
 		t.Fatalf("delivery times %v, want [150]", r.times)
@@ -113,8 +113,8 @@ func TestHorizonStopsClock(t *testing.T) {
 	e := NewEngine()
 	r := &recorder{}
 	id := e.Register(r)
-	e.ScheduleAt(10, id, nil)
-	e.ScheduleAt(1000, id, nil)
+	e.ScheduleAt(10, id, Payload{})
+	e.ScheduleAt(1000, id, Payload{})
 	end := e.Run(100)
 	if end != 100 {
 		t.Fatalf("end = %v, want 100", end)
@@ -134,7 +134,7 @@ func TestSelfScheduleChain(t *testing.T) {
 	pid := e.Register(p)
 	rid := e.Register(r)
 	e.Connect(pid, "out", rid, "in", 1)
-	e.ScheduleAt(0, pid, nil)
+	e.ScheduleAt(0, pid, Payload{})
 	e.Run(0)
 	if len(r.times) != 5 {
 		t.Fatalf("got %d pings, want 5", len(r.times))
@@ -161,7 +161,7 @@ func TestSendOnMissingPortPanics(t *testing.T) {
 	e := NewEngine()
 	p := &pinger{remaining: 1}
 	pid := e.Register(p)
-	e.ScheduleAt(0, pid, nil)
+	e.ScheduleAt(0, pid, Payload{})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for missing link")
@@ -173,14 +173,14 @@ func TestSendOnMissingPortPanics(t *testing.T) {
 func TestSchedulePastPanics(t *testing.T) {
 	e := NewEngine()
 	id := e.Register(&recorder{})
-	e.ScheduleAt(10, id, nil)
+	e.ScheduleAt(10, id, Payload{})
 	e.Run(0)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for past scheduling")
 		}
 	}()
-	e.ScheduleAt(5, id, nil)
+	e.ScheduleAt(5, id, Payload{})
 }
 
 func TestBidirectionalLink(t *testing.T) {
@@ -190,7 +190,7 @@ func TestBidirectionalLink(t *testing.T) {
 	aid := e.Register(a)
 	bid := e.Register(b)
 	e.ConnectBidirectional(aid, "out", bid, "out", 7)
-	e.ScheduleAt(0, bid, nil)
+	e.ScheduleAt(0, bid, Payload{})
 	e.Run(0)
 	if len(a.times) != 1 || a.times[0] != 7 {
 		t.Fatalf("bidirectional delivery failed: %v", a.times)
@@ -201,8 +201,8 @@ func TestStep(t *testing.T) {
 	e := NewEngine()
 	r := &recorder{}
 	id := e.Register(r)
-	e.ScheduleAt(1, id, nil)
-	e.ScheduleAt(2, id, nil)
+	e.ScheduleAt(1, id, Payload{})
+	e.ScheduleAt(2, id, Payload{})
 	if !e.Step() || len(r.times) != 1 {
 		t.Fatal("first step failed")
 	}
@@ -229,7 +229,7 @@ func TestLinkLatencyAccessor(t *testing.T) {
 	a := e.Register(probe)
 	b := e.Register(&recorder{})
 	e.Connect(a, "out", b, "in", 42)
-	e.ScheduleAt(0, a, nil)
+	e.ScheduleAt(0, a, Payload{})
 	e.Run(0)
 	if probe.seen != 42 {
 		t.Fatalf("latency = %v, want 42", probe.seen)
@@ -257,7 +257,7 @@ func TestNegativeLinkLatencyPanics(t *testing.T) {
 func TestRegisterDuringRunPanics(t *testing.T) {
 	e := NewEngine()
 	id := e.Register(&registrar{eng: e})
-	e.ScheduleAt(0, id, nil)
+	e.ScheduleAt(0, id, Payload{})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")

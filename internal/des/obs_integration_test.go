@@ -36,7 +36,7 @@ func TestParallelEngineObservabilityFixture(t *testing.T) {
 	e := NewParallelEngine(nparts, 100)
 	e.SetTracer(obs.Tee(buf, col), 7)
 	buildRing(e, 8, 100)
-	e.ScheduleAt(0, 0, 40)
+	e.ScheduleAt(0, 0, Payload{A: 40})
 	e.Run(0)
 	col.EngineTotals(e.Processed(), e.PeakQueueDepth())
 
@@ -141,7 +141,7 @@ func TestTracerDoesNotPerturbParallelRun(t *testing.T) {
 			e.SetTracer(tr, 0)
 		}
 		comps := buildRing(e, 8, 100)
-		e.ScheduleAt(0, 0, 40)
+		e.ScheduleAt(0, 0, Payload{A: 40})
 		end := e.Run(0)
 		return comps, end, e.Processed()
 	}

@@ -1,7 +1,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"sync"
@@ -43,14 +42,16 @@ type ParallelEngine struct {
 type partition struct {
 	eng    *ParallelEngine
 	index  int
-	queue  eventHeap
+	queue  eventQueue
+	ctx    Context // reused across this partition's dispatches
 	seq    uint64
 	outbox []crossEvent // cross-partition sends buffered until the barrier
 	count  uint64       // events processed by this partition
-	// next caches queue[0].Time (-1 when empty) so the coordinator's
-	// min-scan between windows never touches the heaps. Maintained by
-	// the owning worker at window end and by the coordinator during
-	// ScheduleAt and the barrier merge — never concurrently.
+	// next caches the queue head's time (-1 when empty) so the
+	// coordinator's min-scan between windows never touches the heaps.
+	// Maintained by the owning worker at window end and by the
+	// coordinator during ScheduleAt and the barrier merge — never
+	// concurrently.
 	next Time
 	// now is the timestamp of the event currently being handled, kept
 	// so tracer hooks can stamp scheduling times without threading the
@@ -85,7 +86,9 @@ func NewParallelEngine(nparts int, lookahead Time) *ParallelEngine {
 		lookahead: lookahead,
 	}
 	for i := 0; i < nparts; i++ {
-		e.parts = append(e.parts, &partition{eng: e, index: i, next: -1})
+		p := &partition{eng: e, index: i, next: -1}
+		p.ctx.sch = p
+		e.parts = append(e.parts, p)
 	}
 	return e
 }
@@ -125,16 +128,16 @@ func (e *ParallelEngine) Connect(src ComponentID, srcPort string, dst ComponentI
 }
 
 // ScheduleAt enqueues an initial event for dst at absolute time t.
-func (e *ParallelEngine) ScheduleAt(t Time, dst ComponentID, payload any) {
+func (e *ParallelEngine) ScheduleAt(t Time, dst ComponentID, payload Payload) {
 	if t < e.now {
 		panic("des: scheduling into the past")
 	}
 	p := e.parts[e.partOf[dst]]
 	ev := Event{Time: t, Dst: dst, Payload: payload, seq: p.seq}
 	p.seq++
-	heap.Push(&p.queue, ev)
-	if len(p.queue) > p.stat.PeakQueueDepth {
-		p.stat.PeakQueueDepth = len(p.queue)
+	p.queue.push(ev)
+	if p.queue.len() > p.stat.PeakQueueDepth {
+		p.stat.PeakQueueDepth = p.queue.len()
 	}
 	if p.next < 0 || t < p.next {
 		p.next = t
@@ -147,7 +150,8 @@ func (e *ParallelEngine) ScheduleAt(t Time, dst ComponentID, payload any) {
 // Now returns the current simulated time (the completed window edge).
 func (e *ParallelEngine) Now() Time { return e.now }
 
-// Processed returns the number of events delivered so far.
+// Processed returns the number of events delivered since construction
+// or the last Reset.
 func (e *ParallelEngine) Processed() uint64 { return e.processed }
 
 // PartitionStats snapshots every partition's cumulative counters. It
@@ -190,6 +194,27 @@ func (e *ParallelEngine) SetTracer(t Tracer, stream int) {
 	e.stream = stream
 }
 
+// Reset rewinds the engine to time zero for another run, mirroring
+// Engine.Reset: pending events, outboxes, and counters are cleared
+// while components, links, the tracer, and every partition's queue
+// capacity are kept.
+func (e *ParallelEngine) Reset() {
+	if e.running {
+		panic("des: Reset during Run")
+	}
+	e.now = 0
+	e.processed = 0
+	for _, p := range e.parts {
+		p.queue.reset()
+		p.seq = 0
+		p.outbox = p.outbox[:0]
+		p.count = 0
+		p.next = -1
+		p.now = 0
+		p.stat = PartitionStat{}
+	}
+}
+
 // partition implements scheduler for the components it hosts.
 
 func (p *partition) schedule(ev Event) {
@@ -197,9 +222,9 @@ func (p *partition) schedule(ev Event) {
 	if dstPart == p.index {
 		ev.seq = p.seq
 		p.seq++
-		heap.Push(&p.queue, ev)
-		if len(p.queue) > p.stat.PeakQueueDepth {
-			p.stat.PeakQueueDepth = len(p.queue)
+		p.queue.push(ev)
+		if p.queue.len() > p.stat.PeakQueueDepth {
+			p.stat.PeakQueueDepth = p.queue.len()
 		}
 		if t := p.eng.tracer; t != nil {
 			t.EventQueued(p.eng.stream, p.index, int(ev.Dst), int64(p.now), int64(ev.Time))
@@ -228,22 +253,23 @@ func (p *partition) link(src ComponentID, port string) (halfLink, bool) {
 // coordinator's min-scan.
 func (p *partition) runWindow(windowEnd Time) {
 	tr := p.eng.tracer
-	for len(p.queue) > 0 && p.queue[0].Time < windowEnd {
-		ev := heap.Pop(&p.queue).(Event)
-		ctx := Context{sch: p, id: ev.Dst, now: ev.Time}
+	for p.queue.len() > 0 && p.queue.peek().Time < windowEnd {
+		ev := p.queue.pop()
+		p.ctx.id = ev.Dst
+		p.ctx.now = ev.Time
 		p.now = ev.Time
 		if tr != nil {
 			tr.EventDispatch(p.eng.stream, p.index, int(ev.Dst), int64(ev.Time))
-			p.eng.components[int(ev.Dst)].HandleEvent(&ctx, ev)
+			p.eng.components[int(ev.Dst)].HandleEvent(&p.ctx, ev)
 			tr.EventReturn(p.eng.stream, p.index, int64(ev.Time))
 		} else {
-			p.eng.components[int(ev.Dst)].HandleEvent(&ctx, ev)
+			p.eng.components[int(ev.Dst)].HandleEvent(&p.ctx, ev)
 		}
 		p.count++
 	}
 	p.stat.Windows++
-	if len(p.queue) > 0 {
-		p.next = p.queue[0].Time
+	if p.queue.len() > 0 {
+		p.next = p.queue.peek().Time
 	} else {
 		p.next = -1
 	}
@@ -349,9 +375,9 @@ func (e *ParallelEngine) Run(horizon Time) Time {
 			ev := ce.ev
 			ev.seq = p.seq
 			p.seq++
-			heap.Push(&p.queue, ev)
-			if len(p.queue) > p.stat.PeakQueueDepth {
-				p.stat.PeakQueueDepth = len(p.queue)
+			p.queue.push(ev)
+			if p.queue.len() > p.stat.PeakQueueDepth {
+				p.stat.PeakQueueDepth = p.queue.len()
 			}
 			if p.next < 0 || ev.Time < p.next {
 				p.next = ev.Time

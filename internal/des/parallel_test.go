@@ -13,12 +13,12 @@ type echo struct {
 }
 
 func (c *echo) HandleEvent(ctx *Context, ev Event) {
-	n := ev.Payload.(int)
+	n := ev.Payload.A
 	c.mu.Lock()
 	c.times = append(c.times, ctx.Now())
 	c.mu.Unlock()
 	if n > 0 {
-		ctx.Send("peer", 0, n-1)
+		ctx.Send("peer", 0, Payload{A: n - 1})
 	}
 }
 
@@ -30,7 +30,7 @@ func TestParallelPingPong(t *testing.T) {
 	bid := e.RegisterIn(1, b)
 	e.Connect(aid, "peer", bid, "peer", 10)
 	e.Connect(bid, "peer", aid, "peer", 10)
-	e.ScheduleAt(0, aid, 10)
+	e.ScheduleAt(0, aid, Payload{A: 10})
 	end := e.Run(0)
 	// 11 deliveries total (n=10..0), alternating partitions, 10ns apart
 	// starting at t=0, so the last arrives at t=100.
@@ -68,14 +68,14 @@ func TestParallelMatchesSequential(t *testing.T) {
 	seqComps := build(
 		func(i int, c Component) ComponentID { return seq.Register(c) },
 		seq.Connect)
-	seq.ScheduleAt(0, 0, 40)
+	seq.ScheduleAt(0, 0, Payload{A: 40})
 	seq.Run(0)
 
 	par := NewParallelEngine(4, 100)
 	parComps := build(
 		func(i int, c Component) ComponentID { return par.RegisterIn(i%4, c) },
 		par.Connect)
-	par.ScheduleAt(0, 0, 40)
+	par.ScheduleAt(0, 0, Payload{A: 40})
 	par.Run(0)
 
 	for i := range seqComps {
@@ -103,8 +103,8 @@ func TestParallelDeterministicAcrossRuns(t *testing.T) {
 		for i := range ids {
 			e.Connect(ids[i], "peer", ids[(i+1)%len(ids)], "peer", 5)
 		}
-		e.ScheduleAt(0, ids[0], 30)
-		e.ScheduleAt(0, ids[3], 30)
+		e.ScheduleAt(0, ids[0], Payload{A: 30})
+		e.ScheduleAt(0, ids[3], Payload{A: 30})
 		e.Run(0)
 		var all []Time
 		for _, c := range comps {
@@ -144,7 +144,7 @@ func TestParallelIntraPartitionShortLinkAllowed(t *testing.T) {
 	bid := e.RegisterIn(0, b) // same partition: latency below lookahead is fine
 	e.Connect(aid, "peer", bid, "peer", 1)
 	e.Connect(bid, "peer", aid, "peer", 1)
-	e.ScheduleAt(0, aid, 4)
+	e.ScheduleAt(0, aid, Payload{A: 4})
 	e.Run(0)
 	if len(a.times)+len(b.times) != 5 {
 		t.Fatalf("deliveries = %d, want 5", len(a.times)+len(b.times))
@@ -158,7 +158,7 @@ func TestParallelHorizon(t *testing.T) {
 	bid := e.RegisterIn(1, &echo{})
 	e.Connect(aid, "peer", bid, "peer", 10)
 	e.Connect(bid, "peer", aid, "peer", 10)
-	e.ScheduleAt(1000, aid, 5)
+	e.ScheduleAt(1000, aid, Payload{A: 5})
 	end := e.Run(500)
 	if end != 500 {
 		t.Fatalf("end = %v, want 500", end)
@@ -184,7 +184,7 @@ func TestParallelHorizonMidWindow(t *testing.T) {
 	sbid := seq.Register(sb)
 	seq.Connect(said, "peer", sbid, "peer", 1)
 	seq.Connect(sbid, "peer", said, "peer", 1)
-	seq.ScheduleAt(0, said, 20)
+	seq.ScheduleAt(0, said, Payload{A: 20})
 	seqEnd := seq.Run(horizon)
 
 	par := NewParallelEngine(2, 10)
@@ -193,7 +193,7 @@ func TestParallelHorizonMidWindow(t *testing.T) {
 	pbid := par.RegisterIn(0, pb) // same partition: spacing 1 < lookahead 10
 	par.Connect(paid, "peer", pbid, "peer", 1)
 	par.Connect(pbid, "peer", paid, "peer", 1)
-	par.ScheduleAt(0, paid, 20)
+	par.ScheduleAt(0, paid, Payload{A: 20})
 	parEnd := par.Run(horizon)
 
 	if parEnd != seqEnd || parEnd != horizon {
@@ -236,7 +236,7 @@ func TestParallelProcessedCount(t *testing.T) {
 	bid := e.RegisterIn(1, b)
 	e.Connect(aid, "peer", bid, "peer", 10)
 	e.Connect(bid, "peer", aid, "peer", 10)
-	e.ScheduleAt(0, aid, 6)
+	e.ScheduleAt(0, aid, Payload{A: 6})
 	e.Run(0)
 	if e.Processed() != 7 {
 		t.Fatalf("processed = %d, want 7", e.Processed())
@@ -294,12 +294,12 @@ func TestParallelSchedulePastPanics(t *testing.T) {
 	b := e.RegisterIn(1, &echo{})
 	e.Connect(a, "peer", b, "peer", 10)
 	e.Connect(b, "peer", a, "peer", 10)
-	e.ScheduleAt(0, a, 2)
+	e.ScheduleAt(0, a, Payload{A: 2})
 	e.Run(0)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	e.ScheduleAt(0, a, 1) // engine clock has advanced past 0
+	e.ScheduleAt(0, a, Payload{A: 1}) // engine clock has advanced past 0
 }

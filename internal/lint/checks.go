@@ -81,6 +81,7 @@ func isFloat(t types.Type) bool {
 var nondetScope = []string{
 	"internal/des", "internal/besst", "internal/dse", "internal/groundtruth",
 	"internal/stats", "internal/workflow", "internal/exp",
+	"internal/netsim", "internal/benchdata",
 }
 
 // forbiddenImports are entropy sources whose mere presence in a

@@ -34,6 +34,15 @@ func splitmix64(x *uint64) uint64 {
 // Distinct seeds yield statistically independent streams.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes r in place to exactly the state NewRNG(seed)
+// produces, including discarding any cached Box-Muller variate. It
+// exists so pooled simulators can reuse generator allocations across
+// trials while staying byte-identical to freshly constructed ones.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&sm)
@@ -43,14 +52,24 @@ func NewRNG(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
+	r.hasGauss = false
+	r.gauss = 0
 }
 
 // Split returns a new independent generator derived from r's stream.
 // It is the supported way to hand per-component or per-replication
 // streams out of a master seed without correlated sequences.
 func (r *RNG) Split() *RNG {
-	return NewRNG(r.Uint64() ^ 0xa3cc7d5a7f2e19bf)
+	dst := &RNG{}
+	r.SplitTo(dst)
+	return dst
+}
+
+// SplitTo reseeds dst with the same derivation Split uses, advancing
+// r's stream identically, but without allocating: dst ends in exactly
+// the state Split's fresh generator would have.
+func (r *RNG) SplitTo(dst *RNG) {
+	dst.Reseed(r.Uint64() ^ 0xa3cc7d5a7f2e19bf)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -118,9 +118,18 @@ type Fitted struct {
 	YScale float64
 }
 
-// Predict implements perfmodel.Model.
+// Predict implements perfmodel.Model. It is on the Monte Carlo hot path
+// (every Sample starts with a Predict), so the variable vector lives in
+// a stack buffer for the fitted models' typical arity; only expressions
+// over more than eight variables fall back to a heap slice.
 func (f *Fitted) Predict(p perfmodel.Params) float64 {
-	vars := make([]float64, len(f.VarNames))
+	var buf [8]float64
+	var vars []float64
+	if len(f.VarNames) <= len(buf) {
+		vars = buf[:len(f.VarNames)]
+	} else {
+		vars = make([]float64, len(f.VarNames))
+	}
 	for i, n := range f.VarNames {
 		vars[i] = p.Get(n)
 		if f.XScale != nil {
