@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build test vet fmt lint lint-fixtures race bench parbench bench-hotpath bench-compare profile trace-fixtures chaos fuzz
+.PHONY: check build test vet fmt lint lint-fixtures race bench parbench bench-parallel bench-hotpath bench-compare profile trace-fixtures chaos fuzz
 
 # check is the tier-1 gate: formatting, static analysis (vet and
 # besst-lint), build, the race-enabled internal test suite (the
 # parallel tiers are only trusted under -race), the observability
 # fixtures, the campaign-resilience chaos/crash suite, and the hot-path
-# bench-regression gate.
-check: fmt vet lint build race trace-fixtures chaos bench-compare
+# and parallel-scaling bench-regression gates.
+check: fmt vet lint build race trace-fixtures chaos bench-compare bench-parallel
 
 build:
 	$(GO) build ./...
@@ -41,9 +41,26 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
 # parbench regenerates results/BENCH_parallel.json (serial vs parallel
-# simulator timings; speedup scales with available cores).
+# simulator timings; speedup scales with available cores). GOMAXPROCS
+# is pinned to >= max(4, workers) inside the harness; on machines with
+# too few CPUs the report records scaling_valid=false.
 parbench: build
 	$(GO) run ./cmd/besst-bench -parbench -workers 0
+
+# bench-parallel is the parallel-scaling regression gate: a fresh
+# parbench report (gitignored) is diffed against the committed
+# results/BENCH_parallel.json and the target fails on ns/op growth
+# beyond the tolerance, serial/parallel divergence, or — on
+# scaling-capable hardware — parallel speedup dropping below the
+# committed baseline. The parbench tiers are whole-campaign macro
+# benchmarks whose absolute timings swing >10% run-to-run on a loaded
+# shared runner (benchdiff's default), so the gate here runs at 25%:
+# wide enough to stay deterministic in `make check`, tight enough to
+# catch real regressions. The speedup floor is ratio-based and
+# unaffected by the widened ns/op band.
+bench-parallel: build
+	$(GO) run ./cmd/besst-bench -parbench -workers 0 -parbench-out results/BENCH_parallel_fresh.json
+	$(GO) run ./cmd/benchdiff -parallel -tol 25
 
 # bench-hotpath regenerates results/BENCH_hotpath.json, the
 # allocation-sensitive hot-path measurements (raw DES dispatch plus the

@@ -1,13 +1,21 @@
 // Command benchdiff is the bench-regression gate: it diffs a freshly
-// generated hot-path benchmark report (besst-bench -hotpath) against
-// the committed baseline and exits nonzero when performance regressed.
+// generated benchmark report against the committed baseline and exits
+// nonzero when performance regressed.
 //
-// A benchmark fails the gate when its ns/op exceeds the baseline by
-// more than the tolerance (default 10%), or when its allocs/op exceeds
-// the baseline at all — allocation counts on a warmed hot path are
-// deterministic, so any growth is a real regression, not noise.
+// Default mode gates the hot-path report (besst-bench -hotpath): a
+// benchmark fails when its ns/op exceeds the baseline by more than the
+// tolerance (default 10%), or when its allocs/op exceeds the baseline
+// at all — allocation counts on a warmed hot path are deterministic, so
+// any growth is a real regression, not noise.
+//
+// With -parallel the gate compares parallel-scaling reports
+// (besst-bench -parbench): ns/op growth beyond the tolerance fails, as
+// does divergence between serial and parallel results, and — when both
+// reports were recorded on hardware that can actually scale — parallel
+// speedup dropping below the committed baseline.
 //
 //	benchdiff -base results/BENCH_hotpath_baseline.json -cur results/BENCH_hotpath.json
+//	benchdiff -parallel -base results/BENCH_parallel.json -cur results/BENCH_parallel_fresh.json
 package main
 
 import (
@@ -19,16 +27,34 @@ import (
 )
 
 func main() {
-	base := flag.String("base", "results/BENCH_hotpath_baseline.json", "committed baseline report")
-	cur := flag.String("cur", "results/BENCH_hotpath.json", "freshly generated report to gate")
-	tol := flag.Float64("tol", 10, "allowed ns/op growth in percent (allocs/op tolerance is always zero)")
+	parallel := flag.Bool("parallel", false, "compare parallel-scaling reports instead of hot-path reports")
+	base := flag.String("base", "", "committed baseline report (default depends on mode)")
+	cur := flag.String("cur", "", "freshly generated report to gate (default depends on mode)")
+	tol := flag.Float64("tol", 10, "allowed ns/op growth in percent (also the speedup-floor slack in -parallel mode; allocs/op tolerance in hot-path mode is always zero)")
 	flag.Parse()
 
-	baseRep, err := benchdata.LoadHotpath(*base)
+	if *parallel {
+		runParallelDiff(orDefault(*base, "results/BENCH_parallel.json"),
+			orDefault(*cur, "results/BENCH_parallel_fresh.json"), *tol)
+		return
+	}
+	runHotpathDiff(orDefault(*base, "results/BENCH_hotpath_baseline.json"),
+		orDefault(*cur, "results/BENCH_hotpath.json"), *tol)
+}
+
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
+func runHotpathDiff(base, cur string, tol float64) {
+	baseRep, err := benchdata.LoadHotpath(base)
 	if err != nil {
 		fatalf("load baseline: %v", err)
 	}
-	curRep, err := benchdata.LoadHotpath(*cur)
+	curRep, err := benchdata.LoadHotpath(cur)
 	if err != nil {
 		fatalf("load current: %v", err)
 	}
@@ -42,10 +68,51 @@ func main() {
 			b.Name, b.NsPerOp, c.NsPerOp, b.AllocsPerOp, c.AllocsPerOp)
 	}
 
-	regs := benchdata.CompareHotpath(curRep, baseRep, *tol)
+	regs := benchdata.CompareHotpath(curRep, baseRep, tol)
 	if len(regs) == 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: OK — no regressions vs %s (ns/op tolerance %.0f%%, allocs/op tolerance 0)\n",
-			*base, *tol)
+			base, tol)
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION: %s\n", r)
+	}
+	os.Exit(1)
+}
+
+func runParallelDiff(base, cur string, tol float64) {
+	baseRep, err := benchdata.LoadParallel(base)
+	if err != nil {
+		fatalf("load baseline: %v", err)
+	}
+	curRep, err := benchdata.LoadParallel(cur)
+	if err != nil {
+		fatalf("load current: %v", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "  baseline: gomaxprocs %d, %d CPUs, scaling valid %v; current: gomaxprocs %d, %d CPUs, scaling valid %v\n",
+		baseRep.GOMAXPROCS, baseRep.NumCPU, baseRep.ScalingValid,
+		curRep.GOMAXPROCS, curRep.NumCPU, curRep.ScalingValid)
+	for _, b := range baseRep.Benchmarks {
+		c, ok := curRep.Lookup(b.Name)
+		if !ok {
+			continue // reported as a regression below
+		}
+		fmt.Fprintf(os.Stderr, "  %-26s ns/op %12d -> %12d", b.Name, b.NsPerOp, c.NsPerOp)
+		if b.SpeedupVsSerial > 0 || c.SpeedupVsSerial > 0 {
+			fmt.Fprintf(os.Stderr, "   speedup %5.2fx -> %5.2fx", b.SpeedupVsSerial, c.SpeedupVsSerial)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	regs := benchdata.CompareParallel(curRep, baseRep, tol)
+	if len(regs) == 0 {
+		suffix := "speedup floor enforced"
+		if !(baseRep.ScalingValid && curRep.ScalingValid) {
+			suffix = "speedup floor skipped: hardware cannot scale"
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: OK — no regressions vs %s (ns/op tolerance %.0f%%, %s)\n",
+			base, tol, suffix)
 		return
 	}
 	for _, r := range regs {

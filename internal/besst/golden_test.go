@@ -52,7 +52,7 @@ func goldenCases() []struct {
 // TestSeedEngineGolden is the cross-PR equivalence gate for the DES
 // hot-path work: the optimized engines must produce Result JSON that is
 // byte-identical to the seed engine's, for deterministic and Monte
-// Carlo modes, at worker counts 1 and 8. The fixture was generated from
+// Carlo modes, at worker counts 1, 4, and 8. The fixture was generated from
 // the pre-optimization engine; regenerating it (-update) is only
 // legitimate when simulation semantics intentionally change.
 func TestSeedEngineGolden(t *testing.T) {
@@ -60,7 +60,7 @@ func TestSeedEngineGolden(t *testing.T) {
 	got := map[string]json.RawMessage{}
 	for _, tc := range goldenCases() {
 		var ref []byte
-		for _, workers := range []int{1, 8} {
+		for _, workers := range []int{1, 4, 8} {
 			data, err := json.MarshalIndent(tc.run(workers), "", " ")
 			if err != nil {
 				t.Fatalf("%s: marshal: %v", tc.name, err)
@@ -68,7 +68,7 @@ func TestSeedEngineGolden(t *testing.T) {
 			if ref == nil {
 				ref = data
 			} else if !bytes.Equal(ref, data) {
-				t.Fatalf("%s: workers 8 diverges from workers 1", tc.name)
+				t.Fatalf("%s: workers %d diverges from workers 1", tc.name, workers)
 			}
 		}
 		got[tc.name] = ref

@@ -56,10 +56,10 @@ func TestSequentialDispatchZeroAllocs(t *testing.T) {
 }
 
 func TestParallelWindowDispatchZeroAllocs(t *testing.T) {
-	// ParallelEngine.Run allocates per call (worker goroutines and
-	// window channels are per-Run), so this measures the per-partition
-	// steady state directly: runWindow is the code every worker spends
-	// its life in, and it must not allocate.
+	// White-box view of the per-partition steady state: runWindow is the
+	// code every worker spends its life in, and it must not allocate.
+	// TestParallelRunZeroAllocs covers the full Run path (barrier,
+	// outboxes, exchange) on top of it.
 	e := NewParallelEngine(2, 10)
 	tickers := [2]*allocTicker{{}, {}}
 	ids := [2]ComponentID{

@@ -91,11 +91,13 @@ func TestParallelEngineObservabilityFixture(t *testing.T) {
 		Tool            string `json:"tool"`
 		EventsProcessed uint64 `json:"events_processed"`
 		PeakQueueDepth  int    `json:"peak_queue_depth"`
+		EventsExchanged uint64 `json:"events_exchanged"`
 		Partitions      []struct {
-			Part           int    `json:"part"`
-			Events         uint64 `json:"events"`
-			BarrierStallNs *int64 `json:"barrier_stall_ns"`
-			Windows        uint64 `json:"windows"`
+			Part            int    `json:"part"`
+			Events          uint64 `json:"events"`
+			BarrierStallNs  *int64 `json:"barrier_stall_ns"`
+			Windows         uint64 `json:"windows"`
+			CrossEventsSent uint64 `json:"cross_events_sent"`
 		} `json:"partitions"`
 	}
 	if err := json.Unmarshal(mbuf.Bytes(), &m); err != nil {
@@ -116,9 +118,10 @@ func TestParallelEngineObservabilityFixture(t *testing.T) {
 	if len(m.Partitions) != nparts {
 		t.Fatalf("%d partition rows, want %d", len(m.Partitions), nparts)
 	}
-	var counted uint64
+	var counted, crossed uint64
 	for _, p := range m.Partitions {
 		counted += p.Events
+		crossed += p.CrossEventsSent
 		if p.BarrierStallNs == nil {
 			t.Fatalf("partition %d: barrier_stall_ns field missing", p.Part)
 		}
@@ -128,6 +131,12 @@ func TestParallelEngineObservabilityFixture(t *testing.T) {
 	}
 	if counted != m.EventsProcessed {
 		t.Fatalf("partition events sum %d != events_processed %d", counted, m.EventsProcessed)
+	}
+	// Every ring hop crosses partitions here, so the adaptive exchange
+	// counters must be populated and consistent.
+	if m.EventsExchanged == 0 || crossed != m.EventsExchanged {
+		t.Fatalf("cross-event sum %d vs events_exchanged %d, want equal and non-zero",
+			crossed, m.EventsExchanged)
 	}
 }
 

@@ -40,6 +40,32 @@ type Tracer interface {
 	BarrierResume(stream, part int, windowNs int64)
 }
 
+// AdaptiveTracer is an optional extension of Tracer for the adaptive
+// parallel engine. A tracer that also implements it (checked once, at
+// SetTracer) receives the per-window synchronization decisions that
+// make the engine's adaptive behaviour observable: which edge each
+// active partition ran to, how far the static lookahead widening
+// stretched its window, how many events crossed partitions at the
+// barrier, and any committed rebalance pass. Hooks fire from the
+// coordinator goroutine between windows — never concurrently with each
+// other, but possibly concurrently with hooks from other engines
+// sharing the tracer, so implementations must still be safe for
+// concurrent use.
+type AdaptiveTracer interface {
+	// WindowClosed reports one partition's completed window: windowNs
+	// is the exclusive edge it ran to, widthNs the widened window span
+	// measured from the global minimum next-event time (-1 when the
+	// partition was unconstrained and drained freely), localEvents the
+	// events it delivered inside the window, and crossSent the events
+	// it posted to other partitions at the barrier.
+	WindowClosed(stream, part int, windowNs, widthNs int64, localEvents, crossSent int)
+	// RebalanceApplied reports a committed partition-rebalance pass:
+	// moved components changed partition, and the heaviest partition's
+	// measured event load fell from maxBefore to the predicted
+	// maxAfter.
+	RebalanceApplied(stream, moved int, maxBefore, maxAfter uint64)
+}
+
 // PartitionStat is one partition's cumulative counters over a
 // ParallelEngine run, exposed for the run-metrics collector.
 type PartitionStat struct {

@@ -13,8 +13,10 @@ import (
 
 // MetricsSchemaVersion is bumped whenever the METRICS_*.json layout
 // changes incompatibly, so downstream tooling can reject documents it
-// does not understand.
-const MetricsSchemaVersion = 1
+// does not understand. Version 2 added the adaptive parallel-engine
+// fields: per-partition window widths and cross-partition event counts,
+// the engine-wide exchange total, and committed rebalance decisions.
+const MetricsSchemaVersion = 2
 
 // Collector aggregates run-level metrics. It implements the engine
 // tracer hooks (per-partition event counts, barrier stalls, window
@@ -38,6 +40,10 @@ type Collector struct {
 	quarantined map[int]int
 	replayed    int
 
+	// Adaptive parallel-engine decisions (AdaptiveTracer hooks).
+	eventsExchanged uint64
+	rebalances      []RebalanceEntry
+
 	eventsProcessed uint64
 	peakQueueDepth  int
 }
@@ -48,6 +54,14 @@ type partMetrics struct {
 	windows      uint64
 	arrivedWall  int64 // wall ns of the open BarrierArrive, -1 when closed
 	arrivedValid bool
+
+	// Adaptive window decisions: sum/count of bounded widened window
+	// widths (simulated ns), windows that ran unbounded (free drain),
+	// and cross-partition events this partition posted at barriers.
+	widthSumNs     int64
+	boundedWindows uint64
+	drainWindows   uint64
+	crossSent      uint64
 }
 
 type spanMetrics struct {
@@ -139,6 +153,34 @@ func (c *Collector) BarrierResume(stream, part int, windowNs int64) {
 	c.mu.Unlock()
 }
 
+// Adaptive parallel-engine hooks (des.AdaptiveTracer, structurally).
+
+// WindowClosed accumulates one partition window's adaptive decision:
+// the widened width (widthNs < 0 marks an unbounded free drain) and the
+// events the partition posted to other partitions at the barrier.
+func (c *Collector) WindowClosed(stream, part int, windowNs, widthNs int64, localEvents, crossSent int) {
+	c.mu.Lock()
+	p := c.part(part)
+	if widthNs < 0 {
+		p.drainWindows++
+	} else {
+		p.widthSumNs += widthNs
+		p.boundedWindows++
+	}
+	p.crossSent += uint64(crossSent)
+	c.eventsExchanged += uint64(crossSent)
+	c.mu.Unlock()
+}
+
+// RebalanceApplied records one committed partition-rebalance pass.
+func (c *Collector) RebalanceApplied(stream, moved int, maxBefore, maxAfter uint64) {
+	c.mu.Lock()
+	c.rebalances = append(c.rebalances, RebalanceEntry{
+		Moved: moved, MaxLoadBefore: maxBefore, MaxLoadAfter: maxAfter,
+	})
+	c.mu.Unlock()
+}
+
 // Run-level hooks (besst / dse structural interfaces).
 
 // TrialStart marks the beginning of Monte Carlo trial i.
@@ -225,12 +267,29 @@ func (c *Collector) PhaseStart(name string) (done func()) {
 	}
 }
 
-// PartitionEntry is one partition's row in the metrics document.
+// PartitionEntry is one partition's row in the metrics document. The
+// adaptive fields come from the parallel engine's WindowClosed hook:
+// mean widened window width over bounded windows (simulated ns), the
+// number of windows that ran unbounded (free drain, excluded from the
+// mean), and cross-partition events posted at barriers.
 type PartitionEntry struct {
 	Part           int    `json:"part"`
 	Events         uint64 `json:"events"`
 	BarrierStallNs int64  `json:"barrier_stall_ns"`
 	Windows        uint64 `json:"windows"`
+
+	WindowWidthMeanNs int64  `json:"window_width_mean_ns,omitempty"`
+	DrainWindows      uint64 `json:"drain_windows,omitempty"`
+	CrossEventsSent   uint64 `json:"cross_events_sent,omitempty"`
+}
+
+// RebalanceEntry is one committed partition-rebalance decision: Moved
+// components changed partition, lowering the heaviest partition's
+// measured event load from MaxLoadBefore to the predicted MaxLoadAfter.
+type RebalanceEntry struct {
+	Moved         int    `json:"moved"`
+	MaxLoadBefore uint64 `json:"max_load_before"`
+	MaxLoadAfter  uint64 `json:"max_load_after"`
 }
 
 // SpanEntry is one trial or sweep point's timing row.
@@ -256,6 +315,12 @@ type Metrics struct {
 
 	EventsProcessed uint64 `json:"events_processed"`
 	PeakQueueDepth  int    `json:"peak_queue_depth"`
+
+	// EventsExchanged is the total number of events delivered across
+	// partitions at window barriers; Rebalances lists committed
+	// partition-rebalance passes in commit order.
+	EventsExchanged uint64           `json:"events_exchanged,omitempty"`
+	Rebalances      []RebalanceEntry `json:"rebalances,omitempty"`
 
 	Phases     []PhaseMetrics     `json:"phases,omitempty"`
 	Partitions []PartitionEntry   `json:"partitions,omitempty"`
@@ -293,11 +358,18 @@ func (c *Collector) Snapshot(tool string) *Metrics {
 		}
 		m.Phases = append(m.Phases, ph)
 	}
+	m.EventsExchanged = c.eventsExchanged
+	m.Rebalances = append([]RebalanceEntry(nil), c.rebalances...)
 	for _, part := range sortedKeys(c.parts) {
 		p := c.parts[part]
-		m.Partitions = append(m.Partitions, PartitionEntry{
+		entry := PartitionEntry{
 			Part: part, Events: p.events, BarrierStallNs: p.stallNs, Windows: p.windows,
-		})
+			DrainWindows: p.drainWindows, CrossEventsSent: p.crossSent,
+		}
+		if p.boundedWindows > 0 {
+			entry.WindowWidthMeanNs = p.widthSumNs / int64(p.boundedWindows)
+		}
+		m.Partitions = append(m.Partitions, entry)
 	}
 	m.Trials = spanEntries(c.trials)
 	m.Points = spanEntries(c.points)

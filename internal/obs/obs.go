@@ -256,6 +256,15 @@ type EngineTracer interface {
 	BarrierResume(stream, part int, windowNs int64)
 }
 
+// AdaptiveTracer restates the adaptive parallel-engine extension hooks
+// (method set identical to des.AdaptiveTracer): per-window
+// synchronization decisions and committed rebalance passes. Collector
+// implements it; Tee forwards the hooks to any member that does.
+type AdaptiveTracer interface {
+	WindowClosed(stream, part int, windowNs, widthNs int64, localEvents, crossSent int)
+	RebalanceApplied(stream, moved int, maxBefore, maxAfter uint64)
+}
+
 // tee fans every hook out to multiple tracers.
 type tee []EngineTracer
 
@@ -282,6 +291,24 @@ func (t tee) BarrierArrive(stream, part int, windowNs int64) {
 func (t tee) BarrierResume(stream, part int, windowNs int64) {
 	for _, x := range t {
 		x.BarrierResume(stream, part, windowNs)
+	}
+}
+
+// The tee always presents the adaptive extension and forwards to the
+// members that implement it, so wrapping a Collector in Tee keeps the
+// engine's one-time AdaptiveTracer detection working.
+func (t tee) WindowClosed(stream, part int, windowNs, widthNs int64, localEvents, crossSent int) {
+	for _, x := range t {
+		if a, ok := x.(AdaptiveTracer); ok {
+			a.WindowClosed(stream, part, windowNs, widthNs, localEvents, crossSent)
+		}
+	}
+}
+func (t tee) RebalanceApplied(stream, moved int, maxBefore, maxAfter uint64) {
+	for _, x := range t {
+		if a, ok := x.(AdaptiveTracer); ok {
+			a.RebalanceApplied(stream, moved, maxBefore, maxAfter)
+		}
 	}
 }
 

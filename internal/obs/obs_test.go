@@ -230,3 +230,56 @@ func TestMetricsPath(t *testing.T) {
 		t.Fatalf("MetricsPath = %q", got)
 	}
 }
+
+func TestCollectorAdaptiveMetrics(t *testing.T) {
+	c := NewCollector()
+	// Partition 0: two bounded windows (widths 100 and 300) and one free
+	// drain; partition 1: cross traffic only.
+	c.WindowClosed(0, 0, 100, 100, 3, 2)
+	c.WindowClosed(0, 0, 400, 300, 1, 0)
+	c.WindowClosed(0, 0, -1, -1, 5, 1)
+	c.WindowClosed(0, 1, 400, 300, 2, 4)
+	c.RebalanceApplied(0, 3, 84, 43)
+
+	m := c.Snapshot("unit")
+	if m.EventsExchanged != 7 {
+		t.Fatalf("events exchanged = %d, want 7", m.EventsExchanged)
+	}
+	if len(m.Partitions) != 2 {
+		t.Fatalf("got %d partitions, want 2", len(m.Partitions))
+	}
+	p0 := m.Partitions[0]
+	if p0.WindowWidthMeanNs != 200 || p0.DrainWindows != 1 || p0.CrossEventsSent != 3 {
+		t.Fatalf("partition 0 adaptive row %+v, want mean 200, 1 drain, 3 cross", p0)
+	}
+	p1 := m.Partitions[1]
+	if p1.WindowWidthMeanNs != 300 || p1.DrainWindows != 0 || p1.CrossEventsSent != 4 {
+		t.Fatalf("partition 1 adaptive row %+v, want mean 300, 0 drains, 4 cross", p1)
+	}
+	if len(m.Rebalances) != 1 {
+		t.Fatalf("rebalances %+v, want one entry", m.Rebalances)
+	}
+	r := m.Rebalances[0]
+	if r.Moved != 3 || r.MaxLoadBefore != 84 || r.MaxLoadAfter != 43 {
+		t.Fatalf("rebalance entry %+v", r)
+	}
+}
+
+func TestTeeForwardsAdaptiveHooks(t *testing.T) {
+	buf, _ := newTestBuffer(8) // does not implement AdaptiveTracer
+	c := NewCollector()
+	tr := Tee(buf, c)
+	a, ok := tr.(AdaptiveTracer)
+	if !ok {
+		t.Fatal("tee of buffer+collector does not expose the adaptive extension")
+	}
+	a.WindowClosed(0, 0, 50, 25, 1, 6)
+	a.RebalanceApplied(0, 1, 10, 5)
+	m := c.Snapshot("unit")
+	if m.EventsExchanged != 6 || len(m.Rebalances) != 1 {
+		t.Fatalf("collector missed forwarded adaptive hooks: %+v", m)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("trace buffer grew %d records from adaptive hooks", buf.Len())
+	}
+}
