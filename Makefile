@@ -1,13 +1,15 @@
 GO ?= go
 
-.PHONY: check build test vet fmt lint lint-fixtures race bench parbench bench-parallel bench-hotpath bench-compare profile trace-fixtures chaos fuzz
+.PHONY: check build test vet fmt lint lint-self lint-fixtures lint-fixtures-verify race bench parbench bench-parallel bench-hotpath bench-compare profile trace-fixtures chaos fuzz
 
 # check is the tier-1 gate: formatting, static analysis (vet and
-# besst-lint), build, the race-enabled internal test suite (the
-# parallel tiers are only trusted under -race), the observability
-# fixtures, the campaign-resilience chaos/crash suite, and the hot-path
-# and parallel-scaling bench-regression gates.
-check: fmt vet lint build race trace-fixtures chaos bench-compare bench-parallel
+# besst-lint, including the analyzer linting itself and its golden
+# fixtures verified against the committed tree), build, the
+# race-enabled internal test suite (the parallel tiers are only trusted
+# under -race), the observability fixtures, the campaign-resilience
+# chaos/crash suite, and the hot-path and parallel-scaling
+# bench-regression gates.
+check: fmt vet lint lint-self lint-fixtures-verify build race trace-fixtures chaos bench-compare bench-parallel
 
 build:
 	$(GO) build ./...
@@ -29,10 +31,22 @@ fmt:
 lint:
 	$(GO) run ./cmd/besst-lint ./...
 
+# lint-self holds the analyzer to its own standards: besst-lint runs
+# over internal/lint with every check enabled.
+lint-self:
+	$(GO) run ./cmd/besst-lint ./internal/lint
+
 # lint-fixtures exercises the analyzer itself against its golden
 # fixture packages (add -update after editing a check or fixture).
 lint-fixtures:
 	$(GO) test ./internal/lint -run 'TestGolden|TestSuppression|TestSubsetRun|TestDeterministic' -v
+
+# lint-fixtures-verify regenerates the golden files and fails if the
+# committed testdata no longer matches what the checks produce — the
+# goldens cannot drift from the analyzer silently.
+lint-fixtures-verify:
+	$(GO) test ./internal/lint -run TestGolden -update
+	git diff --exit-code -- internal/lint/testdata
 
 race:
 	$(GO) test -race ./internal/...

@@ -1,9 +1,13 @@
 // Command besst-lint runs the repository's custom static-analysis pass
 // (internal/lint) over the given package patterns and reports every
-// violation of the simulator's determinism and DES invariants.
+// violation of the simulator's determinism, DES, concurrency, and
+// allocation invariants. Nine checks run by default: the per-node
+// walkers (nodeterminism, seeddiscipline, goroutinediscipline,
+// errcheck, floateq) and the CFG/dataflow checks (hotalloc, atomicmix,
+// goroutineleak, lockguard).
 //
 //	besst-lint ./...                     # everything (the make lint gate)
-//	besst-lint -checks errcheck ./cmd/...
+//	besst-lint -checks hotalloc,atomicmix ./internal/des
 //	besst-lint -json ./internal/...      # machine-readable diagnostics
 //	besst-lint -list                     # available checks
 //

@@ -1,0 +1,509 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Intraprocedural control-flow graph construction over go/ast, the
+// dataflow substrate for the concurrency- and allocation-invariant
+// checks (hotalloc, atomicmix, goroutineleak, lockguard). Like the
+// loader it is stdlib-only: no golang.org/x/tools/go/cfg.
+//
+// The graph is deliberately modest — one function body at a time, basic
+// blocks holding the statements (and branch conditions, in evaluation
+// position) that execute straight-line, edges for every structured and
+// unstructured control transfer Go has: if/else, for/range, switch and
+// type switch (with fallthrough), select, labeled break/continue, goto,
+// return, and calls to the panic builtin (which terminate the function
+// and therefore edge to the synthetic exit block). Function literals
+// are opaque at this level: a FuncLit appears as a value inside a node,
+// and callers that care about its body build a separate graph for it,
+// because the literal runs at some other time under some other lock
+// set.
+
+// cfgBlock is one basic block: nodes execute in order, then control
+// transfers along one of succs. The synthetic exit block has no nodes
+// and no successors.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+	index int
+}
+
+// funcCFG is the control-flow graph of one function body. entry is
+// where execution starts; exit is the synthetic block reached by every
+// return, by falling off the end, and by panic terminators.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+// buildCFG constructs the graph for a function body. It never fails:
+// constructs it does not model precisely are approximated
+// conservatively (extra edges, never missing ones), which keeps the
+// downstream must-analyses sound-for-their-purpose rather than
+// wrong-but-precise.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{
+		g:      &funcCFG{},
+		labels: map[string]*cfgBlock{},
+	}
+	b.g.exit = b.newBlock() // index 0: the synthetic exit
+	b.g.entry = b.newBlock()
+	b.cur = b.g.entry
+	b.stmtList(body.List)
+	// Falling off the end of the body returns.
+	b.edge(b.cur, b.g.exit)
+	for _, pg := range b.gotos {
+		if t, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, t)
+		} else {
+			// Undefined label: the type checker already rejected the
+			// package, but stay total — treat it as a return.
+			b.edge(pg.from, b.g.exit)
+		}
+	}
+	return b.g
+}
+
+// loopFrame is one enclosing breakable/continuable construct.
+type loopFrame struct {
+	label    string    // "" for unlabeled
+	brk      *cfgBlock // break target (block after the construct)
+	cont     *cfgBlock // continue target (nil for switch/select)
+	isSwitch bool      // break binds, continue does not
+}
+
+type pendingGoto struct {
+	label string
+	from  *cfgBlock
+}
+
+type cfgBuilder struct {
+	g      *funcCFG
+	cur    *cfgBlock
+	frames []loopFrame
+	labels map[string]*cfgBlock
+	gotos  []pendingGoto
+	// nextLabel is the label attached to the immediately following
+	// for/range/switch/select statement, consumed when it opens.
+	nextLabel string
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.nodes = append(b.cur.nodes, n)
+	}
+}
+
+// terminate ends the current block with an edge to target and parks the
+// builder on a fresh, unreachable block for any trailing dead code.
+func (b *cfgBuilder) terminate(target *cfgBlock) {
+	b.edge(b.cur, target)
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.nextLabel
+	b.nextLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// Give the label its own block so goto can land on it.
+		target := b.newBlock()
+		b.edge(b.cur, target)
+		b.cur = target
+		b.labels[s.Label.Name] = target
+		b.nextLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.nextLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		thenBlk := b.newBlock()
+		after := b.newBlock()
+		b.edge(condBlk, thenBlk)
+		b.cur = thenBlk
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(condBlk, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(head, after) // condition may be false
+		}
+		// `for { ... }` with no condition only leaves through break,
+		// return, goto, or panic: no head->after edge. That missing edge
+		// is precisely what goroutineleak's exit-reachability test sees.
+		b.edge(head, body)
+		b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: post})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, post)
+		b.cur = post
+		if s.Post != nil {
+			b.add(s.Post)
+		}
+		b.edge(post, head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, head)
+		head.nodes = append(head.nodes, s.X)
+		if s.Key != nil {
+			head.nodes = append(head.nodes, s.Key)
+		}
+		if s.Value != nil {
+			head.nodes = append(head.nodes, s.Value)
+		}
+		// A range loop always has an exhaustion edge — even over a
+		// channel, where exhaustion is someone closing it (the
+		// close-driven shutdown pattern goroutineleak accepts).
+		b.edge(head, after)
+		b.edge(head, body)
+		b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body.List, label, false)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body.List, label, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.caseClauses(s.Body.List, label, true)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate(b.g.exit)
+
+	case *ast.BranchStmt:
+		b.add(s)
+		b.branch(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.terminate(b.g.exit)
+		}
+
+	default:
+		// Assignments, declarations, defer, go, send, incdec, empty:
+		// straight-line nodes.
+		b.add(s)
+	}
+}
+
+// caseClauses builds the shared switch/type-switch/select shape: a head
+// (the current block) fanning out to one block per clause, clauses
+// falling through to the next on fallthrough, and everything joining at
+// after. A switch without a default may match nothing, so the head then
+// also edges to after; a select without a default always executes some
+// clause (blocking until one is ready), so it does not.
+func (b *cfgBuilder) caseClauses(clauses []ast.Stmt, label string, isSelect bool) {
+	head := b.cur
+	after := b.newBlock()
+	hasDefault := false
+	frame := loopFrame{label: label, brk: after, isSwitch: true}
+	b.frames = append(b.frames, frame)
+
+	var clauseBlocks []*cfgBlock
+	var clauseBodies [][]ast.Stmt
+	for _, cl := range clauses {
+		blk := b.newBlock()
+		b.edge(head, blk)
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				head.nodes = append(head.nodes, e)
+			}
+			clauseBlocks = append(clauseBlocks, blk)
+			clauseBodies = append(clauseBodies, cl.Body)
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				blk.nodes = append(blk.nodes, cl.Comm)
+			}
+			clauseBlocks = append(clauseBlocks, blk)
+			clauseBodies = append(clauseBodies, cl.Body)
+		}
+	}
+	for i, blk := range clauseBlocks {
+		b.cur = blk
+		b.stmtList(clauseBodies[i])
+		// fallthrough transfers to the next clause body. branch() leaves
+		// the current block open for it; the extra edge to after below is
+		// a conservative over-approximation (more paths, never fewer).
+		if endsInFallthrough(clauseBodies[i]) && i+1 < len(clauseBlocks) {
+			b.edge(b.cur, clauseBlocks[i+1])
+		}
+		b.edge(b.cur, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault && !isSelect {
+		b.edge(head, after)
+	}
+	b.cur = after
+}
+
+// endsInFallthrough reports whether the clause body ends in a
+// fallthrough statement (the only place Go allows one).
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if name == "" || f.label == name {
+				b.terminate(f.brk)
+				return
+			}
+		}
+		b.terminate(b.g.exit) // label outside our view: approximate as return
+	case "continue":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.isSwitch {
+				continue // continue skips switch/select frames
+			}
+			if name == "" || f.label == name {
+				b.terminate(f.cont)
+				return
+			}
+		}
+		b.terminate(b.g.exit)
+	case "goto":
+		b.gotos = append(b.gotos, pendingGoto{label: name, from: b.cur})
+		b.cur = b.newBlock()
+	case "fallthrough":
+		// Leave the block open: caseClauses wires it to the next clause.
+	}
+}
+
+// isPanicCall reports whether expr is a direct call of the panic
+// builtin. It is purely syntactic — a shadowed `panic` identifier would
+// be misread — but shadowing panic is its own problem.
+func isPanicCall(expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// reachable returns the set of blocks reachable from entry.
+func (g *funcCFG) reachable() map[*cfgBlock]bool {
+	seen := map[*cfgBlock]bool{}
+	stack := []*cfgBlock{g.entry}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		stack = append(stack, blk.succs...)
+	}
+	return seen
+}
+
+// exitReachable reports whether any exit — return, fall-off-the-end, or
+// panic — is reachable from the function entry. A goroutine body for
+// which this is false can never terminate: it is a structural leak.
+func (g *funcCFG) exitReachable() bool {
+	return g.reachable()[g.exit]
+}
+
+// factSet is a set of named dataflow facts ("lock L on receiver R is
+// held"). Facts are strings built from stable data (token positions),
+// never pointers, so analyses over them are deterministic.
+type factSet map[string]bool
+
+func (s factSet) clone() factSet {
+	out := make(factSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s factSet) intersect(o factSet) factSet {
+	out := factSet{}
+	for k := range s {
+		if o[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (s factSet) equal(o factSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardMust runs a forward must-analysis to fixpoint: a fact holds at
+// a point only if it holds along *every* path reaching it (entry starts
+// empty, block inputs are the intersection of predecessor outputs, and
+// transfer folds one node's effect into the running set in place). It
+// returns each reachable block's input set; unreachable blocks are
+// absent, which callers should read as "dead code, skip it". This is
+// the dominance approximation lockguard leans on: an access dominated
+// by a Lock() with no intervening Unlock() sees the fact present on
+// every path, so must-held == dominated-by-lock for straight-line lock
+// usage, without building a full dominator tree.
+func (g *funcCFG) forwardMust(transfer func(n ast.Node, facts factSet)) map[*cfgBlock]factSet {
+	reach := g.reachable()
+	preds := map[*cfgBlock][]*cfgBlock{}
+	for _, blk := range g.blocks {
+		if !reach[blk] {
+			continue
+		}
+		for _, s := range blk.succs {
+			preds[s] = append(preds[s], blk)
+		}
+	}
+	in := map[*cfgBlock]factSet{g.entry: {}}
+	out := map[*cfgBlock]factSet{}
+	// Iterate in block-index order until stable; the graphs are tiny
+	// (one function), so simplicity beats a worklist.
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.blocks {
+			if !reach[blk] {
+				continue
+			}
+			var nin factSet
+			if blk == g.entry {
+				nin = factSet{}
+			} else {
+				first := true
+				for _, p := range preds[blk] {
+					po, ok := out[p]
+					if !ok {
+						continue // predecessor not yet computed
+					}
+					if first {
+						nin = po.clone()
+						first = false
+					} else {
+						nin = nin.intersect(po)
+					}
+				}
+				if nin == nil {
+					continue // no computed predecessor yet
+				}
+			}
+			if old, ok := in[blk]; !ok || !old.equal(nin) {
+				in[blk] = nin
+				changed = true
+			}
+			nout := in[blk].clone()
+			for _, n := range blk.nodes {
+				transfer(n, nout)
+			}
+			if old, ok := out[blk]; !ok || !old.equal(nout) {
+				out[blk] = nout
+				changed = true
+			}
+		}
+	}
+	return in
+}

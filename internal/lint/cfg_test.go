@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as the body of `func f() { ... }` and returns
+// its CFG.
+func parseBody(t *testing.T, body string) *funcCFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return buildCFG(fd.Body)
+}
+
+func TestCFGExitReachability(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"empty", ``, true},
+		{"plain return", `return`, true},
+		{"infinite for", `for { work() }`, false},
+		{"for with return", `for { if done() { return }; work() }`, true},
+		{"for with break", `for { if done() { break }; work() }`, true},
+		{"conditional for", `for i := 0; i < 10; i++ { work() }`, true},
+		{"range loop", `for range ch { work() }`, true}, // close-driven exhaustion
+		{"infinite select", `for { select { case <-a: work(); case <-b: work() } }`, false},
+		{"select with return", `for { select { case <-a: work(); case <-done: return } }`, true},
+		{"select with default", `for { select { case <-a: work(); default: } }`, false},
+		{"panic terminates", `for { panic("boom") }`, true},
+		{"goto forward", `goto out; out: return`, true},
+		{"goto self-loop", `again: work(); goto again`, false},
+		{"labeled break", `outer: for { for { break outer } }`, true},
+		{"labeled continue only", `outer: for { for { continue outer } }`, false},
+		{"nested infinite", `for { for { work() } }`, false},
+		{"switch falls through head", `switch v() { case 1: work() }`, true},
+		{"infinite with inner break", `for { switch v() { case 1: break }; }`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := parseBody(t, tc.body)
+			if got := g.exitReachable(); got != tc.want {
+				t.Errorf("exitReachable = %v, want %v\nbody:\n%s", got, tc.want, tc.body)
+			}
+		})
+	}
+}
+
+func TestCFGFallthrough(t *testing.T) {
+	// With the fallthrough edge present, case 2's predecessors are the
+	// switch head (locked) AND case 1's end (unlocked), so the must-
+	// analysis intersection kills the fact. Without fallthrough the
+	// head is the only predecessor and the fact survives — the pair
+	// detects the edge.
+	g := parseBody(t, `lock()
+switch v() {
+case 1:
+	unlock()
+	fallthrough
+case 2:
+	access()
+}`)
+	if !g.exitReachable() {
+		t.Fatalf("switch must reach exit")
+	}
+	if held, ok := factAt(g, "access"); !ok {
+		t.Fatalf("no block contains access()")
+	} else if held {
+		t.Errorf("unlock on the fallthrough path should kill the fact in case 2")
+	}
+
+	g = parseBody(t, `lock()
+switch v() {
+case 1:
+	unlock()
+case 2:
+	access()
+}`)
+	if held, ok := factAt(g, "access"); !ok {
+		t.Fatalf("no block contains access()")
+	} else if !held {
+		t.Errorf("without fallthrough, case 2 sees only the locked head")
+	}
+}
+
+// factAt runs the lock/unlock toy analysis and reports whether the
+// fact "locked" must hold immediately before the call named name.
+func factAt(g *funcCFG, name string) (held, found bool) {
+	transfer := func(n ast.Node, facts factSet) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "lock":
+					facts["locked"] = true
+				case "unlock":
+					delete(facts, "locked")
+				}
+			}
+			return true
+		})
+	}
+	in := g.forwardMust(transfer)
+	for _, blk := range g.blocks {
+		facts, ok := in[blk]
+		if !ok {
+			continue
+		}
+		cur := facts.clone()
+		for _, n := range blk.nodes {
+			hit := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						hit = true
+					}
+				}
+				return true
+			})
+			if hit {
+				return cur["locked"], true
+			}
+			transfer(n, cur)
+		}
+	}
+	return false, false
+}
+
+func TestForwardMustIntersection(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"straight line", `lock(); access()`, true},
+		{"one armed if", `if c() { lock() }; access()`, false},
+		{"both arms lock", `if c() { lock() } else { lock() }; access()`, true},
+		{"unlock kills", `lock(); unlock(); access()`, false},
+		{"unlock on one path kills", `lock(); if c() { unlock() }; access()`, false},
+		{"loop body keeps fact", `lock(); for i := 0; i < 3; i++ { access() }`, true},
+		{"lock inside loop only", `for i := 0; i < 3; i++ { access(); lock() }`, false},
+		{"relock after unlock", `lock(); unlock(); lock(); access()`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := parseBody(t, tc.body)
+			held, ok := factAt(g, "access")
+			if !ok {
+				t.Fatalf("no block contains access()")
+			}
+			if held != tc.want {
+				t.Errorf("must-held(access) = %v, want %v\nbody:\n%s", held, tc.want, tc.body)
+			}
+		})
+	}
+}
+
+func TestCFGDeadCodeUnreachable(t *testing.T) {
+	g := parseBody(t, `return; work()`)
+	reach := g.reachable()
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "work" && reach[blk] {
+					t.Errorf("work() after return should be unreachable")
+				}
+			}
+		}
+	}
+}

@@ -15,14 +15,18 @@
 //
 //	//lint:ignore check[,check...] reason
 //
-// comment on the same line as the finding or on the line directly
-// above it. Malformed, unknown-check, and (when every check is
-// enabled) unused directives are themselves reported under the
-// pseudo-check "lintdirective", so suppressions cannot rot silently.
+// comment on the same line as the finding, on the line directly above
+// it, or — when the directive sits in a declaration's doc comment — on
+// any line of that declaration. Malformed, unknown-check, and (when
+// every check is enabled) unused directives are themselves reported
+// under the pseudo-check "lintdirective", so suppressions cannot rot
+// silently. A second directive, //lint:hotpath, opts a function into
+// the hotalloc check's hot-path scope and is policed the same way.
 package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"sort"
 	"strings"
@@ -64,6 +68,10 @@ func AllChecks() []Check {
 		&goroutinedisciplineCheck{},
 		&errcheckCheck{},
 		&floateqCheck{},
+		&hotallocCheck{},
+		&atomicmixCheck{},
+		&goroutineleakCheck{},
+		&lockguardCheck{},
 	}
 }
 
@@ -97,19 +105,23 @@ func SelectChecks(names string) ([]Check, error) {
 
 // directive is one parsed //lint:ignore comment.
 type directive struct {
-	file   string
-	line   int
-	col    int
-	checks []string
-	bad    string // diagnostic text if the directive is malformed
-	used   bool
+	file string
+	line int
+	col  int
+	// endLine is the last line the directive covers: line+1 for a
+	// free-standing comment, the declaration's closing line when the
+	// directive sits in a doc comment.
+	endLine int
+	checks  []string
+	bad     string // diagnostic text if the directive is malformed
+	used    bool
 }
 
 func (d *directive) covers(diag Diagnostic) bool {
 	if d.bad != "" || diag.Check == DirectiveCheck || d.file != diag.File {
 		return false
 	}
-	if diag.Line != d.line && diag.Line != d.line+1 {
+	if diag.Line < d.line || diag.Line > d.endLine {
 		return false
 	}
 	for _, c := range d.checks {
@@ -130,6 +142,22 @@ func parseDirectives(pkg *Package) []*directive {
 	}
 	var out []*directive
 	for _, f := range pkg.Files {
+		// Directives inside a declaration's doc comment cover the whole
+		// declaration span, so a contract like "caller holds mu" can be
+		// suppressed once at the function head.
+		declEnd := map[*ast.CommentGroup]int{}
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				declEnd[doc] = pkg.Fset.Position(decl.End()).Line
+			}
+		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
@@ -137,7 +165,10 @@ func parseDirectives(pkg *Package) []*directive {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				d := &directive{file: pkg.relFile(pos), line: pos.Line, col: pos.Column}
+				d := &directive{file: pkg.relFile(pos), line: pos.Line, col: pos.Column, endLine: pos.Line + 1}
+				if end, ok := declEnd[cg]; ok && end > d.endLine {
+					d.endLine = end
+				}
 				fields := strings.Fields(text)
 				switch {
 				case len(fields) == 0:
@@ -153,6 +184,51 @@ func parseDirectives(pkg *Package) []*directive {
 					}
 				}
 				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// hotpathIssues polices //lint:hotpath directives: they take no
+// arguments, must sit in a function declaration's doc comment, and are
+// redundant on functions the built-in internal/des hot table already
+// covers.
+func hotpathIssues(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	inDes := pathScopedTo(pkg, desHotScope)
+	for _, f := range pkg.Files {
+		docOf := map[*ast.CommentGroup]*ast.FuncDecl{}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				docOf[fd.Doc] = fd
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, HotpathDirective)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				mk := func(format string, args ...any) {
+					out = append(out, Diagnostic{
+						File: pkg.relFile(pos), Line: pos.Line, Col: pos.Column,
+						Check: DirectiveCheck, Message: fmt.Sprintf(format, args...),
+					})
+				}
+				if strings.TrimSpace(rest) != "" {
+					mk("//lint:hotpath takes no arguments")
+					continue
+				}
+				fd, ok := docOf[cg]
+				if !ok {
+					mk("//lint:hotpath must sit in a function declaration's doc comment")
+					continue
+				}
+				if inDes && desHotFuncs[funcKey(fd)] {
+					mk("//lint:hotpath on %s is redundant: the built-in hot-path table already covers it", funcKey(fd))
+				}
 			}
 		}
 	}
@@ -195,6 +271,7 @@ func Run(pkgs []*Package, checks []Check) []Diagnostic {
 				diags = append(diags, diag)
 			}
 		}
+		diags = append(diags, hotpathIssues(pkg)...)
 		for _, d := range dirs {
 			switch {
 			case d.bad != "":

@@ -26,6 +26,10 @@ var fixtures = []struct {
 	{"goroutinediscipline", "besst/internal/lint/testdata/goroutinediscipline"},
 	{"errcheck", "besst/internal/lint/testdata/errcheck"},
 	{"floateq", "besst/internal/lint/testdata/floateq"},
+	{"hotalloc", "besst/internal/lint/testdata/hotalloc"},
+	{"atomicmix", "besst/internal/lint/testdata/atomicmix"},
+	{"goroutineleak", "besst/internal/par/leakfix"},
+	{"lockguard", "besst/internal/lint/testdata/lockguard"},
 	{"suppress", "besst/internal/lint/testdata/suppress"},
 }
 
@@ -94,6 +98,7 @@ func TestSuppression(t *testing.T) {
 	for _, suppressed := range []string{
 		"bit-exactness is intended in this fixture",
 		"zero is the sentinel here",
+		"comparisons in this helper are bit-exact by design",
 	} {
 		if strings.Contains(out, suppressed) {
 			t.Errorf("suppression reason leaked into diagnostics: %q", suppressed)

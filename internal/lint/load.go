@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -168,12 +170,12 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	l.loading[path] = true
 	defer delete(l.loading, path)
 
-	names, err := goFileNames(dir)
+	names, err := buildableGoFiles(dir)
 	if err != nil {
 		return nil, err
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+		return nil, fmt.Errorf("lint: no buildable non-test Go files in %s", dir)
 	}
 	var files []*ast.File
 	for _, name := range names {
@@ -221,7 +223,8 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	return p, nil
 }
 
-// goFileNames lists dir's buildable non-test Go files in name order.
+// goFileNames lists dir's non-test Go files in name order, before any
+// build-constraint filtering.
 func goFileNames(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -239,6 +242,96 @@ func goFileNames(dir string) ([]string, error) {
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// buildableGoFiles narrows goFileNames to the files that build for the
+// current GOOS/GOARCH: the go tool's _GOOS/_GOARCH filename suffix
+// rules plus //go:build constraint evaluation. Without this, a
+// build-tagged file for another platform (or //go:build ignore) would
+// be parsed into the package and break type-checking.
+func buildableGoFiles(dir string) ([]string, error) {
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, name := range names {
+		if !fileMatchesTarget(name) {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if !buildConstraintSatisfied(src) {
+			continue
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// knownOS and knownArch mirror the go tool's recognized target names;
+// only recognized suffixes constrain a file (queue_test.go is a test
+// file, queue_linux.go is linux-only, queue_foo.go is unconstrained).
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mipsle": true, "mips64": true,
+	"mips64le": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// fileMatchesTarget applies the *_GOOS.go / *_GOARCH.go /
+// *_GOOS_GOARCH.go filename rules for the running platform.
+func fileMatchesTarget(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	if len(parts) >= 3 {
+		goos, goarch := parts[len(parts)-2], parts[len(parts)-1]
+		if knownOS[goos] && knownArch[goarch] {
+			return goos == runtime.GOOS && goarch == runtime.GOARCH
+		}
+	}
+	if len(parts) >= 2 {
+		last := parts[len(parts)-1]
+		if knownOS[last] {
+			return last == runtime.GOOS
+		}
+		if knownArch[last] {
+			return last == runtime.GOARCH
+		}
+	}
+	return true
+}
+
+// buildConstraintSatisfied evaluates the file's //go:build line (if
+// any) with the running GOOS/GOARCH and the gc toolchain as the only
+// true tags. Legacy // +build lines are ignored: gofmt has rewritten
+// them to //go:build since Go 1.17.
+func buildConstraintSatisfied(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if constraint.IsGoBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return true // malformed: let the parser report it
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc"
+			})
+		}
+		if strings.HasPrefix(trimmed, "package ") {
+			break // constraints must precede the package clause
+		}
+	}
+	return true
 }
 
 // LoadPatterns resolves package patterns — "./...", "./dir/...",
@@ -294,7 +387,7 @@ func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 
 	var pkgs []*Package
 	for dir := range dirs {
-		names, err := goFileNames(dir)
+		names, err := buildableGoFiles(dir)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,131 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"besst/internal/lint"
+)
+
+// writeModule materializes a throwaway module in a temp dir: files maps
+// slash-separated relative paths to contents. A go.mod declaring module
+// example.com/m is added automatically.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module example.com/m\n\ngo 1.21\n"
+	for rel, content := range files {
+		full := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatalf("write %s: %v", rel, err)
+		}
+	}
+	return root
+}
+
+func moduleLoader(t *testing.T, root string) *lint.Loader {
+	t.Helper()
+	l, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return l
+}
+
+// TestLoadTestOnlyPackage: a directory holding only _test.go files is
+// not a lintable package — LoadPatterns walks past it, and loading it
+// directly says why.
+func TestLoadTestOnlyPackage(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"a/a.go":             "package a\n\nfunc A() int { return 1 }\n",
+		"testonly/x_test.go": "package testonly\n\nimport \"testing\"\n\nfunc TestX(t *testing.T) {}\n",
+	})
+	l := moduleLoader(t, root)
+	pkgs, err := l.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("LoadPatterns: %v", err)
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.ImportPath, "testonly") {
+			t.Errorf("test-only directory loaded as package %s", p.ImportPath)
+		}
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "example.com/m/a" {
+		t.Errorf("want exactly package a, got %v", pkgs)
+	}
+	if _, err := l.LoadDir(filepath.Join(root, "testonly"), "example.com/m/testonly"); err == nil {
+		t.Error("LoadDir on a test-only directory should fail")
+	} else if !strings.Contains(err.Error(), "no buildable non-test Go files") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+// TestLoadBuildTags: files excluded by //go:build constraints or
+// foreign _GOOS suffixes must not be parsed into the package — each
+// excluded file here would break type-checking (duplicate declaration)
+// if it leaked in.
+func TestLoadBuildTags(t *testing.T) {
+	otherOS := "plan9"
+	if runtime.GOOS == "plan9" {
+		otherOS = "windows"
+	}
+	root := writeModule(t, map[string]string{
+		"b/b.go":                      "package b\n\nfunc B() int { return 1 }\n",
+		"b/b_ignored.go":              "//go:build never\n\npackage b\n\nfunc B() int { return 2 }\n",
+		"b/suffix_" + otherOS + ".go": "package b\n\nfunc B() int { return 3 }\n",
+		"b/b_current.go":              "//go:build " + runtime.GOOS + "\n\npackage b\n\nfunc C() int { return B() }\n",
+	})
+	l := moduleLoader(t, root)
+	pkg, err := l.LoadDir(filepath.Join(root, "b"), "example.com/m/b")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if got := len(pkg.Files); got != 2 {
+		t.Errorf("got %d files in package b, want 2 (b.go and b_current.go)", got)
+	}
+	if pkg.Types.Scope().Lookup("C") == nil {
+		t.Error("matching //go:build file was excluded")
+	}
+}
+
+// TestLoadCycleThroughTestPackage: an import cycle that exists only
+// through _test.go files is no cycle at all for the loader, since test
+// files are excluded by design.
+func TestLoadCycleThroughTestPackage(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"a/a.go":      "package a\n\nfunc A() int { return 1 }\n",
+		"a/a_test.go": "package a\n\nimport \"example.com/m/b\"\n\nvar _ = b.B\n",
+		"b/b.go":      "package b\n\nimport \"example.com/m/a\"\n\nfunc B() int { return a.A() }\n",
+	})
+	l := moduleLoader(t, root)
+	pkgs, err := l.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("LoadPatterns: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Errorf("got %d packages, want 2", len(pkgs))
+	}
+}
+
+// TestLoadGenuineCycle: a real import cycle between non-test files must
+// surface as an error, not a hang or a stack overflow.
+func TestLoadGenuineCycle(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"a/a.go": "package a\n\nimport \"example.com/m/b\"\n\nfunc A() int { return b.B() }\n",
+		"b/b.go": "package b\n\nimport \"example.com/m/a\"\n\nfunc B() int { return a.A() }\n",
+	})
+	l := moduleLoader(t, root)
+	_, err := l.LoadPatterns([]string{"./..."})
+	if err == nil {
+		t.Fatal("LoadPatterns accepted an import cycle")
+	}
+	if !strings.Contains(err.Error(), "import cycle") {
+		t.Errorf("error does not name the cycle: %v", err)
+	}
+}

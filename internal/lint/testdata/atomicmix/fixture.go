@@ -1,0 +1,48 @@
+// Package atomfix exercises the atomicmix check: a field accessed via
+// sync/atomic anywhere in the package must never be accessed plainly
+// outside init/Reset paths, and an atomic write protocol must keep its
+// load side — a field that is only ever stored has lost whatever
+// synchronization it was built for.
+package atomfix
+
+import "sync/atomic"
+
+type counter struct {
+	// pending is stored and blindly added to, but never loaded: the
+	// barrier protocol it once synchronized has decayed.
+	pending atomic.Int32
+	// mixed is touched both atomically and plainly.
+	mixed int64
+	// flags is accessed only through sync/atomic: clean.
+	flags uint32
+	// done has both sides of its protocol: clean.
+	done atomic.Bool
+}
+
+func (c *counter) arm(n int32) {
+	c.pending.Store(n)
+	c.done.Store(false)
+}
+
+func (c *counter) hit() {
+	c.pending.Add(-1) // result discarded: a blind write, not a load
+	atomic.AddInt64(&c.mixed, 1)
+	atomic.StoreUint32(&c.flags, 1)
+}
+
+func (c *counter) finished() bool {
+	return c.done.Load() && atomic.LoadUint32(&c.flags) == 1
+}
+
+func (c *counter) report() int64 {
+	if c.mixed > 0 { // plain read of an atomic-protocol field
+		return c.mixed // and a second one
+	}
+	return 0
+}
+
+// Reset rewinds between trials, before any worker goroutine exists:
+// plain access is sanctioned here.
+func (c *counter) Reset() {
+	c.mixed = 0
+}

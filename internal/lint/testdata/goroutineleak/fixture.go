@@ -1,0 +1,58 @@
+// Package leakfix exercises the goroutineleak check. It poses as
+// besst/internal/par/leakfix so its go statements are inside
+// concurrencyScope: every spawned body must have a reachable shutdown
+// edge — a return, a close-driven range exhaustion, or a sentinel
+// receive — discovered by CFG exit-reachability.
+package leakfix
+
+type pump struct {
+	in   chan int
+	done chan struct{}
+}
+
+// leakClosure spins on a bare receive loop with no way out.
+func (p *pump) leakClosure() {
+	go func() {
+		for {
+			v := <-p.in
+			_ = v
+		}
+	}()
+}
+
+// leakNamed spawns a named worker whose every path loops forever.
+func (p *pump) leakNamed() {
+	go p.spin()
+}
+
+func (p *pump) spin() {
+	for {
+		select {
+		case v := <-p.in:
+			_ = v
+		}
+	}
+}
+
+// drain exits when in is closed: the range loop has an exhaustion edge.
+func (p *pump) drain() {
+	go func() {
+		for v := range p.in {
+			_ = v
+		}
+	}()
+}
+
+// sentinel exits when done fires.
+func (p *pump) sentinel() {
+	go func() {
+		for {
+			select {
+			case v := <-p.in:
+				_ = v
+			case <-p.done:
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,70 @@
+// Package lockfix exercises the lockguard check: fields documented
+// `// guarded by <mu>` may only be accessed on paths where the named
+// mutex is provably held (must-held dataflow), freshly constructed
+// values are exempt until shared, and annotations naming a nonexistent
+// mutex sibling are themselves flagged.
+package lockfix
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	// guarded by mu
+	n int
+	// guarded by missing
+	m int
+}
+
+// locked holds mu across the access: clean.
+func (b *box) locked() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// deferred holds mu to function exit: clean.
+func (b *box) deferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// unlocked touches n with no lock at all.
+func (b *box) unlocked() {
+	b.n++
+}
+
+// halfLocked only acquires on one path, so the access is not dominated
+// by the Lock.
+func (b *box) halfLocked(c bool) {
+	if c {
+		b.mu.Lock()
+	}
+	b.n++
+	if c {
+		b.mu.Unlock()
+	}
+}
+
+// released reads n after giving the lock back.
+func (b *box) released() int {
+	b.mu.Lock()
+	b.mu.Unlock()
+	return b.n
+}
+
+// fresh constructs its own box: not shared yet, lock-free access is
+// fine.
+func fresh() *box {
+	b := &box{}
+	b.n = 1
+	return b
+}
+
+// closureLeak returns a literal that touches n under no lock of its
+// own; the literal runs later, after mu has been released.
+func (b *box) closureLeak() func() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return func() { b.n++ }
+}

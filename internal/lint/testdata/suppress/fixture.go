@@ -31,3 +31,14 @@ func unknownCheck(a, b int) bool {
 func unused(a, b int) int {
 	return a + b
 }
+
+// declCovered's doc-level directive covers the whole declaration span,
+// not just the next line, so the comparison three lines down is
+// suppressed too.
+//
+//lint:ignore floateq comparisons in this helper are bit-exact by design
+func declCovered(a, b float64) bool {
+	x := a * b
+	y := b * a
+	return x == y
+}

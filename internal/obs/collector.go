@@ -26,26 +26,30 @@ const MetricsSchemaVersion = 2
 // obs. All methods are safe for concurrent use.
 type Collector struct {
 	mu     sync.Mutex
-	clock  func() int64
-	start  int64
-	parts  map[int]*partMetrics
-	phases []*PhaseMetrics
+	clock  func() int64         // guarded by mu
+	start  int64                // guarded by mu
+	parts  map[int]*partMetrics // guarded by mu
+	phases []*PhaseMetrics      // guarded by mu
+	// trials and points are map references passed whole into
+	// spanStart/spanDone, which lock before touching entries; the
+	// references themselves are never reassigned after construction, so
+	// they carry no guarded-by annotation.
 	trials map[int]*spanMetrics
 	points map[int]*spanMetrics
 
 	// Campaign fault provenance (resilience runner hooks): failed
 	// attempts per retried trial, attempt counts of quarantined trials,
 	// and how many trials a resumed campaign replayed from its journal.
-	retries     map[int]int
-	quarantined map[int]int
-	replayed    int
+	retries     map[int]int // guarded by mu
+	quarantined map[int]int // guarded by mu
+	replayed    int         // guarded by mu
 
 	// Adaptive parallel-engine decisions (AdaptiveTracer hooks).
-	eventsExchanged uint64
-	rebalances      []RebalanceEntry
+	eventsExchanged uint64           // guarded by mu
+	rebalances      []RebalanceEntry // guarded by mu
 
-	eventsProcessed uint64
-	peakQueueDepth  int
+	eventsProcessed uint64 // guarded by mu
+	peakQueueDepth  int    // guarded by mu
 }
 
 type partMetrics struct {
@@ -103,6 +107,10 @@ func (c *Collector) setClock(clock func() int64) {
 	c.start = clock()
 }
 
+// part returns partition i's row, creating it on first use. Caller
+// holds c.mu.
+//
+//lint:ignore lockguard the caller-holds-mu contract is stated above; every caller is a locked hook method
 func (c *Collector) part(i int) *partMetrics {
 	p, ok := c.parts[i]
 	if !ok {

@@ -85,15 +85,16 @@ func streamPart(stream, part int) uint64 {
 // counted as dropped rather than growing the heap mid-run.
 type TraceBuffer struct {
 	mu      sync.Mutex
-	recs    []Record
-	n       uint64 // total records ever appended
-	dropped uint64
+	recs    []Record // guarded by mu
+	n       uint64   // total records ever appended; guarded by mu
+	dropped uint64   // guarded by mu
 	// open maps (stream, part) to the absolute index of that lane's
-	// open dispatch/barrier record awaiting its closing hook.
+	// open dispatch/barrier record awaiting its closing hook; both
+	// guarded by mu.
 	openDispatch map[uint64]uint64
-	openBarrier  map[uint64]uint64
-	clock        func() int64 // wall ns; swappable for deterministic tests
-	start        int64
+	openBarrier  map[uint64]uint64 // guarded by mu
+	clock        func() int64      // wall ns; swappable for deterministic tests; guarded by mu
+	start        int64             // trace epoch; guarded by mu
 }
 
 // DefaultTraceCap is the default ring capacity: 1<<16 records ≈ 3 MiB,
@@ -130,6 +131,8 @@ func (b *TraceBuffer) setClock(clock func() int64) {
 
 // append stores r (stamping Wall) and returns its absolute index.
 // Caller holds b.mu.
+//
+//lint:ignore lockguard the caller-holds-mu contract is stated above; every caller is a locked hook method
 func (b *TraceBuffer) append(r Record) uint64 {
 	r.Wall = b.clock() - b.start
 	idx := b.n
@@ -145,6 +148,8 @@ func (b *TraceBuffer) append(r Record) uint64 {
 
 // at returns a pointer to the record at absolute index idx, or nil if
 // the ring has already overwritten it. Caller holds b.mu.
+//
+//lint:ignore lockguard the caller-holds-mu contract is stated above; every caller is a locked hook method
 func (b *TraceBuffer) at(idx uint64) *Record {
 	if b.n-idx > uint64(cap(b.recs)) {
 		return nil

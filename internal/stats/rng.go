@@ -68,6 +68,8 @@ func (r *RNG) Split() *RNG {
 // SplitTo reseeds dst with the same derivation Split uses, advancing
 // r's stream identically, but without allocating: dst ends in exactly
 // the state Split's fresh generator would have.
+//
+//lint:hotpath
 func (r *RNG) SplitTo(dst *RNG) {
 	dst.Reseed(r.Uint64() ^ 0xa3cc7d5a7f2e19bf)
 }
@@ -75,6 +77,8 @@ func (r *RNG) SplitTo(dst *RNG) {
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.
+//
+//lint:hotpath
 func (r *RNG) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9
 	t := r.s[1] << 17
@@ -88,11 +92,15 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Float64 returns a uniform float64 in [0, 1).
+//
+//lint:hotpath
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
+//
+//lint:hotpath
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("stats: Intn with non-positive n")
