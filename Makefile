@@ -1,15 +1,15 @@
 GO ?= go
 
-.PHONY: check build test vet fmt lint lint-self lint-fixtures lint-fixtures-verify race bench parbench bench-parallel bench-hotpath bench-compare profile trace-fixtures chaos fuzz
+.PHONY: check build test vet fmt lint lint-self lint-fixtures lint-fixtures-verify race bench parbench bench-parallel bench-hotpath bench-compare profile trace-fixtures chaos fuzz serve-smoke
 
 # check is the tier-1 gate: formatting, static analysis (vet and
 # besst-lint, including the analyzer linting itself and its golden
 # fixtures verified against the committed tree), build, the
 # race-enabled internal test suite (the parallel tiers are only trusted
 # under -race), the observability fixtures, the campaign-resilience
-# chaos/crash suite, and the hot-path and parallel-scaling
-# bench-regression gates.
-check: fmt vet lint lint-self lint-fixtures-verify build race trace-fixtures chaos bench-compare bench-parallel
+# chaos/crash suite, the simulation-service smoke gate, and the
+# hot-path and parallel-scaling bench-regression gates.
+check: fmt vet lint lint-self lint-fixtures-verify build race trace-fixtures chaos serve-smoke bench-compare bench-parallel
 
 build:
 	$(GO) build ./...
@@ -101,6 +101,16 @@ trace-fixtures:
 # the SIGKILL-mid-campaign resume test asserting byte-identical output.
 chaos:
 	$(GO) test -race ./internal/resilience -run 'Chaos|KillAndResume|Resume|Retries|Watchdog' -v
+
+# serve-smoke boots the besst-serve daemon in-process, runs the README
+# quickstart campaign twice over real HTTP, and gates on the service
+# invariants: byte-identical cold/warm result bodies, a compile-cache
+# hit on the second identical request (visible in /v1/statz), and an
+# exact match against the committed golden result document. Regenerate
+# the golden with:
+#   go run ./cmd/besst-serve -smoke -golden results/GOLDEN_serve_smoke.json -update-golden
+serve-smoke: build
+	$(GO) run ./cmd/besst-serve -smoke -golden results/GOLDEN_serve_smoke.json
 
 # fuzz runs the short corruption fuzzers: the checkpoint-journal reader
 # (torn tails, garbage lines) and the AppBEO JSON decoder.

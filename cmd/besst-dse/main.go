@@ -55,15 +55,20 @@ func main() {
 	devDone()
 
 	sweepDone := ses.Phase("overhead-sweep")
-	sweepCfg := dse.SweepConfig{
-		EPRs:      []int{10, 15, 20, 25},
-		Ranks:     []int{64, 216, 1000},
-		Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT, lulesh.ScenarioL1, lulesh.ScenarioL1L2},
-		Timesteps: *steps,
-		MCRuns:    *mc,
-		Seed:      common.Seed + 1,
-		Workers:   common.Workers,
-		Collector: ses.SweepCollector(),
+	// Built through the same functional-option constructor and Validate
+	// path besst-serve uses for sweep requests.
+	sweepCfg := dse.NewSweepConfig(
+		dse.WithEPRs(10, 15, 20, 25),
+		dse.WithRanks(64, 216, 1000),
+		dse.WithScenarios(lulesh.ScenarioNoFT, lulesh.ScenarioL1, lulesh.ScenarioL1L2),
+		dse.WithTimesteps(*steps),
+		dse.WithMCRuns(*mc),
+		dse.WithSeed(common.Seed+1),
+		dse.WithConcurrency(common.Workers),
+		dse.WithCollector(ses.SweepCollector()),
+	)
+	if err := sweepCfg.Validate(); err != nil {
+		fatalf("%v", err)
 	}
 	var cells []dse.Cell
 	if ses.CampaignEnabled() {

@@ -1,0 +1,62 @@
+// Command besst-serve runs the BE-SST simulation service: a
+// multi-tenant HTTP daemon exposing the versioned campaign API over
+// the same compile/run pipeline the CLIs use.
+//
+//	besst-serve -addr 127.0.0.1:8321 -state results/serve
+//	besst-serve -smoke -golden results/GOLDEN_serve_smoke.json
+//
+// Endpoints (see internal/serve and DESIGN.md):
+//
+//	POST /v1/campaigns             submit (or join/resume) a campaign
+//	GET  /v1/campaigns/{id}        status; ?watch=1 streams NDJSON
+//	GET  /v1/campaigns/{id}/result the byte-reproducible result document
+//	GET  /v1/healthz               liveness + drain state
+//	GET  /v1/statz                 queue/tenant/compile-cache counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"besst/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8321", "listen address")
+	state := flag.String("state", "", "checkpoint journal directory for drain-and-resume (empty: no journals)")
+	workers := flag.Int("workers", 0, "default per-campaign replication workers (0: GOMAXPROCS)")
+	cacheCap := flag.Int("cache-cap", 8, "compile cache capacity (artifacts)")
+	maxQueued := flag.Int("max-queued", 16, "admission queue bound; beyond it POST answers 429")
+	maxActive := flag.Int("max-active", 2, "concurrently running campaigns")
+	maxTenant := flag.Int("max-tenant", 1, "per-tenant concurrently running campaigns")
+	smoke := flag.Bool("smoke", false, "run the self-contained service smoke check and exit")
+	golden := flag.String("golden", "", "golden result document for -smoke")
+	update := flag.Bool("update-golden", false, "rewrite the -smoke golden instead of diffing")
+	flag.Parse()
+
+	if *smoke {
+		if err := serve.Smoke(os.Stdout, serve.SmokeConfig{Golden: *golden, Update: *update}); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	srv := serve.NewServer(serve.Config{
+		StateDir:     *state,
+		Workers:      *workers,
+		CacheCap:     *cacheCap,
+		MaxQueued:    *maxQueued,
+		MaxActive:    *maxActive,
+		MaxPerTenant: *maxTenant,
+	})
+	fmt.Fprintf(os.Stderr, "besst-serve listening on %s\n", *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "besst-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -30,8 +30,12 @@ import (
 // jsonSummary is the -json output: the run's makespan distribution,
 // breakdown, and checkpoint markers.
 type jsonSummary struct {
-	App          string          `json:"app"`
-	Machine      string          `json:"machine"`
+	App     string `json:"app"`
+	Machine string `json:"machine"`
+	// Run is the canonical serialized run configuration (schema_version
+	// 1) — the same besst.RunSpec the besst-serve HTTP API accepts, so a
+	// CLI summary can be replayed as a service request verbatim.
+	Run          besst.RunSpec   `json:"run"`
 	Mode         string          `json:"mode"`
 	Replications int             `json:"replications"`
 	Makespan     stats.Summary   `json:"makespan"`
@@ -68,29 +72,17 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	var sc lulesh.Scenario
-	switch *scenario {
-	case "noft":
-		sc = lulesh.ScenarioNoFT
-	case "l1":
-		sc = lulesh.ScenarioL1
-	case "l1l2":
-		sc = lulesh.ScenarioL1L2
-	default:
-		fatalf("unknown scenario %q", *scenario)
+	sc, err := lulesh.ParseScenario(*scenario)
+	if err != nil {
+		fatalf("%v", err)
 	}
 	for i := range sc.Schedules {
 		sc.Schedules[i].Period = *period
 	}
 
-	var m besst.Mode
-	switch *mode {
-	case "des":
-		m = besst.DES
-	case "direct":
-		m = besst.Direct
-	default:
-		fatalf("unknown mode %q", *mode)
+	m, err := besst.ParseMode(*mode)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	wfMethod := workflow.SymbolicRegression
@@ -186,6 +178,7 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(jsonSummary{
 			App: app.Name, Machine: machine.Name, Mode: *mode,
+			Run:          besst.NewRunConfig(append(opts, besst.WithMonteCarlo(true))...).Spec(),
 			Replications: *mc, Makespan: s,
 			EventsPerRun: runs[0].Events,
 			CkptTimes:    runs[0].CkptTimes,

@@ -60,7 +60,7 @@ func TestCompileCounts(t *testing.T) {
 func TestDESExactMakespanConstModels(t *testing.T) {
 	app := lulesh.App(10, 8, 40, lulesh.ScenarioL1, cfg)
 	arch := commFree(constArch(0.01, 0.2, 0))
-	res := Simulate(app, arch, Options{Mode: DES})
+	res := Run(app, arch, WithMode(DES))
 	// 40 steps x 10ms + 1 checkpoint x 200ms.
 	want := 40*0.01 + 0.2
 	if math.Abs(res.Makespan-want) > 1e-9 {
@@ -74,8 +74,8 @@ func TestDESExactMakespanConstModels(t *testing.T) {
 func TestDirectMatchesDESDeterministic(t *testing.T) {
 	app := lulesh.App(15, 64, 80, lulesh.ScenarioL1L2, cfg)
 	arch := constArch(0.01, 0.1, 0.15)
-	des := Simulate(app, arch, Options{Mode: DES})
-	dir := Simulate(app, arch, Options{Mode: Direct})
+	des := Run(app, arch, WithMode(DES))
+	dir := Run(app, arch, WithMode(Direct))
 	if math.Abs(des.Makespan-dir.Makespan) > 1e-9*des.Makespan {
 		t.Fatalf("DES %v != Direct %v", des.Makespan, dir.Makespan)
 	}
@@ -95,7 +95,7 @@ func TestDirectMatchesDESDeterministic(t *testing.T) {
 func TestStepCompletionsMonotone(t *testing.T) {
 	app := lulesh.App(10, 8, 50, lulesh.ScenarioL1, cfg)
 	arch := constArch(0.01, 0.1, 0)
-	res := Simulate(app, arch, Options{Mode: DES})
+	res := Run(app, arch, WithMode(DES))
 	if len(res.StepCompletions) != 50 {
 		t.Fatalf("steps recorded = %d", len(res.StepCompletions))
 	}
@@ -109,7 +109,7 @@ func TestStepCompletionsMonotone(t *testing.T) {
 func TestCkptTimesCadence(t *testing.T) {
 	app := lulesh.App(10, 8, 200, lulesh.ScenarioL1, cfg)
 	arch := constArch(0.01, 0.5, 0)
-	res := Simulate(app, arch, Options{Mode: DES})
+	res := Run(app, arch, WithMode(DES))
 	if len(res.CkptTimes) != 5 {
 		t.Fatalf("checkpoint instances = %d, want 5", len(res.CkptTimes))
 	}
@@ -127,7 +127,7 @@ func TestScenarioOverheadOrdering(t *testing.T) {
 	arch := constArch(0.01, 0.1, 0.12)
 	total := func(sc lulesh.Scenario) float64 {
 		app := lulesh.App(10, 8, 200, sc, cfg)
-		return Simulate(app, arch, Options{Mode: DES}).Makespan
+		return Run(app, arch, WithMode(DES)).Makespan
 	}
 	noFT := total(lulesh.ScenarioNoFT)
 	l1 := total(lulesh.ScenarioL1)
@@ -142,8 +142,8 @@ func TestMonteCarloDeterministicBySeed(t *testing.T) {
 	arch := beo.NewArchBEO(machine.Quartz(), 2)
 	arch.Bind(lulesh.OpTimestep, perfmodel.Func{Label: "ts", F: func(perfmodel.Params) float64 { return 0.01 }, NoiseSigma: 0.1})
 	arch.Bind(lulesh.OpCkptL1, perfmodel.Func{Label: "l1", F: func(perfmodel.Params) float64 { return 0.1 }, NoiseSigma: 0.2})
-	a := MonteCarlo(app, arch, Options{Mode: DES, Seed: 5}, 4)
-	b := MonteCarlo(app, arch, Options{Mode: DES, Seed: 5}, 4)
+	a := Replicate(app, arch, 4, WithMode(DES), WithSeed(5))
+	b := Replicate(app, arch, 4, WithMode(DES), WithSeed(5))
 	for i := range a {
 		if a[i].Makespan != b[i].Makespan {
 			t.Fatal("MC not reproducible for same seed")
@@ -158,7 +158,7 @@ func TestMonteCarloVarianceReflectsNoise(t *testing.T) {
 	app := lulesh.App(10, 8, 20, lulesh.ScenarioNoFT, cfg)
 	arch := beo.NewArchBEO(machine.Quartz(), 2)
 	arch.Bind(lulesh.OpTimestep, perfmodel.Func{Label: "ts", F: func(perfmodel.Params) float64 { return 0.01 }, NoiseSigma: 0.1})
-	runs := MonteCarlo(app, arch, Options{Mode: DES, Seed: 1}, 30)
+	runs := Replicate(app, arch, 30, WithMode(DES), WithSeed(1))
 	s := stats.Summarize(Makespans(runs))
 	if s.Std == 0 {
 		t.Fatal("MC makespans carry no variance")
@@ -172,8 +172,8 @@ func TestPerRankNoiseInflatesDirectMakespan(t *testing.T) {
 	app := lulesh.App(10, 1000, 20, lulesh.ScenarioNoFT, cfg)
 	arch := beo.NewArchBEO(machine.Quartz(), 2)
 	arch.Bind(lulesh.OpTimestep, perfmodel.Func{Label: "ts", F: func(perfmodel.Params) float64 { return 0.01 }, NoiseSigma: 0.05})
-	det := Simulate(app, arch, Options{Mode: Direct})
-	mc := MonteCarlo(app, arch, Options{Mode: Direct, PerRankNoise: true, Seed: 2}, 10)
+	det := Run(app, arch, WithMode(Direct))
+	mc := Replicate(app, arch, 10, WithMode(Direct), WithPerRankNoise(true), WithSeed(2))
 	mean := stats.Mean(Makespans(mc))
 	// Max over 1000 lognormal(0,0.05) draws is ~15-20% above mean.
 	if mean < 1.05*det.Makespan {
@@ -185,8 +185,8 @@ func TestDESPerRankStragglersInflateToo(t *testing.T) {
 	app := lulesh.App(10, 64, 20, lulesh.ScenarioNoFT, cfg)
 	arch := beo.NewArchBEO(machine.Quartz(), 2)
 	arch.Bind(lulesh.OpTimestep, perfmodel.Func{Label: "ts", F: func(perfmodel.Params) float64 { return 0.01 }, NoiseSigma: 0.05})
-	det := Simulate(app, arch, Options{Mode: DES})
-	mc := MonteCarlo(app, arch, Options{Mode: DES, Seed: 3}, 10)
+	det := Run(app, arch, WithMode(DES))
+	mc := Replicate(app, arch, 10, WithMode(DES), WithSeed(3))
 	mean := stats.Mean(Makespans(mc))
 	if mean <= det.Makespan {
 		t.Fatalf("DES straggler effect missing: %v vs %v", mean, det.Makespan)
@@ -201,7 +201,7 @@ func TestSimulatePanicsOnUnboundModel(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	Simulate(app, arch, Options{})
+	Run(app, arch)
 }
 
 func TestMonteCarloPanicsOnBadN(t *testing.T) {
@@ -212,7 +212,7 @@ func TestMonteCarloPanicsOnBadN(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	MonteCarlo(app, arch, Options{}, 0)
+	Replicate(app, arch, 0)
 }
 
 func TestCommCostPatterns(t *testing.T) {
@@ -245,7 +245,7 @@ func TestModelSigmaRecoversNoise(t *testing.T) {
 func TestBreakdownDirectSumsToMakespan(t *testing.T) {
 	app := lulesh.App(10, 8, 50, lulesh.ScenarioL1, cfg)
 	arch := commFree(constArch(0.01, 0.1, 0))
-	res := Simulate(app, arch, Options{Mode: Direct})
+	res := Run(app, arch, WithMode(Direct))
 	if math.Abs(res.Breakdown.Total()-res.Makespan) > 1e-9 {
 		t.Fatalf("breakdown %v != makespan %v", res.Breakdown.Total(), res.Makespan)
 	}
@@ -260,7 +260,7 @@ func TestBreakdownDirectSumsToMakespan(t *testing.T) {
 func TestBreakdownDESSumsToMakespan(t *testing.T) {
 	app := lulesh.App(10, 8, 50, lulesh.ScenarioL1L2, cfg)
 	arch := constArch(0.01, 0.1, 0.15)
-	res := Simulate(app, arch, Options{Mode: DES})
+	res := Run(app, arch, WithMode(DES))
 	// Rank 0's buckets must tile its wall time exactly in the
 	// deterministic case (no straggler waits with constant models).
 	if math.Abs(res.Breakdown.Total()-res.Makespan) > 1e-6*res.Makespan {
@@ -282,7 +282,7 @@ func TestBreakdownDESCapturesStragglerWaits(t *testing.T) {
 	arch := beo.NewArchBEO(machine.Quartz(), 2)
 	arch.Bind(lulesh.OpTimestep, perfmodel.Func{Label: "ts", F: func(perfmodel.Params) float64 { return 0.01 }, NoiseSigma: 0.2})
 	arch.Bind(lulesh.OpCkptL1, perfmodel.Constant{Label: "l1", Seconds: 0.1})
-	res := Simulate(app, arch, Options{Mode: DES, MonteCarlo: true, Seed: 9})
+	res := Run(app, arch, WithMode(DES), WithMonteCarlo(true), WithSeed(9))
 	if res.Breakdown.CommSec <= 0 {
 		t.Fatal("straggler waits not accounted")
 	}

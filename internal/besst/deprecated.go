@@ -2,77 +2,59 @@ package besst
 
 import "besst/internal/beo"
 
-// This file holds the pre-RunConfig configuration surface. Everything
-// here is a thin shim over runconfig.go, kept so existing callers keep
-// compiling; new code should use RunConfig and the functional options.
+// This file is the pre-RunConfig configuration surface, kept as thin
+// aliases so out-of-tree callers keep compiling. Nothing in this module
+// calls it anymore; new code uses RunConfig, RunSpec, and the
+// functional options.
 
 // Options configures a simulation.
 //
 // Deprecated: use RunConfig (or the functional options of Run,
-// Replicate, and CompiledRun.RunWith), which adds concurrency and
-// instrumentation knobs in the same place.
+// Replicate, and CompiledRun.RunWith).
 type Options struct {
-	// Mode selects DES (default) or Direct execution.
-	Mode Mode
-	// MonteCarlo, when true, draws from each model's sample
-	// distribution (reproducing calibration variance); when false the
-	// simulator uses deterministic Predict values.
-	MonteCarlo bool
-	// Seed drives all randomness.
-	Seed uint64
-	// PerRankNoise controls whether compute blocks draw independent
-	// noise per rank (the step then completes at the slowest rank).
-	// Ignored when MonteCarlo is false.
+	Mode         Mode
+	MonteCarlo   bool
+	Seed         uint64
 	PerRankNoise bool
 }
 
 // Config converts the legacy Options to an equivalent RunConfig.
 func (o Options) Config() RunConfig {
-	return RunConfig{
-		Mode:         o.Mode,
-		MonteCarlo:   o.MonteCarlo,
-		Seed:         o.Seed,
-		PerRankNoise: o.PerRankNoise,
-	}
+	return RunConfig{Mode: o.Mode, MonteCarlo: o.MonteCarlo, Seed: o.Seed, PerRankNoise: o.PerRankNoise}
 }
 
 // MCOption configures a Monte Carlo invocation.
 //
-// Deprecated: MCOption is now an alias of Option; existing
-// WithConcurrency call sites work unchanged with Replicate.
+// Deprecated: MCOption is an alias of Option.
 type MCOption = Option
 
 // Run executes one replication of the compiled program.
 //
 // Deprecated: use CompiledRun.RunWith.
-func (cr *CompiledRun) Run(opt Options) *Result {
-	return cr.RunWith(opt.Config())
-}
+func (cr *CompiledRun) Run(opt Options) *Result { return cr.RunWith(opt.Config()) }
 
 // Simulate runs app on arch once and returns the result.
 //
 // Deprecated: use Run with functional options.
 func Simulate(app *beo.AppBEO, arch *beo.ArchBEO, opt Options) *Result {
-	return Compile(app, arch).RunWith(opt.Config())
+	return Run(app, arch, opt.option())
 }
 
-// MonteCarlo runs n replications with independent random streams and
-// returns all results.
+// MonteCarlo runs n replications with independent random streams.
 //
 // Deprecated: use Replicate with functional options.
 func MonteCarlo(app *beo.AppBEO, arch *beo.ArchBEO, opt Options, n int, opts ...MCOption) []*Result {
-	if n <= 0 {
-		panic("besst: non-positive Monte Carlo count")
-	}
-	return Compile(app, arch).MonteCarlo(opt, n, opts...)
+	return Replicate(app, arch, n, append([]Option{opt.option()}, opts...)...)
 }
 
-// MonteCarlo runs n replications of the compiled program, reusing the
-// compiled state across trials.
+// MonteCarlo runs n replications of the compiled program.
 //
 // Deprecated: use CompiledRun.Replicate.
 func (cr *CompiledRun) MonteCarlo(opt Options, n int, opts ...MCOption) []*Result {
-	base := opt.Config()
-	all := append([]Option{func(c *RunConfig) { *c = base }}, opts...)
-	return cr.Replicate(n, all...)
+	return cr.Replicate(n, append([]Option{opt.option()}, opts...)...)
+}
+
+// option adapts the legacy struct to a functional option.
+func (o Options) option() Option {
+	return func(c *RunConfig) { *c = o.Config() }
 }

@@ -10,19 +10,27 @@ import (
 	"besst/internal/stats"
 )
 
-// serialMonteCarloReference replicates the historical serial MonteCarlo
-// implementation exactly: one master RNG, one Uint64 draw per trial in
-// index order, one independent Simulate per trial.
-func serialMonteCarloReference(app *beo.AppBEO, arch *beo.ArchBEO, opt Options, n int) []*Result {
-	opt.MonteCarlo = true
-	master := stats.NewRNG(opt.Seed)
+// serialMonteCarloReference replicates the historical serial Monte
+// Carlo implementation exactly: one master RNG, one Uint64 draw per
+// trial in index order, one independent single run per trial.
+func serialMonteCarloReference(app *beo.AppBEO, arch *beo.ArchBEO, cfg RunConfig, n int) []*Result {
+	cfg.MonteCarlo = true
+	master := stats.NewRNG(cfg.Seed)
 	out := make([]*Result, n)
 	for i := range out {
-		o := opt
-		o.Seed = master.Uint64()
-		out[i] = Simulate(app, arch, o)
+		c := cfg
+		c.Seed = master.Uint64()
+		out[i] = Compile(app, arch).RunWith(c)
 	}
 	return out
+}
+
+// options converts a literal RunConfig to the equivalent option list,
+// letting table-driven tests feed struct literals to the functional-
+// option entry points.
+func (c RunConfig) options(extra ...Option) []Option {
+	base := func(dst *RunConfig) { *dst = c }
+	return append([]Option{base}, extra...)
 }
 
 func noisyArch() *beo.ArchBEO {
@@ -74,41 +82,41 @@ func TestMonteCarloParallelMatchesSerialReference(t *testing.T) {
 		name string
 		mode Mode
 		app  *beo.AppBEO
-		opt  Options
+		cfg  RunConfig
 		n    int
 	}{
 		{
 			name: "direct-per-rank-noise",
 			mode: Direct,
 			app:  lulesh.App(10, 64, 40, lulesh.ScenarioL1L2, cfg),
-			opt:  Options{Mode: Direct, PerRankNoise: true, Seed: 17},
+			cfg:  RunConfig{Mode: Direct, PerRankNoise: true, Seed: 17},
 			n:    12,
 		},
 		{
 			name: "direct-instance-noise",
 			mode: Direct,
 			app:  lulesh.App(10, 8, 60, lulesh.ScenarioL1, cfg),
-			opt:  Options{Mode: Direct, Seed: 23},
+			cfg:  RunConfig{Mode: Direct, Seed: 23},
 			n:    10,
 		},
 		{
 			name: "des",
 			mode: DES,
 			app:  lulesh.App(10, 8, 15, lulesh.ScenarioL1, cfg),
-			opt:  Options{Mode: DES, Seed: 31},
+			cfg:  RunConfig{Mode: DES, Seed: 31},
 			n:    6,
 		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			arch := noisyArch()
-			want := serialMonteCarloReference(tc.app, arch, tc.opt, tc.n)
+			want := serialMonteCarloReference(tc.app, arch, tc.cfg, tc.n)
 			for _, workers := range []int{1, 8} {
-				got := MonteCarlo(tc.app, arch, tc.opt, tc.n, WithConcurrency(workers))
+				got := Replicate(tc.app, arch, tc.n, tc.cfg.options(WithConcurrency(workers))...)
 				requireIdenticalResults(t, want, got, tc.name)
 			}
 			// Default concurrency (GOMAXPROCS) must agree too.
-			requireIdenticalResults(t, want, MonteCarlo(tc.app, arch, tc.opt, tc.n), tc.name+"/default")
+			requireIdenticalResults(t, want, Replicate(tc.app, arch, tc.n, tc.cfg.options()...), tc.name+"/default")
 		})
 	}
 }
@@ -121,18 +129,18 @@ func TestCompiledRunReuse(t *testing.T) {
 	arch := noisyArch()
 	cr := Compile(app, arch)
 
-	one := cr.Run(Options{Mode: Direct, Seed: 3})
-	ref := Simulate(app, arch, Options{Mode: Direct, Seed: 3})
+	one := cr.RunWith(NewRunConfig(WithMode(Direct), WithSeed(3)))
+	ref := Run(app, arch, WithMode(Direct), WithSeed(3))
 	if one.Makespan != ref.Makespan {
-		t.Fatalf("CompiledRun.Run %v != Simulate %v", one.Makespan, ref.Makespan)
+		t.Fatalf("CompiledRun.RunWith %v != Run %v", one.Makespan, ref.Makespan)
 	}
 
-	a := cr.MonteCarlo(Options{Mode: Direct, Seed: 5}, 8, WithConcurrency(4))
-	b := MonteCarlo(app, arch, Options{Mode: Direct, Seed: 5}, 8, WithConcurrency(1))
+	a := cr.Replicate(8, WithMode(Direct), WithSeed(5), WithConcurrency(4))
+	b := Replicate(app, arch, 8, WithMode(Direct), WithSeed(5), WithConcurrency(1))
 	requireIdenticalResults(t, b, a, "compiled-run reuse")
 }
 
-func TestCompiledRunMonteCarloPanicsOnBadN(t *testing.T) {
+func TestCompiledRunReplicatePanicsOnBadN(t *testing.T) {
 	app := lulesh.App(10, 8, 5, lulesh.ScenarioNoFT, cfg)
 	cr := Compile(app, constArch(1, 1, 1))
 	defer func() {
@@ -140,5 +148,5 @@ func TestCompiledRunMonteCarloPanicsOnBadN(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	cr.MonteCarlo(Options{}, 0)
+	cr.Replicate(0)
 }

@@ -1,0 +1,78 @@
+package besst
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func TestRunSpecRoundTrip(t *testing.T) {
+	cfg := NewRunConfig(
+		WithMode(Direct),
+		WithMonteCarlo(true),
+		WithSeed(99),
+		WithPerRankNoise(true),
+		WithConcurrency(4),
+	)
+	spec := cfg.Spec()
+	if spec.SchemaVersion != SpecSchemaVersion {
+		t.Fatalf("schema version %d, want %d", spec.SchemaVersion, SpecSchemaVersion)
+	}
+	back, err := spec.Config()
+	if err != nil {
+		t.Fatalf("Config: %v", err)
+	}
+	if back != cfg {
+		t.Fatalf("round trip %+v != %+v", back, cfg)
+	}
+
+	// The serialized form must survive a JSON round trip unchanged.
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded RunSpec
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if decoded != spec {
+		t.Fatalf("JSON round trip %+v != %+v", decoded, spec)
+	}
+}
+
+func TestRunSpecZeroValueIsDefaultDES(t *testing.T) {
+	cfg, err := RunSpec{}.Config()
+	if err != nil {
+		t.Fatalf("zero spec: %v", err)
+	}
+	if cfg != (RunConfig{}) {
+		t.Fatalf("zero spec config %+v, want zero RunConfig", cfg)
+	}
+}
+
+func TestRunSpecRejectsBadInputs(t *testing.T) {
+	cases := []RunSpec{
+		{SchemaVersion: 99},
+		{Mode: "warp"},
+		{Workers: MaxWorkers + 1},
+	}
+	for i, s := range cases {
+		_, err := s.Config()
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Fatalf("case %d: error %v, want *ConfigError", i, err)
+		}
+	}
+}
+
+func TestParseModeMatchesString(t *testing.T) {
+	for _, m := range []Mode{DES, Direct} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMode("nope"); err == nil {
+		t.Fatal("ParseMode accepted an unknown mode")
+	}
+}

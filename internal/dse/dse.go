@@ -66,19 +66,45 @@ type Collector interface {
 	PointDone(i int)
 }
 
-// Validate panics on an unusable sweep.
-func (c SweepConfig) Validate() {
-	if len(c.EPRs) == 0 || len(c.Ranks) == 0 || len(c.Scenarios) == 0 {
-		panic("dse: empty sweep dimension")
+// ConfigError reports an unusable sweep configuration, mirroring
+// besst.ConfigError so services and CLIs classify both the same way.
+type ConfigError struct {
+	// Field names the offending dimension; Reason says what is wrong.
+	Field, Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("dse: invalid %s: %s", e.Field, e.Reason)
+}
+
+// Validate returns a *ConfigError for an unusable sweep. It is the one
+// validation path shared by the CLIs (through PrepareSweep) and the
+// besst-serve request schema, symmetric with besst.RunConfig.Validate.
+func (c SweepConfig) Validate() error {
+	if len(c.EPRs) == 0 {
+		return &ConfigError{Field: "eprs", Reason: "empty sweep dimension"}
 	}
-	if c.Timesteps <= 0 || c.MCRuns <= 0 {
-		panic("dse: non-positive timesteps or MC runs")
+	if len(c.Ranks) == 0 {
+		return &ConfigError{Field: "ranks", Reason: "empty sweep dimension"}
+	}
+	if len(c.Scenarios) == 0 {
+		return &ConfigError{Field: "scenarios", Reason: "empty sweep dimension"}
+	}
+	if c.Timesteps <= 0 {
+		return &ConfigError{Field: "timesteps", Reason: fmt.Sprintf("non-positive timesteps %d", c.Timesteps)}
+	}
+	if c.MCRuns <= 0 {
+		return &ConfigError{Field: "mc_runs", Reason: fmt.Sprintf("non-positive MC runs %d", c.MCRuns)}
 	}
 	for i := 1; i < len(c.Ranks); i++ {
 		if c.Ranks[i] <= c.Ranks[i-1] {
-			panic("dse: ranks must be ascending")
+			return &ConfigError{Field: "ranks", Reason: "ranks must be strictly ascending (the first anchors the baseline)"}
 		}
 	}
+	if c.Workers > besst.MaxWorkers {
+		return &ConfigError{Field: "workers", Reason: fmt.Sprintf("%d workers exceeds the %d sanity bound", c.Workers, besst.MaxWorkers)}
+	}
+	return nil
 }
 
 // sweepPoint is one distinct design point of a sweep: a baseline, a
@@ -122,7 +148,9 @@ type PreparedSweep struct {
 // master seed, and warms the lazy model state so concurrent EvalPoint
 // calls only perform pure reads on the shared models.
 func PrepareSweep(models *workflow.Models, m *machine.Machine, ranksPerNode int, cfg SweepConfig) *PreparedSweep {
-	cfg.Validate()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	s := &PreparedSweep{
 		cfg:          cfg,
 		ftiCfg:       fti.Config{GroupSize: 4, NodeSize: ranksPerNode},

@@ -1,7 +1,9 @@
 package dse
 
 import (
+	"errors"
 	"math"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -185,19 +187,57 @@ func TestRankFTLevels(t *testing.T) {
 }
 
 func TestSweepConfigValidate(t *testing.T) {
-	cases := []SweepConfig{
-		{},
-		{EPRs: []int{5}, Ranks: []int{8}, Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT}, Timesteps: 0, MCRuns: 1},
-		{EPRs: []int{5}, Ranks: []int{64, 8}, Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT}, Timesteps: 1, MCRuns: 1},
+	cases := []struct {
+		cfg   SweepConfig
+		field string
+	}{
+		{SweepConfig{}, "eprs"},
+		{SweepConfig{EPRs: []int{5}, Ranks: []int{8}, Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT}, Timesteps: 0, MCRuns: 1}, "timesteps"},
+		{SweepConfig{EPRs: []int{5}, Ranks: []int{64, 8}, Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT}, Timesteps: 1, MCRuns: 1}, "ranks"},
 	}
-	for i, c := range cases {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("case %d: expected panic", i)
-				}
-			}()
-			c.Validate()
+	for i, tc := range cases {
+		err := tc.cfg.Validate()
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Fatalf("case %d: error %v, want *ConfigError", i, err)
+		}
+		if ce.Field != tc.field {
+			t.Fatalf("case %d: field %q, want %q", i, ce.Field, tc.field)
+		}
+	}
+	// PrepareSweep keeps its historical panic contract on bad configs.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("PrepareSweep accepted an invalid config")
+			}
 		}()
+		PrepareSweep(nil, nil, 2, SweepConfig{})
+	}()
+}
+
+// TestNewSweepConfigOptions proves the functional-option constructor is
+// symmetric with a struct literal: same fields, same Validate verdict.
+func TestNewSweepConfigOptions(t *testing.T) {
+	got := NewSweepConfig(
+		WithEPRs(5, 10),
+		WithRanks(8, 64),
+		WithScenarios(lulesh.ScenarioNoFT, lulesh.ScenarioL1),
+		WithTimesteps(20),
+		WithMCRuns(3),
+		WithSeed(7),
+		WithConcurrency(2),
+	)
+	want := SweepConfig{
+		EPRs:      []int{5, 10},
+		Ranks:     []int{8, 64},
+		Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT, lulesh.ScenarioL1},
+		Timesteps: 20, MCRuns: 3, Seed: 7, Workers: 2,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("NewSweepConfig = %+v, want %+v", got, want)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
 	}
 }

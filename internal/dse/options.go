@@ -1,0 +1,61 @@
+package dse
+
+import "besst/internal/lulesh"
+
+// SweepOption mutates a SweepConfig, mirroring besst.Option so the two
+// campaign configurations are constructed and validated the same way
+// everywhere — CLI flag plumbing and besst-serve requests alike.
+type SweepOption func(*SweepConfig)
+
+// WithEPRs sets the problem-size dimension of the grid.
+func WithEPRs(eprs ...int) SweepOption {
+	return func(c *SweepConfig) { c.EPRs = eprs }
+}
+
+// WithRanks sets the rank-count dimension (ascending; the first anchors
+// the per-EPR overhead baseline).
+func WithRanks(ranks ...int) SweepOption {
+	return func(c *SweepConfig) { c.Ranks = ranks }
+}
+
+// WithScenarios sets the fault-tolerance scenarios to sweep.
+func WithScenarios(scs ...lulesh.Scenario) SweepOption {
+	return func(c *SweepConfig) { c.Scenarios = scs }
+}
+
+// WithTimesteps sets the timesteps per simulated run.
+func WithTimesteps(n int) SweepOption {
+	return func(c *SweepConfig) { c.Timesteps = n }
+}
+
+// WithMCRuns sets the Monte Carlo replications per design point.
+func WithMCRuns(n int) SweepOption {
+	return func(c *SweepConfig) { c.MCRuns = n }
+}
+
+// WithSeed sets the master seed; per-point seeds are pre-drawn from it
+// in enumeration order.
+func WithSeed(seed uint64) SweepOption {
+	return func(c *SweepConfig) { c.Seed = seed }
+}
+
+// WithConcurrency bounds how many grid cells are evaluated at once
+// (<= 0: GOMAXPROCS). Results are identical for every worker count.
+func WithConcurrency(n int) SweepOption {
+	return func(c *SweepConfig) { c.Workers = n }
+}
+
+// WithCollector attaches a sweep-timing collector (nil detaches).
+func WithCollector(col Collector) SweepOption {
+	return func(c *SweepConfig) { c.Collector = col }
+}
+
+// NewSweepConfig applies opts to a zero SweepConfig. Call Validate (or
+// PrepareSweep, which validates) before evaluating.
+func NewSweepConfig(opts ...SweepOption) SweepConfig {
+	var cfg SweepConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}

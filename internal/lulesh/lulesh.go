@@ -130,6 +130,27 @@ var (
 	}}
 )
 
+// ParseScenario resolves a scenario flag value ("noft", "l1", "l1l2")
+// to a deep copy of the corresponding case-study scenario, so callers
+// may adjust checkpoint periods without mutating the shared variables.
+// It is the one scenario-name path shared by the CLI flags and the
+// besst-serve request schema.
+func ParseScenario(name string) (Scenario, error) {
+	var sc Scenario
+	switch name {
+	case "noft":
+		sc = ScenarioNoFT
+	case "l1":
+		sc = ScenarioL1
+	case "l1l2":
+		sc = ScenarioL1L2
+	default:
+		return Scenario{}, fmt.Errorf("lulesh: unknown scenario %q (want noft, l1, or l1l2)", name)
+	}
+	sc.Schedules = append([]CkptSchedule(nil), sc.Schedules...)
+	return sc, nil
+}
+
 // App builds the LULESH AppBEO for the given problem size, rank count,
 // timestep count, and fault-tolerance scenario. It panics on parameter
 // combinations LULESH or FTI reject, mirroring the real launchers.

@@ -97,7 +97,7 @@ func TestCGEndToEnd(t *testing.T) {
 	for op, m := range models.ByOp {
 		arch.Bind(op, m)
 	}
-	res := besst.Simulate(app, arch, besst.Options{Mode: besst.DES})
+	res := besst.Run(app, arch, besst.WithMode(besst.DES))
 	if res.Makespan <= 0 || len(res.CkptTimes) != 4 {
 		t.Fatalf("bad result: makespan %v, %d ckpts", res.Makespan, len(res.CkptTimes))
 	}

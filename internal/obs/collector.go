@@ -257,6 +257,50 @@ func (c *Collector) EngineTotals(processed uint64, peakQueueDepth int) {
 	c.mu.Unlock()
 }
 
+// Progress is a lightweight live snapshot of campaign advancement —
+// the document besst-serve streams to polling clients. Unlike Snapshot
+// it allocates nothing per partition and samples no runtime metrics.
+type Progress struct {
+	// TrialsStarted/TrialsDone count Monte Carlo trial brackets;
+	// PointsStarted/PointsDone count DSE sweep-point brackets.
+	TrialsStarted int `json:"trials_started,omitempty"`
+	TrialsDone    int `json:"trials_done,omitempty"`
+	PointsStarted int `json:"points_started,omitempty"`
+	PointsDone    int `json:"points_done,omitempty"`
+	// EventsProcessed is the running DES event total across trials.
+	EventsProcessed uint64 `json:"events_processed,omitempty"`
+	// Fault provenance so far: failed attempts, quarantined trials, and
+	// trials replayed from a checkpoint journal on resume.
+	Retries     int `json:"retries,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
+	Replayed    int `json:"replayed,omitempty"`
+}
+
+// Progress returns the collector's current campaign progress.
+func (c *Collector) Progress() Progress {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := Progress{
+		TrialsStarted:   len(c.trials),
+		PointsStarted:   len(c.points),
+		EventsProcessed: c.eventsProcessed,
+		Retries:         len(c.retries),
+		Quarantined:     len(c.quarantined),
+		Replayed:        c.replayed,
+	}
+	for _, s := range c.trials {
+		if s.done {
+			p.TrialsDone++
+		}
+	}
+	for _, s := range c.points {
+		if s.done {
+			p.PointsDone++
+		}
+	}
+	return p
+}
+
 // PhaseStart opens a named wall-clock phase and returns a function that
 // closes it. Phases may nest or overlap; they are reported in start
 // order.

@@ -283,3 +283,30 @@ func TestTeeForwardsAdaptiveHooks(t *testing.T) {
 		t.Fatalf("trace buffer grew %d records from adaptive hooks", buf.Len())
 	}
 }
+
+// TestCollectorProgress exercises the lightweight progress snapshot the
+// service layer polls: started/done span counts, engine totals, and
+// fault provenance, without a full Snapshot.
+func TestCollectorProgress(t *testing.T) {
+	c := NewCollector()
+	c.TrialStart(0)
+	c.TrialDone(0)
+	c.TrialStart(1)
+	c.PointStart(0)
+	c.PointDone(0)
+	c.EngineTotals(123, 4)
+	c.TrialRetry(1, 1)
+	c.TrialQuarantined(2, 3)
+	c.TrialsReplayed(5)
+
+	p := c.Progress()
+	want := Progress{
+		TrialsStarted: 2, TrialsDone: 1,
+		PointsStarted: 1, PointsDone: 1,
+		EventsProcessed: 123,
+		Retries:         1, Quarantined: 1, Replayed: 5,
+	}
+	if p != want {
+		t.Fatalf("Progress = %+v, want %+v", p, want)
+	}
+}

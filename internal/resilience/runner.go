@@ -127,6 +127,12 @@ type Campaign struct {
 	Chaos ChaosConfig
 	// Collector, when non-nil, receives fault-provenance callbacks.
 	Collector FaultCollector
+	// Cancel, when non-nil and closed, drains the campaign: trials not
+	// yet started are skipped (left unrun, neither completed nor
+	// quarantined) while in-flight trials finish and are journaled. A
+	// drained campaign resumes exactly where it stopped — the graceful
+	// SIGTERM path of besst-serve.
+	Cancel <-chan struct{}
 }
 
 // Report is the campaign's explicit fault provenance: the partial
@@ -136,6 +142,9 @@ type Report struct {
 	// (including replayed ones), Replayed how many came from the
 	// journal.
 	N, Completed, Replayed int
+	// Skipped is how many trials a cancelled campaign left unrun; they
+	// are re-run on resume.
+	Skipped int
 	// FailedIndices lists quarantined trials, ascending.
 	FailedIndices []int
 	// Attempts maps every trial that needed more than one attempt to
@@ -222,6 +231,9 @@ func (c Campaign) Run(n int, work WorkFunc) ([]json.RawMessage, Report, error) {
 	var mu sync.Mutex // guards rep across workers
 	errs := par.ForEachIsolated(c.Workers, len(missing), func(k int) error {
 		i := missing[k]
+		if c.cancelled() {
+			return nil // drained: leave the trial unrun for resume
+		}
 		payload, attempts, err := c.runTrial(i, work, inj, retry)
 		mu.Lock()
 		if attempts > 1 {
@@ -265,7 +277,21 @@ func (c Campaign) Run(n int, work WorkFunc) ([]json.RawMessage, Report, error) {
 			rep.Completed++
 		}
 	}
+	rep.Skipped = rep.N - rep.Completed - len(rep.FailedIndices)
 	return results, rep, firstErr
+}
+
+// cancelled reports whether the campaign's cancel channel is closed.
+func (c Campaign) cancelled() bool {
+	if c.Cancel == nil {
+		return false
+	}
+	select {
+	case <-c.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // runTrial is the per-trial fault envelope: chaos injection, recover(),

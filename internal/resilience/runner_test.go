@@ -320,3 +320,64 @@ func TestDecode(t *testing.T) {
 		t.Error("Decode accepted malformed payload")
 	}
 }
+
+// TestRunCancelDrainsAndResumes proves the graceful-drain contract: a
+// campaign cancelled mid-run journals what completed, skips the rest
+// without quarantining anything, and a resumed campaign finishes with
+// payloads byte-identical to an uninterrupted run.
+func TestRunCancelDrainsAndResumes(t *testing.T) {
+	const n = 16
+	path := filepath.Join(t.TempDir(), "CKPT_cancel.jsonl")
+	camp := Campaign{
+		Tool: "cancel", Path: path, ConfigHash: "cancel-v1", Seed: 9,
+		Workers: 1, CkptEvery: 1,
+	}
+
+	ref, rep, err := Campaign{Workers: 1}.Run(n, fakeWork(9, n))
+	if err != nil || rep.Completed != n {
+		t.Fatalf("reference: %+v, %v", rep, err)
+	}
+
+	// Cancel after the 5th trial completes: the work func closes the
+	// channel itself, so the cut point is deterministic.
+	cancel := make(chan struct{})
+	inner := fakeWork(9, n)
+	var ran int
+	interrupted := camp
+	interrupted.Cancel = cancel
+	payloads, rep, err := interrupted.Run(n, func(i int) (json.RawMessage, error) {
+		ran++
+		if ran == 5 {
+			close(cancel)
+		}
+		return inner(i)
+	})
+	if err != nil {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	if rep.Completed != 5 || rep.Skipped != n-5 || len(rep.FailedIndices) != 0 {
+		t.Fatalf("drain report: %+v", rep)
+	}
+	for i, p := range payloads {
+		if (p != nil) != (i < 5) {
+			t.Fatalf("payload %d presence = %v", i, p != nil)
+		}
+	}
+
+	// Resume with no cancel channel: only the skipped trials run, and
+	// the payload vector matches the uninterrupted reference exactly.
+	resumed := camp
+	resumed.Resume = true
+	payloads, rep, err = resumed.Run(n, fakeWork(9, n))
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if rep.Completed != n || rep.Replayed != 5 || rep.Skipped != 0 {
+		t.Fatalf("resume report: %+v", rep)
+	}
+	for i := range ref {
+		if string(payloads[i]) != string(ref[i]) {
+			t.Fatalf("trial %d: resumed payload %s != reference %s", i, payloads[i], ref[i])
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is the compile-once artifact cache: an LRU keyed by canonical
+// config hash with single-flight admission. The first request for a key
+// builds the artifact while every concurrent request for the same key
+// blocks on the entry's ready channel instead of compiling a duplicate;
+// later requests hit the finished entry. Model bundles and compiled
+// apps share one cache (prefixed keys), so the capacity bounds total
+// retained artifacts, and the cache is tenant-agnostic: two tenants
+// posting the same config share one compilation.
+type cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*cacheEntry
+	lru     *list.List // front = most recently used
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+type cacheEntry struct {
+	key   string
+	elem  *list.Element
+	ready chan struct{} // closed once val/err are set
+	val   any
+	err   error
+}
+
+// CacheStats is the /v1/statz view of the cache.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func newCache(capacity int) *cache {
+	if capacity <= 0 {
+		capacity = 8
+	}
+	return &cache{
+		cap:     capacity,
+		entries: make(map[string]*cacheEntry),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the artifact for key, building it at most once per
+// residency. The second return reports whether the request was a cache
+// hit (including joining a build already in flight — the compilation is
+// still skipped). Failed builds are not cached: the error is returned
+// to every joined waiter, then the entry is dropped so a later request
+// can retry.
+func (c *cache) Get(key string, build func() (any, error)) (any, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.val, true, e.err
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.val, e.err = build()
+	close(e.ready)
+
+	c.mu.Lock()
+	if e.err != nil {
+		// Only drop the entry if it is still ours — a failed build may
+		// already have been evicted by concurrent inserts.
+		if cur, ok := c.entries[key]; ok && cur == e {
+			delete(c.entries, key)
+			c.lru.Remove(e.elem)
+		}
+	} else {
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	return e.val, false, e.err
+}
+
+// evictLocked trims least-recently-used finished entries beyond cap.
+// In-flight entries are never evicted (waiters hold their pointer and
+// they are by construction near the front anyway).
+func (c *cache) evictLocked() {
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*cacheEntry)
+		select {
+		case <-e.ready:
+		default:
+			return // oldest entry still building; nothing evictable behind it
+		}
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.evicted++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.entries),
+		Capacity:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evicted,
+	}
+}

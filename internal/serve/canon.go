@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Canonical request hashing. The campaign ID — and with it the compile
+// cache key, the checkpoint-journal manifest hash, and the derived
+// master seed — is the SHA-256 of the request body's *canonical* JSON
+// form, so two semantically identical requests can never produce two
+// cache entries or two divergent campaigns. Canonicalization:
+//
+//   - object keys are sorted lexicographically,
+//   - strings are re-encoded (escape spellings collapse: "A" == "A"),
+//   - numbers are normalized: integer literals keep their exact digits
+//     (minus "-0" and a redundant sign), every other spelling is parsed
+//     as float64 and re-emitted in shortest round-trippable form, so
+//     1.0, 1e0, and 1 all canonicalize to "1",
+//   - insignificant whitespace is dropped.
+//
+// The one caveat: an integer literal too large for exact float64
+// representation keeps its digits verbatim, so spelling it in exponent
+// notation (1e20 vs 100000000000000000000) is treated as a distinct
+// config rather than silently losing precision on 64-bit seeds.
+
+// CanonicalJSON returns the canonical encoding of one JSON document.
+func CanonicalJSON(raw []byte) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("serve: invalid JSON: %w", err)
+	}
+	var trailing any
+	if err := dec.Decode(&trailing); err == nil || dec.More() {
+		return nil, fmt.Errorf("serve: trailing content after JSON document")
+	}
+	var b bytes.Buffer
+	if err := writeCanonical(&b, v); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// writeCanonical appends v's canonical encoding to b.
+func writeCanonical(b *bytes.Buffer, v any) error {
+	switch x := v.(type) {
+	case nil:
+		b.WriteString("null")
+	case bool:
+		if x {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case string:
+		enc, err := json.Marshal(x)
+		if err != nil {
+			return err
+		}
+		b.Write(enc)
+	case json.Number:
+		s, err := canonicalNumber(x)
+		if err != nil {
+			return err
+		}
+		b.WriteString(s)
+	case []any:
+		b.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if err := writeCanonical(b, e); err != nil {
+				return err
+			}
+		}
+		b.WriteByte(']')
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			enc, err := json.Marshal(k)
+			if err != nil {
+				return err
+			}
+			b.Write(enc)
+			b.WriteByte(':')
+			if err := writeCanonical(b, x[k]); err != nil {
+				return err
+			}
+		}
+		b.WriteByte('}')
+	default:
+		return fmt.Errorf("serve: unexpected JSON value %T", v)
+	}
+	return nil
+}
+
+// canonicalNumber normalizes one JSON number literal.
+func canonicalNumber(n json.Number) (string, error) {
+	s := string(n)
+	if !bytes.ContainsAny([]byte(s), ".eE") {
+		// Integer literal: exact digits, normalized sign ("-0" -> "0").
+		if s == "-0" {
+			return "0", nil
+		}
+		return s, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return "", fmt.Errorf("serve: bad number %q: %w", s, err)
+	}
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return "", fmt.Errorf("serve: number %q out of float64 range", s)
+	}
+	if f == 0 { //lint:ignore floateq exact-zero test collapsing the -0.0 spelling
+		return "0", nil
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64), nil
+}
+
+// HashRequest canonicalizes a request body and returns its campaign ID
+// (the first 16 hex digits of the canonical SHA-256) alongside the
+// canonical bytes and the full digest.
+func HashRequest(raw []byte) (id string, canonical []byte, sum [sha256.Size]byte, err error) {
+	canonical, err = CanonicalJSON(raw)
+	if err != nil {
+		return "", nil, sum, err
+	}
+	sum = sha256.Sum256(canonical)
+	return hex.EncodeToString(sum[:])[:16], canonical, sum, nil
+}
+
+// DeriveSeed maps a request digest to the campaign's master seed — the
+// per-request deterministic seed used whenever the request leaves its
+// seed unpinned (zero), keeping every response byte-reproducible from
+// its request hash alone.
+func DeriveSeed(sum [sha256.Size]byte) uint64 {
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"besst/internal/beo"
+	"besst/internal/besst"
+	"besst/internal/dse"
+	"besst/internal/groundtruth"
+	"besst/internal/lulesh"
+	"besst/internal/resilience"
+	"besst/internal/stats"
+	"besst/internal/workflow"
+)
+
+// modelArtifact is a cached model-development result: the emulator
+// (machine description + FTI cost config) and the fitted model bundle.
+type modelArtifact struct {
+	em     *groundtruth.Emulator
+	models *workflow.Models
+}
+
+// compiledArtifact is a cached compiled application: the AppBEO bound
+// to its modeled architecture, ready for RunWith/Replicate at any
+// seed or worker count.
+type compiledArtifact struct {
+	cr *besst.CompiledRun
+}
+
+// cacheKey builds a canonical cache key from a defaulted spec struct.
+// encoding/json emits struct fields in declaration order, so equal
+// specs always produce equal keys.
+func cacheKey(prefix string, v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("serve: cache key marshal: %v", err))
+	}
+	return prefix + "|" + string(b)
+}
+
+// models fetches (or develops) the model artifact for a plan's model
+// spec through the compile cache.
+func (s *Server) models(spec ModelSpec) (*modelArtifact, bool, error) {
+	v, hit, err := s.cache.Get(cacheKey("model", spec), func() (art any, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("serve: model development failed: %v", r)
+			}
+		}()
+		method := workflow.SymbolicRegression
+		if spec.Method == "interp" {
+			method = workflow.Interpolation
+		}
+		em := groundtruth.NewQuartz()
+		models, _ := workflow.DevelopLuleshQuartz(em, spec.Samples, method, spec.Seed)
+		return &modelArtifact{em: em, models: models}, nil
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*modelArtifact), hit, nil
+}
+
+// compiled fetches (or builds) the compiled application for a plan
+// through the compile cache. The key covers the model spec and the app
+// spec — everything that determines the compiled artifact — but not
+// the run spec, seed, or tenant, so re-posts and seed variations of
+// one config always hit.
+func (s *Server) compiled(pl *plan) (*compiledArtifact, bool, error) {
+	ma, _, err := s.models(*pl.req.Model)
+	if err != nil {
+		return nil, false, err
+	}
+	key := cacheKey("app", struct {
+		Model ModelSpec
+		App   AppSpec
+	}{*pl.req.Model, *pl.req.App})
+	v, hit, err := s.cache.Get(key, func() (art any, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("serve: compile failed: %v", r)
+			}
+		}()
+		cfg := ma.em.Cost.Config
+		app := lulesh.App(pl.req.App.EPR, pl.req.App.Ranks, pl.req.App.Steps, pl.scenario, cfg)
+		arch := beo.NewArchBEO(ma.em.M, cfg.NodeSize)
+		workflow.BindLulesh(arch, ma.models)
+		if verr := arch.Validate(app); verr != nil {
+			return nil, fmt.Errorf("serve: compile failed: %w", verr)
+		}
+		cr, cerr := besst.CompileErr(app, arch)
+		if cerr != nil {
+			return nil, fmt.Errorf("serve: compile failed: %w", cerr)
+		}
+		return &compiledArtifact{cr: cr}, nil
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*compiledArtifact), hit, nil
+}
+
+// campaignFor assembles the resilience envelope for one campaign: the
+// checkpoint journal lives under the state directory keyed by the
+// campaign ID, so a drained or crashed campaign resumes exactly where
+// it stopped when the identical request is re-posted.
+func (s *Server) campaignFor(c *campaign) resilience.Campaign {
+	camp := resilience.Campaign{
+		Tool:       "serve_" + c.plan.id,
+		ConfigHash: c.plan.id,
+		Seed:       c.plan.seed,
+		Workers:    s.workersFor(c.plan),
+		CkptEvery:  1,
+		Collector:  c.collector,
+		Cancel:     s.draining,
+	}
+	if s.cfg.StateDir != "" {
+		camp.Path = resilience.JournalPath(s.cfg.StateDir, camp.Tool)
+		if _, err := os.Stat(camp.Path); err == nil {
+			camp.Resume = true
+		}
+	}
+	return camp
+}
+
+// workersFor resolves a plan's replication worker count: the request's
+// run.workers if pinned, otherwise the server default.
+func (s *Server) workersFor(pl *plan) int {
+	if pl.runCfg.Workers > 0 {
+		return pl.runCfg.Workers
+	}
+	return s.cfg.Workers
+}
+
+// execute runs one admitted campaign to its result document. A nil
+// body with a nil error means the campaign was drained mid-flight
+// (state interrupted); its journal holds the completed prefix.
+func (s *Server) execute(c *campaign) (body []byte, cacheHit bool, err error) {
+	if c.plan.req.Kind == KindSweep {
+		return s.executeSweep(c)
+	}
+	return s.executeRun(c)
+}
+
+// executeRun handles single and monte_carlo campaigns.
+func (s *Server) executeRun(c *campaign) ([]byte, bool, error) {
+	pl := c.plan
+	art, hit, err := s.compiled(pl)
+	if err != nil {
+		return nil, hit, err
+	}
+
+	cfg := pl.runCfg
+	cfg.Workers = s.workersFor(pl)
+	var col besst.Collector = c.collector
+	if s.trialPause > 0 {
+		col = pacedCollector{Collector: col, pause: s.trialPause}
+	}
+	opts := []besst.Option{
+		func(dst *besst.RunConfig) { *dst = cfg },
+		besst.WithCollector(col),
+	}
+
+	if pl.req.Kind == KindSingle {
+		if s.isDraining() {
+			return nil, hit, nil
+		}
+		res := art.cr.RunWith(besst.NewRunConfig(opts...))
+		return marshalResult(resultDoc(pl, []*besst.Result{res}, nil)), hit, nil
+	}
+
+	camp := s.campaignFor(c)
+	results, rep, err := resilience.ReplicateResumable(art.cr, pl.trials, camp, opts...)
+	if err != nil {
+		return nil, hit, err
+	}
+	if rep.Skipped > 0 {
+		return nil, hit, nil // drained; journal holds the completed prefix
+	}
+	runs := make([]*besst.Result, 0, len(results))
+	for _, r := range results {
+		if r != nil {
+			runs = append(runs, r)
+		}
+	}
+	if len(runs) == 0 {
+		return nil, hit, fmt.Errorf("serve: every trial was quarantined")
+	}
+	return marshalResult(resultDoc(pl, runs, rep.FailedIndices)), hit, nil
+}
+
+// executeSweep handles dse_sweep campaigns.
+func (s *Server) executeSweep(c *campaign) ([]byte, bool, error) {
+	pl := c.plan
+	ma, hit, err := s.models(*pl.req.Model)
+	if err != nil {
+		return nil, hit, err
+	}
+	cfg := pl.sweepCfg
+	cfg.Workers = s.workersFor(pl)
+	cfg.Collector = c.collector
+
+	prepared := dse.PrepareSweep(ma.models, ma.em.M, ma.em.Cost.Config.NodeSize, cfg)
+	camp := s.campaignFor(c)
+	cells, rep, err := resilience.SweepResumable(prepared, camp)
+	if err != nil {
+		return nil, hit, err
+	}
+	if rep.Skipped > 0 {
+		return nil, hit, nil
+	}
+	doc := CampaignResult{
+		SchemaVersion: RequestSchemaVersion,
+		ID:            pl.id,
+		Kind:          pl.req.Kind,
+		Run:           pl.effectiveSpec(),
+		Cells:         cells,
+		FailedPoints:  rep.FailedIndices,
+	}
+	return marshalResult(doc), hit, nil
+}
+
+// resultDoc builds the single/monte_carlo result document from the
+// completed runs (in trial order).
+func resultDoc(pl *plan, runs []*besst.Result, failed []int) CampaignResult {
+	summary := stats.Summarize(besst.Makespans(runs))
+	first := runs[0]
+	return CampaignResult{
+		SchemaVersion: RequestSchemaVersion,
+		ID:            pl.id,
+		Kind:          pl.req.Kind,
+		Run:           pl.effectiveSpec(),
+		Trials:        pl.trials,
+		Makespan:      &summary,
+		Makespans:     besst.Makespans(runs),
+		EventsPerRun:  first.Events,
+		CkptTimes:     first.CkptTimes,
+		Breakdown:     &first.Breakdown,
+		FailedTrials:  failed,
+	}
+}
+
+// marshalResult renders the result document. Indentation is fixed so
+// the bytes are stable for golden diffs and byte-identity checks.
+func marshalResult(doc CampaignResult) []byte {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("serve: marshal result: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// pacedCollector slows every trial bracket by a fixed pause — a test
+// hook for exercising queue backpressure and drain timing without
+// inflating campaign sizes.
+type pacedCollector struct {
+	besst.Collector
+	pause time.Duration
+}
+
+func (p pacedCollector) TrialStart(i int) {
+	time.Sleep(p.pause)
+	p.Collector.TrialStart(i)
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// SmokeConfig parameterizes the self-contained service smoke check.
+type SmokeConfig struct {
+	// Golden, when non-empty, is the committed result document the
+	// quickstart campaign must reproduce byte-for-byte.
+	Golden string
+	// Update rewrites Golden from the live result instead of diffing.
+	Update bool
+}
+
+// smokeRequest is the README quickstart campaign: a small direct-mode
+// Monte Carlo run whose result document is committed as a golden file.
+// Everything is pinned (seed included) so the bytes are stable.
+const smokeRequest = `{
+  "schema_version": 1,
+  "kind": "monte_carlo",
+  "tenant": "smoke",
+  "trials": 5,
+  "run": {"schema_version": 1, "mode": "direct", "monte_carlo": true, "per_rank_noise": true, "seed": 7},
+  "app": {"epr": 5, "ranks": 8, "steps": 20, "scenario": "l1", "period": 10},
+  "model": {"method": "interp", "samples": 2, "seed": 1}
+}`
+
+// Smoke boots an in-process server on a loopback port, runs the
+// quickstart campaign twice over real HTTP, and verifies the service
+// invariants end to end:
+//
+//   - both result bodies are byte-identical (cold vs warm compile cache),
+//   - the second submission hit the compile cache (/v1/statz counters),
+//   - the result matches the committed golden document.
+//
+// It runs without a state directory on purpose: the second POST must
+// genuinely re-simulate through the warm cache, not replay a journal.
+func Smoke(out io.Writer, cfg SmokeConfig) error {
+	srv := NewServer(Config{MaxActive: 2, MaxQueued: 8, MaxPerTenant: 2, CacheCap: 4})
+	defer srv.Drain()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("serve smoke: listen: %w", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer func() { _ = httpSrv.Close() }()
+	base := "http://" + ln.Addr().String()
+
+	first, err := runSmokeCampaign(base)
+	if err != nil {
+		return err
+	}
+	second, err := runSmokeCampaign(base)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(first, second) {
+		return fmt.Errorf("serve smoke: cold and warm result bodies differ (%d vs %d bytes)", len(first), len(second))
+	}
+
+	var st Statz
+	if err := getJSON(base+"/v1/statz", &st); err != nil {
+		return err
+	}
+	if st.Cache.Hits == 0 {
+		return fmt.Errorf("serve smoke: second identical request did not hit the compile cache (hits=0, misses=%d)", st.Cache.Misses)
+	}
+
+	if cfg.Golden != "" {
+		if cfg.Update {
+			if err := os.WriteFile(cfg.Golden, first, 0o644); err != nil {
+				return fmt.Errorf("serve smoke: update golden: %w", err)
+			}
+			_, _ = fmt.Fprintf(out, "serve smoke: golden updated: %s (%d bytes)\n", cfg.Golden, len(first))
+		} else {
+			want, err := os.ReadFile(cfg.Golden)
+			if err != nil {
+				return fmt.Errorf("serve smoke: read golden (run with -update-golden to create): %w", err)
+			}
+			if !bytes.Equal(first, want) {
+				return fmt.Errorf("serve smoke: result diverged from golden %s (%d vs %d bytes); "+
+					"if the change is intentional, regenerate with -update-golden", cfg.Golden, len(first), len(want))
+			}
+		}
+	}
+	_, _ = fmt.Fprintf(out, "serve smoke OK: byte-identical cold/warm results, compile cache hits=%d misses=%d\n",
+		st.Cache.Hits, st.Cache.Misses)
+	return nil
+}
+
+// runSmokeCampaign posts the quickstart request, waits for completion,
+// and fetches the result body.
+func runSmokeCampaign(base string) ([]byte, error) {
+	resp, err := http.Post(base+"/v1/campaigns", "application/json", bytes.NewReader([]byte(smokeRequest)))
+	if err != nil {
+		return nil, fmt.Errorf("serve smoke: POST: %w", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("serve smoke: POST response: %w", err)
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve smoke: POST status %d: %s", resp.StatusCode, body)
+	}
+	var st CampaignStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, fmt.Errorf("serve smoke: decode status: %w", err)
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if err := getJSON(base+"/v1/campaigns/"+st.ID, &st); err != nil {
+			return nil, err
+		}
+		if st.State == stateDone {
+			break
+		}
+		if st.State == stateFailed || st.State == stateInterrupted {
+			return nil, fmt.Errorf("serve smoke: campaign %s is %s: %s", st.ID, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("serve smoke: campaign %s still %s after 2m", st.ID, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	res, err := http.Get(base + "/v1/campaigns/" + st.ID + "/result")
+	if err != nil {
+		return nil, fmt.Errorf("serve smoke: GET result: %w", err)
+	}
+	defer func() { _ = res.Body.Close() }()
+	out, err := io.ReadAll(res.Body)
+	if err != nil {
+		return nil, fmt.Errorf("serve smoke: read result: %w", err)
+	}
+	if res.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve smoke: result status %d: %s", res.StatusCode, out)
+	}
+	return out, nil
+}
+
+// getJSON fetches one JSON document.
+func getJSON(url string, doc any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("serve smoke: GET %s: %w", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("serve smoke: read %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve smoke: GET %s status %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, doc); err != nil {
+		return fmt.Errorf("serve smoke: decode %s: %w", url, err)
+	}
+	return nil
+}
