@@ -1,15 +1,17 @@
 GO ?= go
 
-.PHONY: check build test vet fmt lint lint-self lint-fixtures lint-fixtures-verify race bench parbench bench-parallel bench-hotpath bench-compare profile trace-fixtures chaos fuzz serve-smoke
+.PHONY: check build test vet fmt lint lint-self lint-fixtures lint-fixtures-verify race bench parbench bench-parallel bench-hotpath bench-compare profile trace-fixtures chaos fuzz serve-smoke dist-smoke
 
 # check is the tier-1 gate: formatting, static analysis (vet and
 # besst-lint, including the analyzer linting itself and its golden
 # fixtures verified against the committed tree), build, the
 # race-enabled internal test suite (the parallel tiers are only trusted
 # under -race), the observability fixtures, the campaign-resilience
-# chaos/crash suite, the simulation-service smoke gate, and the
-# hot-path and parallel-scaling bench-regression gates.
-check: fmt vet lint lint-self lint-fixtures-verify build race trace-fixtures chaos serve-smoke bench-compare bench-parallel
+# chaos/crash suite, the simulation-service smoke gate, the
+# distributed-execution smoke gate (real worker processes, one
+# chaos-killed mid-run), and the hot-path and parallel-scaling
+# bench-regression gates.
+check: fmt vet lint lint-self lint-fixtures-verify build race trace-fixtures chaos serve-smoke dist-smoke bench-compare bench-parallel
 
 build:
 	$(GO) build ./...
@@ -111,6 +113,16 @@ chaos:
 #   go run ./cmd/besst-serve -smoke -golden results/GOLDEN_serve_smoke.json -update-golden
 serve-smoke: build
 	$(GO) run ./cmd/besst-serve -smoke -golden results/GOLDEN_serve_smoke.json
+
+# dist-smoke is the distributed-execution gate: the coordinator runs
+# the quickstart campaign over three real besst-worker processes across
+# a matrix of shard counts and replication degrees — one worker
+# chaos-configured to SIGKILL itself mid-shard — and every merged
+# result must be byte-identical to the single-process reference and to
+# the committed serve golden, with the worker loss actually observed
+# (retries > 0, workers lost > 0).
+dist-smoke: build
+	$(GO) run ./cmd/besst-worker -smoke -golden results/GOLDEN_serve_smoke.json
 
 # fuzz runs the short corruption fuzzers: the checkpoint-journal reader
 # (torn tails, garbage lines) and the AppBEO JSON decoder.

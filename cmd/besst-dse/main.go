@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"os"
 
+	"besst/internal/besst"
 	"besst/internal/cli"
 	"besst/internal/dse"
 	"besst/internal/groundtruth"
 	"besst/internal/lulesh"
 	"besst/internal/resilience"
+	"besst/internal/serve"
 	"besst/internal/workflow"
 )
 
@@ -39,12 +41,51 @@ func main() {
 	epr := flag.Int("epr", 15, "design point for FT-level ranking: problem size")
 	ranks := flag.Int("ranks", 216, "design point for FT-level ranking: ranks")
 	common := cli.RegisterCommon(flag.CommandLine, 0)
+	distFlags := cli.RegisterDist(flag.CommandLine)
 	flag.Parse()
 
 	out := cli.NewPrinter(os.Stdout)
 	ses, err := common.Begin("besst-dse")
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	// -dist: run the overhead sweep as a dse_sweep campaign on a
+	// besst-worker fleet and print the merged result document. The
+	// pruning report needs the local benchmark campaign, so it is
+	// skipped — run without -dist for it.
+	if distFlags.Enabled() {
+		req := serve.CampaignRequest{
+			SchemaVersion: serve.RequestSchemaVersion,
+			Kind:          serve.KindSweep,
+			// Seed+1 mirrors the local path's dse.WithSeed(common.Seed+1).
+			Run:   besst.RunSpec{SchemaVersion: 1, Seed: common.Seed + 1},
+			Model: &serve.ModelSpec{Method: "symreg", Samples: *samples, Seed: common.Seed},
+			Sweep: &serve.SweepSpec{
+				EPRs:      []int{10, 15, 20, 25},
+				Ranks:     []int{64, 216, 1000},
+				Scenarios: []string{"noft", "l1", "l1l2"},
+				Timesteps: *steps,
+				MCRuns:    *mc,
+			},
+		}
+		raw, err := json.Marshal(req)
+		if err != nil {
+			fatalf("marshal campaign request: %v", err)
+		}
+		progress := cli.NewPrinter(os.Stderr)
+		progress.Printf("dist: pruning report skipped (needs the local benchmark campaign)\n")
+		doc, err := cli.RunDist(distFlags, progress, raw)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if _, err := out.Write(doc); err != nil {
+			fatalf("writing output: %v", err)
+		}
+		if err := ses.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	}
 	em := groundtruth.NewQuartz()
 	if !common.JSON {

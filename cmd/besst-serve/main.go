@@ -18,8 +18,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"besst/internal/dist"
 	"besst/internal/serve"
+	"besst/internal/serveclient"
 )
 
 func main() {
@@ -30,16 +33,43 @@ func main() {
 	maxQueued := flag.Int("max-queued", 16, "admission queue bound; beyond it POST answers 429")
 	maxActive := flag.Int("max-active", 2, "concurrently running campaigns")
 	maxTenant := flag.Int("max-tenant", 1, "per-tenant concurrently running campaigns")
+	authToken := flag.String("auth-token", "", "shared bearer token required on every endpoint except /v1/healthz; empty disables auth")
+	campaignTTL := flag.Duration("campaign-ttl", 0, "evict settled campaigns from the registry after this long (0: keep forever)")
+	workersAddr := flag.String("workers-addr", "", "comma-separated besst-worker base URLs; campaigns execute on that fleet instead of in-process")
+	distShards := flag.Int("dist-shards", 0, "index-range shards per campaign for -workers-addr (0: one per worker)")
+	distReplicas := flag.Int("dist-replicas", 1, "functional-replication degree for -workers-addr")
 	smoke := flag.Bool("smoke", false, "run the self-contained service smoke check and exit")
 	golden := flag.String("golden", "", "golden result document for -smoke")
 	update := flag.Bool("update-golden", false, "rewrite the -smoke golden instead of diffing")
 	flag.Parse()
 
 	if *smoke {
-		if err := serve.Smoke(os.Stdout, serve.SmokeConfig{Golden: *golden, Update: *update}); err != nil {
+		if err := serveclient.Smoke(os.Stdout, serveclient.SmokeConfig{Golden: *golden, Update: *update}); err != nil {
 			fatalf("%v", err)
 		}
 		return
+	}
+
+	var backend serve.Backend
+	if *workersAddr != "" {
+		var urls []string
+		for _, w := range strings.Split(*workersAddr, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				urls = append(urls, w)
+			}
+		}
+		c, err := dist.NewCoordinator(dist.Config{
+			Workers:   urls,
+			Shards:    *distShards,
+			Replicas:  *distReplicas,
+			AuthToken: *authToken,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		backend = dist.ServeBackend(c)
+		fmt.Fprintf(os.Stderr, "besst-serve executing campaigns on %d workers (shards=%d, replicas=%d)\n",
+			len(urls), *distShards, *distReplicas)
 	}
 
 	srv := serve.NewServer(serve.Config{
@@ -49,6 +79,9 @@ func main() {
 		MaxQueued:    *maxQueued,
 		MaxActive:    *maxActive,
 		MaxPerTenant: *maxTenant,
+		AuthToken:    *authToken,
+		CampaignTTL:  *campaignTTL,
+		Backend:      backend,
 	})
 	fmt.Fprintf(os.Stderr, "besst-serve listening on %s\n", *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {

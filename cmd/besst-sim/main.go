@@ -23,6 +23,7 @@ import (
 	"besst/internal/groundtruth"
 	"besst/internal/lulesh"
 	"besst/internal/resilience"
+	"besst/internal/serve"
 	"besst/internal/stats"
 	"besst/internal/workflow"
 )
@@ -58,6 +59,7 @@ func main() {
 	appPath := flag.String("app", "", "optional AppBEO JSON spec to simulate instead of the LULESH builder")
 	method := flag.String("method", "symreg", "modeling method: symreg | interp")
 	common := cli.RegisterCommon(flag.CommandLine, 0)
+	distFlags := cli.RegisterDist(flag.CommandLine)
 	flag.Parse()
 
 	out := cli.NewPrinter(os.Stdout)
@@ -90,6 +92,41 @@ func main() {
 		wfMethod = workflow.Interpolation
 	} else if *method != "symreg" {
 		fatalf("unknown method %q", *method)
+	}
+
+	// -dist: ship the configuration as a self-contained campaign
+	// request to a besst-worker fleet and print the merged result
+	// document — byte-identical to what a local run (or besst-serve)
+	// produces for the same request.
+	if distFlags.Enabled() {
+		if *campaignCSV != "" || *modelsPath != "" || *appPath != "" {
+			fatalf("-dist builds a self-contained campaign request; -campaign, -models, and -app cannot combine with it")
+		}
+		req := serve.CampaignRequest{
+			SchemaVersion: serve.RequestSchemaVersion,
+			Kind:          serve.KindMonteCarlo,
+			Trials:        *mc,
+			// Workers stays 0: results are byte-identical for every
+			// concurrency, so it must not enter the campaign identity.
+			Run:   besst.RunSpec{SchemaVersion: 1, Mode: *mode, MonteCarlo: true, Seed: common.Seed, PerRankNoise: true},
+			App:   &serve.AppSpec{EPR: *epr, Ranks: *ranks, Steps: *steps, Scenario: *scenario, Period: *period},
+			Model: &serve.ModelSpec{Method: *method, Samples: *samples, Seed: common.Seed},
+		}
+		raw, err := json.Marshal(req)
+		if err != nil {
+			fatalf("marshal campaign request: %v", err)
+		}
+		doc, err := cli.RunDist(distFlags, cli.NewPrinter(os.Stderr), raw)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if _, err := out.Write(doc); err != nil {
+			fatalf("writing output: %v", err)
+		}
+		if err := ses.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	}
 
 	em := groundtruth.NewQuartz()

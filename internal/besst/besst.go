@@ -23,6 +23,7 @@
 package besst
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sync"
@@ -71,6 +72,17 @@ type Breakdown struct {
 	ComputeSec float64 // Comp instructions
 	CommSec    float64 // collectives incl. arrival waits
 	CkptSec    float64 // checkpoint instances incl. coordination waits
+}
+
+// Payload serializes the result as the canonical trial payload: the
+// exact bytes the checkpoint journals persist, shard replicas compare,
+// and resumed or distributed campaigns merge. encoding/json emits
+// shortest round-trippable float64 forms, so two processes computing
+// the same trial produce the same bytes — keeping the encoding in one
+// place makes "byte-identical" a single contract rather than a
+// coincidence of call sites.
+func (r *Result) Payload() (json.RawMessage, error) {
+	return json.Marshal(r)
 }
 
 // Total returns the sum of the components.

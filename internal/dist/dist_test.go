@@ -1,0 +1,404 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"besst/internal/resilience"
+	"besst/internal/serve"
+	"besst/internal/serveclient"
+)
+
+// The dist tests drive the coordinator against scripted executors
+// (forged journals, stragglers) and against the real shard executor
+// (byte-identity matrix, subprocess SIGKILL). The child-worker mode is
+// dispatched from TestMain via env var, the same re-exec pattern the
+// resilience kill-resume test uses.
+
+const childEnv = "BESST_DIST_WORKER_CHILD"
+
+// testRequest is a small valid monte_carlo campaign; the scripted
+// executors never run it, but the coordinator validates every request
+// through serve.ParsePlan.
+const testRequest = `{
+  "schema_version": 1,
+  "kind": "monte_carlo",
+  "trials": 6,
+  "run": {"mode": "direct", "per_rank_noise": true, "seed": 3},
+  "app": {"epr": 4, "ranks": 8, "steps": 10, "scenario": "l1", "period": 5},
+  "model": {"method": "interp", "samples": 2, "seed": 1}
+}`
+
+// execFunc adapts a function to Executor.
+type execFunc func(id string, req []byte, lo, hi int) ([]json.RawMessage, error)
+
+func (f execFunc) ExecShard(id string, req []byte, lo, hi int) ([]json.RawMessage, error) {
+	return f(id, req, lo, hi)
+}
+
+// honestPayloads is the scripted ground truth: unit i -> {"u":i}.
+func honestPayloads(lo, hi int) []json.RawMessage {
+	out := make([]json.RawMessage, hi-lo)
+	for k := range out {
+		out[k] = json.RawMessage(fmt.Sprintf(`{"u":%d}`, lo+k))
+	}
+	return out
+}
+
+func honestExec() Executor {
+	return execFunc(func(_ string, _ []byte, lo, hi int) ([]json.RawMessage, error) {
+		return honestPayloads(lo, hi), nil
+	})
+}
+
+// startWorker serves a WorkerHandler over httptest and returns its URL.
+func startWorker(t *testing.T, cfg WorkerConfig) string {
+	t.Helper()
+	ts := httptest.NewServer(WorkerHandler(cfg))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// recCollector records progress events for assertions.
+type recCollector struct {
+	mu          sync.Mutex
+	done        int   // guarded by mu
+	retries     int   // guarded by mu
+	divergences int   // guarded by mu
+	workersDown []int // guarded by mu
+}
+
+func (r *recCollector) ShardDone(int, int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done++
+}
+func (r *recCollector) ShardRetry(int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retries++
+}
+func (r *recCollector) ShardDivergence(int, int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.divergences++
+}
+func (r *recCollector) WorkerDown(w int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.workersDown = append(r.workersDown, w)
+}
+
+func newCoordinator(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	return c
+}
+
+// TestForgedDivergenceMajorityWins runs one shard on three replicas
+// where one worker forges its journal: the two honest replicas form a
+// strict majority, the forged minority is rejected, and the
+// divergence is surfaced in the report and the collector — accepted,
+// never silent.
+func TestForgedDivergenceMajorityWins(t *testing.T) {
+	forged := execFunc(func(_ string, _ []byte, lo, hi int) ([]json.RawMessage, error) {
+		out := make([]json.RawMessage, hi-lo)
+		for k := range out {
+			out[k] = json.RawMessage(fmt.Sprintf(`{"u":%d,"forged":true}`, lo+k))
+		}
+		return out, nil
+	})
+	urls := []string{
+		startWorker(t, WorkerConfig{Executor: honestExec()}),
+		startWorker(t, WorkerConfig{Executor: honestExec()}),
+		startWorker(t, WorkerConfig{Executor: forged}),
+	}
+	col := &recCollector{}
+	c := newCoordinator(t, Config{Workers: urls, Shards: 1, Replicas: 3})
+	payloads, rep, err := c.Run([]byte(testRequest), 0, nil, col)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, p := range payloads {
+		if want := fmt.Sprintf(`{"u":%d}`, i); string(p) != want {
+			t.Fatalf("unit %d: forged journal won: %s", i, p)
+		}
+	}
+	if len(rep.Divergences) != 1 || !strings.Contains(rep.Divergences[0], "2/3 replicas agreed") {
+		t.Fatalf("divergences not surfaced: %v", rep.Divergences)
+	}
+	if col.divergences != 1 {
+		t.Fatalf("collector saw %d divergences, want 1", col.divergences)
+	}
+}
+
+// TestNoMajorityFailsWithDivergenceError runs two replicas that
+// disagree: 1-vs-1 is no strict majority, so the campaign must fail
+// with a typed DivergenceError rather than guess.
+func TestNoMajorityFailsWithDivergenceError(t *testing.T) {
+	variant := func(tag string) Executor {
+		return execFunc(func(_ string, _ []byte, lo, hi int) ([]json.RawMessage, error) {
+			out := make([]json.RawMessage, hi-lo)
+			for k := range out {
+				out[k] = json.RawMessage(fmt.Sprintf(`{"u":%d,"v":%q}`, lo+k, tag))
+			}
+			return out, nil
+		})
+	}
+	urls := []string{
+		startWorker(t, WorkerConfig{Executor: variant("a")}),
+		startWorker(t, WorkerConfig{Executor: variant("b")}),
+	}
+	c := newCoordinator(t, Config{Workers: urls, Shards: 1, Replicas: 2})
+	_, _, err := c.Run([]byte(testRequest), 0, nil, nil)
+	var div *DivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("want DivergenceError, got %v", err)
+	}
+	if div.Returned != 2 || len(div.Variants) != 2 {
+		t.Fatalf("unexpected divergence: %+v", div)
+	}
+}
+
+// TestStragglerTimeoutReassigned points the first attempt at a worker
+// that hangs forever: the shard deadline must fire, the straggler be
+// marked down, and the shard reassigned to the survivor.
+func TestStragglerTimeoutReassigned(t *testing.T) {
+	release := make(chan struct{})
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // stall until the test ends; the coordinator abandons the call long before
+	}))
+	t.Cleanup(hang.Close)
+	t.Cleanup(func() { close(release) }) // LIFO: unblock handlers before Close waits on them
+	urls := []string{
+		startWorker(t, WorkerConfig{Executor: honestExec()}),
+		hang.URL, // index 1: the first pick for shard 0 replica 0
+	}
+	col := &recCollector{}
+	c := newCoordinator(t, Config{
+		Workers:      urls,
+		Shards:       1,
+		Replicas:     1,
+		ShardTimeout: 100 * time.Millisecond,
+		BaseBackoff:  time.Millisecond,
+		MaxBackoff:   2 * time.Millisecond,
+	})
+	payloads, rep, err := c.Run([]byte(testRequest), 0, nil, col)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(payloads) != 6 || string(payloads[0]) != `{"u":0}` {
+		t.Fatalf("payloads after reassignment: %v", payloads)
+	}
+	if rep.Retries == 0 || rep.WorkersLost != 1 {
+		t.Fatalf("straggler loss unreported: %+v", rep)
+	}
+	if len(col.workersDown) == 0 || col.workersDown[0] != 1 {
+		t.Fatalf("collector workersDown: %v", col.workersDown)
+	}
+}
+
+// TestBadRequestIsFatalNoRetry submits an unshardable (single-kind)
+// campaign: the worker answers 400 and the coordinator must fail
+// immediately instead of burning retries on a request that can never
+// succeed.
+func TestBadRequestIsFatalNoRetry(t *testing.T) {
+	ex := serve.NewShardExecutor(serve.ExecConfig{Workers: 1, CacheCap: 2})
+	urls := []string{startWorker(t, WorkerConfig{Executor: ex})}
+	col := &recCollector{}
+	c := newCoordinator(t, Config{Workers: urls, Shards: 1, Replicas: 1})
+	single := strings.Replace(testRequest, `"kind": "monte_carlo",`, `"kind": "single",`, 1)
+	single = strings.Replace(single, `"trials": 6,`, ``, 1)
+	_, rep, err := c.Run([]byte(single), 0, nil, col)
+	if err == nil || !strings.Contains(err.Error(), "not sharded") {
+		t.Fatalf("want not-sharded rejection, got %v", err)
+	}
+	if rep.Retries != 0 || col.retries != 0 {
+		t.Fatalf("fatal 400 was retried: %+v", rep)
+	}
+}
+
+// TestWorkerAuth checks the worker's bearer-token gate: wrong token
+// 401s shard posts, healthz stays open for heartbeats.
+func TestWorkerAuth(t *testing.T) {
+	url := startWorker(t, WorkerConfig{AuthToken: "s3cret", Executor: honestExec()})
+	c := newCoordinator(t, Config{Workers: []string{url}, Shards: 1, Replicas: 1, AuthToken: "wrong"})
+	_, _, err := c.Run([]byte(testRequest), 0, nil, nil)
+	var ae *serveclient.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusUnauthorized {
+		t.Fatalf("want 401, got %v", err)
+	}
+	resp, err := http.Get(url + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unauthenticated healthz status %d", resp.StatusCode)
+	}
+	ok := newCoordinator(t, Config{Workers: []string{url}, Shards: 2, Replicas: 1, AuthToken: "s3cret"})
+	if _, _, err := ok.Run([]byte(testRequest), 0, nil, nil); err != nil {
+		t.Fatalf("authorized run: %v", err)
+	}
+}
+
+// TestByteIdenticalAcrossGeometries is the tentpole invariant with the
+// real shard executor: every shards x replicas combination merges to
+// the exact bytes a single-process run produces.
+func TestByteIdenticalAcrossGeometries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles models and boots listeners")
+	}
+	request := []byte(serveclient.QuickstartRequest)
+	p, err := serve.ParsePlan(request)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := serve.NewShardExecutor(serve.ExecConfig{Workers: 2, CacheCap: 4})
+	units, err := ex.ExecShard(p.ID(), request, 0, p.Units())
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want, err := p.Assemble(units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two workers sharing one executor: the compile cache is exercised
+	// once, the HTTP path on every shard.
+	urls := []string{
+		startWorker(t, WorkerConfig{Executor: ex}),
+		startWorker(t, WorkerConfig{Executor: ex}),
+	}
+	for _, shards := range []int{1, 4} {
+		for _, replicas := range []int{1, 2, 3} {
+			c := newCoordinator(t, Config{Workers: urls, Shards: shards, Replicas: replicas})
+			doc, rep, err := RunRequest(c, request, nil, nil)
+			if err != nil {
+				t.Fatalf("shards=%d replicas=%d: %v", shards, replicas, err)
+			}
+			if !bytes.Equal(doc, want) {
+				t.Fatalf("shards=%d replicas=%d: merged doc diverged (%d vs %d bytes)", shards, replicas, len(doc), len(want))
+			}
+			if len(rep.Divergences) != 0 {
+				t.Fatalf("shards=%d replicas=%d: unexpected divergences %v", shards, replicas, rep.Divergences)
+			}
+		}
+	}
+}
+
+// TestSIGKILLReplicaMidShardByteIdentical re-executes this test binary
+// as a real besst-worker child armed with KillRate 1, so it SIGKILLs
+// itself mid-shard the first time it executes a unit. The coordinator
+// must lose it, reassign to the in-process survivors, and still merge
+// the exact single-process bytes.
+func TestSIGKILLReplicaMidShardByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-executes the test binary")
+	}
+	request := []byte(serveclient.QuickstartRequest)
+	p, err := serve.ParsePlan(request)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := serve.NewShardExecutor(serve.ExecConfig{Workers: 2, CacheCap: 4})
+	units, err := ex.ExecShard(p.ID(), request, 0, p.Units())
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want, err := p.Assemble(units)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(os.Args[0], "-test.run=TestMain")
+	cmd.Env = append(os.Environ(), childEnv+"=1")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start child worker: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("child worker exited before announcing its address: %v", sc.Err())
+	}
+	childURL := "http://" + strings.TrimPrefix(strings.TrimSpace(sc.Text()), "listening on ")
+
+	// Child at index 1: shard 0 replica 0's first pick, guaranteed to
+	// be contacted while alive and die mid-shard.
+	urls := []string{
+		startWorker(t, WorkerConfig{Executor: ex}),
+		childURL,
+		startWorker(t, WorkerConfig{Executor: ex}),
+	}
+	col := &recCollector{}
+	c := newCoordinator(t, Config{
+		Workers:     urls,
+		Shards:      2,
+		Replicas:    2,
+		BaseBackoff: 5 * time.Millisecond,
+	})
+	doc, rep, err := RunRequest(c, request, nil, col)
+	if err != nil {
+		t.Fatalf("run with SIGKILLed replica: %v", err)
+	}
+	if !bytes.Equal(doc, want) {
+		t.Fatalf("merged doc diverged after worker SIGKILL (%d vs %d bytes)", len(doc), len(want))
+	}
+	if rep.WorkersLost == 0 || rep.Retries == 0 {
+		t.Fatalf("the chaos child was never lost: %+v", rep)
+	}
+	if len(rep.Divergences) != 0 {
+		t.Fatalf("unexpected divergences: %v", rep.Divergences)
+	}
+	// The child must actually be dead — killed by its own chaos
+	// injector, not by our cleanup.
+	if err := cmd.Wait(); err == nil {
+		t.Fatal("chaos child exited cleanly; the SIGKILL never fired")
+	}
+}
+
+// distWorkerChild is the re-executed child's entry point: a real
+// worker whose chaos injector SIGKILLs the process at its first unit.
+func distWorkerChild() int {
+	ex := serve.NewShardExecutor(serve.ExecConfig{
+		Workers:  1,
+		CacheCap: 2,
+		Chaos:    resilience.ChaosConfig{KillRate: 1, Seed: 42},
+	})
+	err := ListenAndServeWorker("127.0.0.1:0", WorkerConfig{Executor: ex}, func(addr string) {
+		fmt.Printf("listening on %s\n", addr)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child worker:", err)
+		return 1
+	}
+	return 0
+}
+
+func TestMain(m *testing.M) {
+	if os.Getenv(childEnv) == "1" {
+		os.Exit(distWorkerChild())
+	}
+	os.Exit(m.Run())
+}

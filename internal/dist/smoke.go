@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"besst/internal/serve"
+	"besst/internal/serveclient"
+)
+
+// SmokeConfig parameterizes the distributed smoke check.
+type SmokeConfig struct {
+	// Golden, when non-empty, is the committed single-process result
+	// document (the serve-smoke golden — same quickstart request) every
+	// distributed merge must reproduce byte-for-byte.
+	Golden string
+}
+
+// Smoke is the end-to-end proof of the distributed layer's central
+// claim: sharding, replication, and worker loss cannot change result
+// bytes. It re-executes its own binary (cmd/besst-worker) as three
+// local workers — one armed with -chaos-kill 1, so it SIGKILLs itself
+// mid-shard the first time it executes a unit — then runs the
+// quickstart campaign at every combination of shards {1, 4} × replicas
+// {1, 2, 3} and requires each merged result to be byte-identical to
+// the single-process reference (and to the committed golden, when
+// given). It also requires that the chaos worker was actually lost and
+// its shards reassigned: a smoke where nothing died proves nothing.
+func Smoke(out io.Writer, cfg SmokeConfig) error {
+	// Single-process reference: execute every unit in this process and
+	// assemble, bypassing HTTP entirely.
+	request := []byte(serveclient.QuickstartRequest)
+	p, err := serve.ParsePlan(request)
+	if err != nil {
+		return fmt.Errorf("dist smoke: %w", err)
+	}
+	ex := serve.NewShardExecutor(serve.ExecConfig{Workers: 2, CacheCap: 4})
+	units, err := ex.ExecShard(p.ID(), request, 0, p.Units())
+	if err != nil {
+		return fmt.Errorf("dist smoke: reference run: %w", err)
+	}
+	want, err := p.Assemble(units)
+	if err != nil {
+		return fmt.Errorf("dist smoke: assemble reference: %w", err)
+	}
+	if cfg.Golden != "" {
+		golden, err := os.ReadFile(cfg.Golden)
+		if err != nil {
+			return fmt.Errorf("dist smoke: read golden: %w", err)
+		}
+		if !bytes.Equal(want, golden) {
+			return fmt.Errorf("dist smoke: single-process reference diverged from golden %s (%d vs %d bytes)",
+				cfg.Golden, len(want), len(golden))
+		}
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("dist smoke: locate own binary: %w", err)
+	}
+	const token = "dist-smoke"
+	var (
+		cmds []*exec.Cmd
+		urls []string
+	)
+	defer func() {
+		for _, cmd := range cmds {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		args := []string{"-addr", "127.0.0.1:0", "-auth-token", token}
+		if i == 2 { // the doomed worker: dies mid-shard on first contact
+			args = append(args, "-chaos-kill", "1", "-chaos-seed", "42")
+		}
+		cmd, url, err := spawnWorker(exe, args)
+		if err != nil {
+			return fmt.Errorf("dist smoke: spawn worker %d: %w", i, err)
+		}
+		cmds = append(cmds, cmd)
+		urls = append(urls, url)
+	}
+
+	lost, retries := 0, 0
+	for _, shards := range []int{1, 4} {
+		for _, replicas := range []int{1, 2, 3} {
+			c, err := NewCoordinator(Config{
+				Workers:      urls,
+				Shards:       shards,
+				Replicas:     replicas,
+				AuthToken:    token,
+				ShardTimeout: time.Minute,
+				Heartbeat:    150 * time.Millisecond,
+				MaxAttempts:  6,
+				BaseBackoff:  20 * time.Millisecond,
+			})
+			if err != nil {
+				return fmt.Errorf("dist smoke: %w", err)
+			}
+			doc, rep, err := RunRequest(c, request, nil, nil)
+			if err != nil {
+				return fmt.Errorf("dist smoke: shards=%d replicas=%d: %w", shards, replicas, err)
+			}
+			if !bytes.Equal(doc, want) {
+				return fmt.Errorf("dist smoke: shards=%d replicas=%d: merged result diverged from single-process reference (%d vs %d bytes)",
+					shards, replicas, len(doc), len(want))
+			}
+			if len(rep.Divergences) > 0 {
+				return fmt.Errorf("dist smoke: shards=%d replicas=%d: unexpected divergences: %v", shards, replicas, rep.Divergences)
+			}
+			lost += rep.WorkersLost
+			retries += rep.Retries
+			_, _ = fmt.Fprintf(out, "dist smoke: shards=%d replicas=%d OK (retries=%d, workers lost=%d)\n",
+				shards, replicas, rep.Retries, rep.WorkersLost)
+		}
+	}
+	if lost == 0 || retries == 0 {
+		return fmt.Errorf("dist smoke: the chaos worker was never lost (lost=%d, retries=%d) — worker-loss tolerance went unexercised", lost, retries)
+	}
+	_, _ = fmt.Fprintf(out, "dist smoke OK: byte-identical merges across shards {1,4} x replicas {1,2,3} with a worker SIGKILLed mid-shard (total retries=%d)\n", retries)
+	return nil
+}
+
+// spawnWorker starts one besst-worker subprocess on an ephemeral port
+// and parses the bound address from its first stdout line.
+func spawnWorker(exe string, args []string) (*exec.Cmd, string, error) {
+	cmd := exec.Command(exe, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return nil, "", fmt.Errorf("worker exited before announcing its address: %v", sc.Err())
+	}
+	addr := strings.TrimPrefix(strings.TrimSpace(sc.Text()), "besst-worker listening on ")
+	return cmd, "http://" + addr, nil
+}

@@ -122,55 +122,42 @@ type pointKey struct {
 	sc         string
 }
 
-// PreparedSweep is an overhead sweep with its design points enumerated,
-// seeded, and model state warmed, but not yet evaluated. It decomposes
-// OverheadSweep into independently callable pieces — NumPoints,
-// EvalPoint, Cells — so a checkpointing campaign runner
-// (internal/resilience) can evaluate points in any order, persist each
-// one as it completes, and re-run only the missing indices after a
-// crash while producing cells byte-identical to an uninterrupted
-// sweep: every point's Monte Carlo seed is pre-drawn in enumeration
-// order before any evaluation starts.
-type PreparedSweep struct {
-	cfg          SweepConfig
-	ftiCfg       fti.Config
-	models       *workflow.Models
-	m            *machine.Machine
-	ranksPerNode int
-	points       []sweepPoint
-	index        map[pointKey]int
-	baseIdx      []int // per-EPR baseline point indices
+// Grid is the models-free half of a sweep: the distinct design points
+// enumerated (per-EPR no-FT baselines first, then the grid in
+// (scenario, ranks, epr) order), one Monte Carlo seed pre-drawn per
+// point, and the Cells normalization that folds per-point means back
+// into Fig 9 overhead cells. Everything here is a pure function of the
+// SweepConfig — no model development, no machine state — so a
+// distributed coordinator can enumerate the identical point space,
+// shard it by index, and assemble cells from worker-computed means
+// without ever building the models itself.
+type Grid struct {
+	cfg     SweepConfig
+	points  []sweepPoint
+	index   map[pointKey]int
+	baseIdx []int // per-EPR baseline point indices
 }
 
-// PrepareSweep validates the config, enumerates the distinct design
-// points (per-EPR no-FT baselines first, then the grid in (scenario,
-// ranks, epr) order), pre-draws one Monte Carlo seed per point from the
-// master seed, and warms the lazy model state so concurrent EvalPoint
-// calls only perform pure reads on the shared models.
-func PrepareSweep(models *workflow.Models, m *machine.Machine, ranksPerNode int, cfg SweepConfig) *PreparedSweep {
+// NewGrid validates the config and enumerates its seeded design
+// points. Like PrepareSweep it panics on an invalid config: callers
+// are expected to have run Validate at their trust boundary.
+func NewGrid(cfg SweepConfig) *Grid {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	s := &PreparedSweep{
-		cfg:          cfg,
-		ftiCfg:       fti.Config{GroupSize: 4, NodeSize: ranksPerNode},
-		models:       models,
-		m:            m,
-		ranksPerNode: ranksPerNode,
-		index:        map[pointKey]int{},
-	}
+	g := &Grid{cfg: cfg, index: map[pointKey]int{}}
 	add := func(epr, ranks int, sc lulesh.Scenario) int {
 		k := pointKey{epr, ranks, sc.Name}
-		if i, ok := s.index[k]; ok {
+		if i, ok := g.index[k]; ok {
 			return i
 		}
-		s.index[k] = len(s.points)
-		s.points = append(s.points, sweepPoint{epr: epr, ranks: ranks, sc: sc})
-		return len(s.points) - 1
+		g.index[k] = len(g.points)
+		g.points = append(g.points, sweepPoint{epr: epr, ranks: ranks, sc: sc})
+		return len(g.points) - 1
 	}
-	s.baseIdx = make([]int, len(cfg.EPRs))
+	g.baseIdx = make([]int, len(cfg.EPRs))
 	for i, epr := range cfg.EPRs {
-		s.baseIdx[i] = add(epr, cfg.Ranks[0], lulesh.ScenarioNoFT)
+		g.baseIdx[i] = add(epr, cfg.Ranks[0], lulesh.ScenarioNoFT)
 	}
 	for _, sc := range cfg.Scenarios {
 		for _, ranks := range cfg.Ranks {
@@ -181,9 +168,40 @@ func PrepareSweep(models *workflow.Models, m *machine.Machine, ranksPerNode int,
 	}
 
 	// Seed fan-out: one pre-drawn seed per point, in enumeration order.
-	seeds := par.SeedFan(cfg.Seed, len(s.points))
-	for i := range s.points {
-		s.points[i].seed = seeds[i]
+	seeds := par.SeedFan(cfg.Seed, len(g.points))
+	for i := range g.points {
+		g.points[i].seed = seeds[i]
+	}
+	return g
+}
+
+// PreparedSweep is an overhead sweep with its design points enumerated,
+// seeded, and model state warmed, but not yet evaluated. It decomposes
+// OverheadSweep into independently callable pieces — NumPoints,
+// EvalPoint, Cells — so a checkpointing campaign runner
+// (internal/resilience) can evaluate points in any order, persist each
+// one as it completes, and re-run only the missing indices after a
+// crash while producing cells byte-identical to an uninterrupted
+// sweep: every point's Monte Carlo seed is pre-drawn in enumeration
+// order before any evaluation starts.
+type PreparedSweep struct {
+	*Grid
+	ftiCfg       fti.Config
+	models       *workflow.Models
+	m            *machine.Machine
+	ranksPerNode int
+}
+
+// PrepareSweep builds the sweep's Grid and warms the lazy model state
+// so concurrent EvalPoint calls only perform pure reads on the shared
+// models.
+func PrepareSweep(models *workflow.Models, m *machine.Machine, ranksPerNode int, cfg SweepConfig) *PreparedSweep {
+	s := &PreparedSweep{
+		Grid:         NewGrid(cfg),
+		ftiCfg:       fti.Config{GroupSize: 4, NodeSize: ranksPerNode},
+		models:       models,
+		m:            m,
+		ranksPerNode: ranksPerNode,
 	}
 
 	// Force lazy model state to materialize before sharing the models
@@ -195,11 +213,11 @@ func PrepareSweep(models *workflow.Models, m *machine.Machine, ranksPerNode int,
 }
 
 // NumPoints returns the number of distinct design points to evaluate.
-func (s *PreparedSweep) NumPoints() int { return len(s.points) }
+func (g *Grid) NumPoints() int { return len(g.points) }
 
 // PointLabel describes point i (for logs and campaign provenance).
-func (s *PreparedSweep) PointLabel(i int) string {
-	p := &s.points[i]
+func (g *Grid) PointLabel(i int) string {
+	p := &g.points[i]
 	return fmt.Sprintf("%s/epr=%d/ranks=%d", p.sc.Name, p.epr, p.ranks)
 }
 
@@ -234,19 +252,19 @@ func (s *PreparedSweep) EvalPoint(i int) float64 {
 // mean — possible only when a baseline point failed in a
 // fault-isolated campaign — yields OverheadPct 0 for its column
 // instead of dividing by zero.
-func (s *PreparedSweep) Cells(means []float64) []Cell {
-	if len(means) != len(s.points) {
-		panic(fmt.Sprintf("dse: %d means for %d sweep points", len(means), len(s.points)))
+func (g *Grid) Cells(means []float64) []Cell {
+	if len(means) != len(g.points) {
+		panic(fmt.Sprintf("dse: %d means for %d sweep points", len(means), len(g.points)))
 	}
 	base := map[int]float64{}
-	for i, epr := range s.cfg.EPRs {
-		base[epr] = means[s.baseIdx[i]]
+	for i, epr := range g.cfg.EPRs {
+		base[epr] = means[g.baseIdx[i]]
 	}
 	var out []Cell
-	for _, sc := range s.cfg.Scenarios {
-		for _, ranks := range s.cfg.Ranks {
-			for _, epr := range s.cfg.EPRs {
-				mean := means[s.index[pointKey{epr, ranks, sc.Name}]]
+	for _, sc := range g.cfg.Scenarios {
+		for _, ranks := range g.cfg.Ranks {
+			for _, epr := range g.cfg.EPRs {
+				mean := means[g.index[pointKey{epr, ranks, sc.Name}]]
 				// Grouped so memoized baseline cells divide their own
 				// mean exactly (x/x == 1) and report precisely 100%.
 				pct := 0.0

@@ -16,7 +16,9 @@ import (
 // does not understand. Version 2 added the adaptive parallel-engine
 // fields: per-partition window widths and cross-partition event counts,
 // the engine-wide exchange total, and committed rebalance decisions.
-const MetricsSchemaVersion = 2
+// Version 3 added the distributed-execution fields: shard completions,
+// shard retry attempts, replica divergences, and workers lost.
+const MetricsSchemaVersion = 3
 
 // Collector aggregates run-level metrics. It implements the engine
 // tracer hooks (per-partition event counts, barrier stalls, window
@@ -47,6 +49,14 @@ type Collector struct {
 	// Adaptive parallel-engine decisions (AdaptiveTracer hooks).
 	eventsExchanged uint64           // guarded by mu
 	rebalances      []RebalanceEntry // guarded by mu
+
+	// Distributed-execution provenance (dist coordinator hooks):
+	// completed shards, failed shard attempts per shard, replica
+	// divergences per shard, and workers marked lost at least once.
+	shardsDone   int               // guarded by mu
+	shardRetries map[int]int       // guarded by mu
+	divergences  []DivergenceEntry // guarded by mu
+	workersDown  map[int]bool      // guarded by mu
 
 	eventsProcessed uint64 // guarded by mu
 	peakQueueDepth  int    // guarded by mu
@@ -87,12 +97,14 @@ type PhaseMetrics struct {
 // now.
 func NewCollector() *Collector {
 	c := &Collector{
-		clock:       wallClock,
-		parts:       map[int]*partMetrics{},
-		trials:      map[int]*spanMetrics{},
-		points:      map[int]*spanMetrics{},
-		retries:     map[int]int{},
-		quarantined: map[int]int{},
+		clock:        wallClock,
+		parts:        map[int]*partMetrics{},
+		trials:       map[int]*spanMetrics{},
+		points:       map[int]*spanMetrics{},
+		retries:      map[int]int{},
+		quarantined:  map[int]int{},
+		shardRetries: map[int]int{},
+		workersDown:  map[int]bool{},
 	}
 	c.start = c.clock()
 	return c
@@ -246,6 +258,45 @@ func (c *Collector) TrialsReplayed(n int) {
 	c.mu.Unlock()
 }
 
+// Distributed-execution hooks (dist coordinator / serve backend
+// structural interfaces).
+
+// ShardDone records that shard `shard`, covering unit indices
+// [lo, hi), reached quorum and was merged.
+func (c *Collector) ShardDone(shard, lo, hi int) {
+	c.mu.Lock()
+	c.shardsDone++
+	c.mu.Unlock()
+}
+
+// ShardRetry records that attempt `attempt` of one of shard's replica
+// slots failed (worker death, timeout, transport error) and the slot
+// was reassigned; the per-shard count keeps the highest failed attempt.
+func (c *Collector) ShardRetry(shard, attempt int) {
+	c.mu.Lock()
+	if attempt > c.shardRetries[shard] {
+		c.shardRetries[shard] = attempt
+	}
+	c.mu.Unlock()
+}
+
+// ShardDivergence records a replica disagreement on shard: of
+// `returned` replica journals, only `agree` matched the accepted
+// majority bytes.
+func (c *Collector) ShardDivergence(shard, agree, returned int) {
+	c.mu.Lock()
+	c.divergences = append(c.divergences, DivergenceEntry{Shard: shard, Agree: agree, Returned: returned})
+	c.mu.Unlock()
+}
+
+// WorkerDown records that worker `worker` was marked unhealthy at
+// least once during the campaign.
+func (c *Collector) WorkerDown(worker int) {
+	c.mu.Lock()
+	c.workersDown[worker] = true
+	c.mu.Unlock()
+}
+
 // EngineTotals reports one engine run's totals; calls accumulate so a
 // Monte Carlo campaign sums across trials (peak depth takes the max).
 func (c *Collector) EngineTotals(processed uint64, peakQueueDepth int) {
@@ -274,6 +325,13 @@ type Progress struct {
 	Retries     int `json:"retries,omitempty"`
 	Quarantined int `json:"quarantined,omitempty"`
 	Replayed    int `json:"replayed,omitempty"`
+	// Distributed execution so far: shards merged, shards that needed
+	// at least one replica reassignment, replica divergences observed,
+	// and workers marked lost.
+	ShardsDone       int `json:"shards_done,omitempty"`
+	ShardRetries     int `json:"shard_retries,omitempty"`
+	ShardDivergences int `json:"shard_divergences,omitempty"`
+	WorkersLost      int `json:"workers_lost,omitempty"`
 }
 
 // Progress returns the collector's current campaign progress.
@@ -281,12 +339,16 @@ func (c *Collector) Progress() Progress {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	p := Progress{
-		TrialsStarted:   len(c.trials),
-		PointsStarted:   len(c.points),
-		EventsProcessed: c.eventsProcessed,
-		Retries:         len(c.retries),
-		Quarantined:     len(c.quarantined),
-		Replayed:        c.replayed,
+		TrialsStarted:    len(c.trials),
+		PointsStarted:    len(c.points),
+		EventsProcessed:  c.eventsProcessed,
+		Retries:          len(c.retries),
+		Quarantined:      len(c.quarantined),
+		Replayed:         c.replayed,
+		ShardsDone:       c.shardsDone,
+		ShardRetries:     len(c.shardRetries),
+		ShardDivergences: len(c.divergences),
+		WorkersLost:      len(c.workersDown),
 	}
 	for _, s := range c.trials {
 		if s.done {
@@ -357,6 +419,14 @@ type RetryEntry struct {
 	Attempts int `json:"attempts"`
 }
 
+// DivergenceEntry is one replica disagreement: of Returned replica
+// journals for Shard, only Agree matched the accepted majority bytes.
+type DivergenceEntry struct {
+	Shard    int `json:"shard"`
+	Agree    int `json:"agree"`
+	Returned int `json:"returned"`
+}
+
 // Metrics is the versioned run-metrics document written to
 // results/METRICS_<tool>.json.
 type Metrics struct {
@@ -387,6 +457,14 @@ type Metrics struct {
 	FailedIndices  []int        `json:"failed_indices,omitempty"`
 	TrialRetries   []RetryEntry `json:"trial_retries,omitempty"`
 	ReplayedTrials int          `json:"replayed_trials,omitempty"`
+
+	// Distributed-execution provenance: shards merged, per-shard
+	// failed-attempt counts, replica divergences (majority accepted,
+	// minority recorded), and workers marked lost at least once.
+	ShardsDone   int               `json:"shards_done,omitempty"`
+	ShardRetries []RetryEntry      `json:"shard_retries,omitempty"`
+	Divergences  []DivergenceEntry `json:"shard_divergences,omitempty"`
+	WorkersLost  []int             `json:"workers_lost,omitempty"`
 }
 
 // Snapshot freezes the collector's current state into a metrics
@@ -433,6 +511,18 @@ func (c *Collector) Snapshot(tool string) *Metrics {
 		m.TrialRetries = append(m.TrialRetries, RetryEntry{Index: i, Attempts: c.retries[i]})
 	}
 	m.ReplayedTrials = c.replayed
+	m.ShardsDone = c.shardsDone
+	for _, i := range sortedKeys(c.shardRetries) {
+		m.ShardRetries = append(m.ShardRetries, RetryEntry{Index: i, Attempts: c.shardRetries[i]})
+	}
+	m.Divergences = append([]DivergenceEntry(nil), c.divergences...)
+	if len(m.Divergences) == 0 {
+		m.Divergences = nil
+	}
+	for w := range c.workersDown {
+		m.WorkersLost = append(m.WorkersLost, w)
+	}
+	sort.Ints(m.WorkersLost)
 	return m
 }
 

@@ -46,6 +46,47 @@ func SeedFan(master uint64, n int) []uint64 {
 	return out
 }
 
+// Range is a half-open index interval [Lo, Hi) — one shard of an
+// n-item work space.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len is the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Split partitions [0, n) into at most k contiguous, non-overlapping,
+// in-order ranges whose sizes differ by at most one (the first n%k
+// ranges get the extra item). It is the deterministic shard geometry of
+// distributed campaigns: because SeedFan pre-draws per-index seeds,
+// any Split of the same n covers the same per-index work, so shards
+// computed by different processes merge back into the byte-identical
+// whole regardless of k. Empty ranges are never returned; k <= 0 is
+// treated as 1, and k > n collapses to n single-item ranges.
+func Split(n, k int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if k <= 0 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]Range, k)
+	size, extra := n/k, n%k
+	lo := 0
+	for i := range out {
+		hi := lo + size
+		if i < extra {
+			hi++
+		}
+		out[i] = Range{Lo: lo, Hi: hi}
+		lo = hi
+	}
+	return out
+}
+
 // ForEach runs fn(i) for every i in [0, n) on a pool of at most
 // `workers` goroutines (Workers-resolved, clamped to n). It returns
 // once every started call has finished. A panic inside fn stops new

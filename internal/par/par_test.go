@@ -195,3 +195,67 @@ func TestForEachIsolatedEmpty(t *testing.T) {
 		t.Fatalf("empty index space returned %v", errs)
 	}
 }
+
+// TestSplitGeometry checks the shard invariants Split promises:
+// ranges are contiguous, in order, cover exactly [0, n), are never
+// empty, and differ in size by at most one.
+func TestSplitGeometry(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		for _, k := range []int{-1, 0, 1, 2, 3, 7, n, n + 5, 100} {
+			ranges := Split(n, k)
+			if n == 0 {
+				if ranges != nil {
+					t.Fatalf("Split(0, %d) = %v, want nil", k, ranges)
+				}
+				continue
+			}
+			wantK := k
+			if wantK <= 0 {
+				wantK = 1
+			}
+			if wantK > n {
+				wantK = n
+			}
+			if len(ranges) != wantK {
+				t.Fatalf("Split(%d, %d) returned %d ranges, want %d", n, k, len(ranges), wantK)
+			}
+			lo, minLen, maxLen := 0, n, 0
+			for _, r := range ranges {
+				if r.Lo != lo {
+					t.Fatalf("Split(%d, %d): gap or overlap at %v (want lo %d)", n, k, r, lo)
+				}
+				if r.Len() <= 0 {
+					t.Fatalf("Split(%d, %d): empty range %v", n, k, r)
+				}
+				if r.Len() < minLen {
+					minLen = r.Len()
+				}
+				if r.Len() > maxLen {
+					maxLen = r.Len()
+				}
+				lo = r.Hi
+			}
+			if lo != n {
+				t.Fatalf("Split(%d, %d) covers [0, %d), want [0, %d)", n, k, lo, n)
+			}
+			if maxLen-minLen > 1 {
+				t.Fatalf("Split(%d, %d): uneven shards (sizes %d..%d)", n, k, minLen, maxLen)
+			}
+		}
+	}
+}
+
+// TestSplitDeterministic pins the exact geometry shards are addressed
+// by: coordinator and workers must always agree on Split(n, k).
+func TestSplitDeterministic(t *testing.T) {
+	got := Split(10, 4)
+	want := []Range{{0, 3}, {3, 6}, {6, 8}, {8, 10}}
+	if len(got) != len(want) {
+		t.Fatalf("Split(10, 4) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Split(10, 4) = %v, want %v", got, want)
+		}
+	}
+}

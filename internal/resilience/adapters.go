@@ -23,7 +23,7 @@ func ReplicateResumable(cr *besst.CompiledRun, n int, camp Campaign, opts ...bes
 		return nil, Report{}, err
 	}
 	payloads, rep, err := camp.Run(n, func(i int) (json.RawMessage, error) {
-		return json.Marshal(runner(i))
+		return runner(i).Payload()
 	})
 	if err != nil {
 		return nil, rep, err

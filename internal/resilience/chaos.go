@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"besst/internal/par"
@@ -24,12 +25,25 @@ type ChaosConfig struct {
 	DelayRate float64
 	// MaxDelay bounds the injected delay (default 2ms).
 	MaxDelay time.Duration
+	// KillRate is the per-attempt probability of an injected process
+	// kill — the total loss of a worker, dying mid-shard with no
+	// chance to recover, flush, or answer its coordinator. Unlike
+	// PanicRate (which the retry machinery absorbs in-process), a kill
+	// is only survivable by an *external* layer: journal resume or
+	// replica reassignment.
+	KillRate float64
+	// Kill performs the injected kill. Nil selects the real thing —
+	// SIGKILL on the running process. Tests override it to observe the
+	// decision without dying.
+	Kill func()
 	// Seed drives the injector's RNG, independent of trial seeds.
 	Seed uint64
 }
 
 // enabled reports whether the config injects anything.
-func (c ChaosConfig) enabled() bool { return c.PanicRate > 0 || c.DelayRate > 0 }
+func (c ChaosConfig) enabled() bool {
+	return c.PanicRate > 0 || c.DelayRate > 0 || c.KillRate > 0
+}
 
 // chaosPanic is the injected panic value, recognizable in quarantine
 // provenance.
@@ -41,22 +55,42 @@ func (p chaosPanic) String() string {
 	return fmt.Sprintf("chaos: injected panic at trial %d attempt %d", p.index, p.attempt)
 }
 
-// injector is a materialized ChaosConfig for an n-trial campaign, with
+// Injector is a materialized ChaosConfig for an n-trial campaign, with
 // one pre-drawn base seed per trial index (the same SeedFan discipline
 // the simulator uses, so injection never depends on completion order).
-type injector struct {
+// It is exported so out-of-process executors (besst-worker) can run the
+// same deterministic fault schedule the in-process campaign runner
+// does.
+type Injector struct {
 	cfg   ChaosConfig
 	seeds []uint64
 }
 
-func (c ChaosConfig) newInjector(n int) *injector {
+// NewInjector materializes the config for an n-unit campaign; a
+// disabled config yields nil, which Inject treats as a no-op.
+func (c ChaosConfig) NewInjector(n int) *Injector {
 	if !c.enabled() {
 		return nil
 	}
 	if c.MaxDelay <= 0 {
 		c.MaxDelay = 2 * time.Millisecond
 	}
-	return &injector{cfg: c, seeds: par.SeedFan(c.Seed, n)}
+	if c.Kill == nil {
+		c.Kill = killSelf
+	}
+	return &Injector{cfg: c, seeds: par.SeedFan(c.Seed, n)}
+}
+
+// killSelf is the real kill action: SIGKILL the running process, the
+// one signal no deferred recovery can intercept.
+func killSelf() {
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		panic(fmt.Sprintf("chaos: cannot find own process: %v", err))
+	}
+	_ = p.Kill()
+	// SIGKILL delivery is asynchronous; never let this trial proceed.
+	select {}
 }
 
 // attemptSeed derives the RNG seed for one (trial, attempt) pair from
@@ -69,10 +103,13 @@ func attemptSeed(base uint64, attempt int) uint64 {
 	return x ^ (x >> 31)
 }
 
-// inject runs the fault decisions for one trial attempt: possibly
-// sleep, possibly panic. Called inside the recover() guard, so an
-// injected panic exercises exactly the retry path a real one would.
-func (in *injector) inject(index, attempt int) {
+// Inject runs the fault decisions for one trial attempt: possibly
+// sleep, possibly kill the process, possibly panic. Called inside the
+// recover() guard, so an injected panic exercises exactly the retry
+// path a real one would. The decision stream is fixed by
+// (seed, index, attempt) alone — the same schedule fires at any worker
+// count, in any process, in any order.
+func (in *Injector) Inject(index, attempt int) {
 	if in == nil {
 		return
 	}
@@ -80,6 +117,9 @@ func (in *injector) inject(index, attempt int) {
 	if rng.Float64() < in.cfg.DelayRate {
 		frac := rng.Float64()
 		time.Sleep(time.Duration(frac * float64(in.cfg.MaxDelay)))
+	}
+	if rng.Float64() < in.cfg.KillRate {
+		in.cfg.Kill()
 	}
 	if rng.Float64() < in.cfg.PanicRate {
 		panic(chaosPanic{index: index, attempt: attempt})

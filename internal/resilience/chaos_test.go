@@ -119,11 +119,11 @@ func TestChaosScheduleDeterministic(t *testing.T) {
 
 // TestChaosZeroValueInjectsNothing pins the off switch.
 func TestChaosZeroValueInjectsNothing(t *testing.T) {
-	if (ChaosConfig{}).newInjector(4) != nil {
+	if (ChaosConfig{}).NewInjector(4) != nil {
 		t.Error("zero ChaosConfig built an injector")
 	}
-	var in *injector
-	in.inject(0, 1) // nil receiver must be a no-op, not a crash
+	var in *Injector
+	in.Inject(0, 1) // nil receiver must be a no-op, not a crash
 }
 
 // TestChaosPanicValueIsRecognizable pins the quarantine provenance of
@@ -144,5 +144,41 @@ func TestChaosPanicValueIsRecognizable(t *testing.T) {
 	}
 	if rep.Errors[0] == nil || rep.Errors[0].Error() == "" {
 		t.Fatal("no quarantine error recorded")
+	}
+}
+
+// TestChaosKillDeterministicSchedule pins the kill decision stream: a
+// KillRate config with an overridden Kill hook fires on the same
+// (index, attempt) pairs on every run, and never fires at rate zero.
+func TestChaosKillDeterministicSchedule(t *testing.T) {
+	const n = 50
+	schedule := func() []int {
+		var fired []int
+		cur := -1
+		in := ChaosConfig{
+			KillRate: 0.2,
+			Seed:     99,
+			Kill:     func() { fired = append(fired, cur) },
+		}.NewInjector(n)
+		if in == nil {
+			t.Fatal("KillRate>0 config built no injector")
+		}
+		for i := 0; i < n; i++ {
+			cur = i
+			in.Inject(i, 1)
+		}
+		return fired
+	}
+	s1, s2 := schedule(), schedule()
+	if len(s1) == 0 {
+		t.Fatal("20% kill rate over 50 trials fired nothing — injector inert")
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("kill schedules differ: %v vs %v", s1, s2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("kill schedules differ: %v vs %v", s1, s2)
+		}
 	}
 }

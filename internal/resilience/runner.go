@@ -226,7 +226,7 @@ func (c Campaign) Run(n int, work WorkFunc) ([]json.RawMessage, Report, error) {
 		}
 	}
 
-	inj := c.Chaos.newInjector(n)
+	inj := c.Chaos.NewInjector(n)
 	retry := c.Retry.withDefaults()
 	var mu sync.Mutex // guards rep across workers
 	errs := par.ForEachIsolated(c.Workers, len(missing), func(k int) error {
@@ -298,7 +298,7 @@ func (c Campaign) cancelled() bool {
 // watchdog, bounded retry with exponential backoff. It returns the
 // payload, the number of attempts consumed, and the final error when
 // every attempt failed.
-func (c Campaign) runTrial(i int, work WorkFunc, inj *injector, retry RetryPolicy) (json.RawMessage, int, error) {
+func (c Campaign) runTrial(i int, work WorkFunc, inj *Injector, retry RetryPolicy) (json.RawMessage, int, error) {
 	var last error
 	for attempt := 1; attempt <= retry.MaxAttempts; attempt++ {
 		payload, err := c.runAttempt(i, attempt, work, inj, retry.Watchdog)
@@ -318,14 +318,14 @@ func (c Campaign) runTrial(i int, work WorkFunc, inj *injector, retry RetryPolic
 
 // runAttempt executes one guarded attempt: panics become errors, and a
 // positive watchdog abandons attempts that outlive it.
-func (c Campaign) runAttempt(i, attempt int, work WorkFunc, inj *injector, watchdog time.Duration) (json.RawMessage, error) {
+func (c Campaign) runAttempt(i, attempt int, work WorkFunc, inj *Injector, watchdog time.Duration) (json.RawMessage, error) {
 	guarded := func() (payload json.RawMessage, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = &par.PanicError{Index: i, Value: r}
 			}
 		}()
-		inj.inject(i, attempt)
+		inj.Inject(i, attempt)
 		return work(i)
 	}
 	if watchdog <= 0 {

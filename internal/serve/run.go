@@ -41,10 +41,24 @@ func cacheKey(prefix string, v any) string {
 	return prefix + "|" + string(b)
 }
 
+// artifacts is the compile pipeline behind both the Server and the
+// standalone ShardExecutor: a single-flight LRU cache of developed
+// model bundles and compiled applications. Splitting it from Server
+// lets a besst-worker process reuse the exact build path (and
+// cache-key discipline) of the service without carrying its admission
+// machinery.
+type artifacts struct {
+	cache *cache
+}
+
+func newArtifacts(cap int) *artifacts {
+	return &artifacts{cache: newCache(cap)}
+}
+
 // models fetches (or develops) the model artifact for a plan's model
 // spec through the compile cache.
-func (s *Server) models(spec ModelSpec) (*modelArtifact, bool, error) {
-	v, hit, err := s.cache.Get(cacheKey("model", spec), func() (art any, err error) {
+func (a *artifacts) models(spec ModelSpec) (*modelArtifact, bool, error) {
+	v, hit, err := a.cache.Get(cacheKey("model", spec), func() (art any, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("serve: model development failed: %v", r)
@@ -69,8 +83,8 @@ func (s *Server) models(spec ModelSpec) (*modelArtifact, bool, error) {
 // spec — everything that determines the compiled artifact — but not
 // the run spec, seed, or tenant, so re-posts and seed variations of
 // one config always hit.
-func (s *Server) compiled(pl *plan) (*compiledArtifact, bool, error) {
-	ma, _, err := s.models(*pl.req.Model)
+func (a *artifacts) compiled(pl *plan) (*compiledArtifact, bool, error) {
+	ma, _, err := a.models(*pl.req.Model)
 	if err != nil {
 		return nil, false, err
 	}
@@ -78,7 +92,7 @@ func (s *Server) compiled(pl *plan) (*compiledArtifact, bool, error) {
 		Model ModelSpec
 		App   AppSpec
 	}{*pl.req.Model, *pl.req.App})
-	v, hit, err := s.cache.Get(key, func() (art any, err error) {
+	v, hit, err := a.cache.Get(key, func() (art any, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("serve: compile failed: %v", r)
@@ -139,16 +153,43 @@ func (s *Server) workersFor(pl *plan) int {
 // body with a nil error means the campaign was drained mid-flight
 // (state interrupted); its journal holds the completed prefix.
 func (s *Server) execute(c *campaign) (body []byte, cacheHit bool, err error) {
+	if s.cfg.Backend != nil && c.plan.req.Kind != KindSingle {
+		return s.executeBackend(c)
+	}
 	if c.plan.req.Kind == KindSweep {
 		return s.executeSweep(c)
 	}
 	return s.executeRun(c)
 }
 
+// executeBackend hands a shardable campaign (monte_carlo or dse_sweep)
+// to the configured distributed backend and assembles the merged
+// payload vector into the result document — the exact assembly the
+// in-process paths use, so backend and local execution of one request
+// are byte-identical. Single campaigns always run locally: one run
+// cannot be sharded, and dispatching it would only add a network hop.
+func (s *Server) executeBackend(c *campaign) ([]byte, bool, error) {
+	pl := c.plan
+	payloads, rep, err := s.cfg.Backend.Run(pl.canonical, pl.units(), s.draining, c.collector)
+	if err != nil {
+		return nil, false, err
+	}
+	if payloads == nil {
+		return nil, false, nil // drained mid-campaign
+	}
+	if len(rep.Divergences) > 0 {
+		s.mu.Lock()
+		c.divergences = append([]string(nil), rep.Divergences...)
+		s.mu.Unlock()
+	}
+	body, err := pl.assemble(payloads)
+	return body, false, err
+}
+
 // executeRun handles single and monte_carlo campaigns.
 func (s *Server) executeRun(c *campaign) ([]byte, bool, error) {
 	pl := c.plan
-	art, hit, err := s.compiled(pl)
+	art, hit, err := s.arts.compiled(pl)
 	if err != nil {
 		return nil, hit, err
 	}
@@ -195,7 +236,7 @@ func (s *Server) executeRun(c *campaign) ([]byte, bool, error) {
 // executeSweep handles dse_sweep campaigns.
 func (s *Server) executeSweep(c *campaign) ([]byte, bool, error) {
 	pl := c.plan
-	ma, hit, err := s.models(*pl.req.Model)
+	ma, hit, err := s.arts.models(*pl.req.Model)
 	if err != nil {
 		return nil, hit, err
 	}
@@ -212,15 +253,79 @@ func (s *Server) executeSweep(c *campaign) ([]byte, bool, error) {
 	if rep.Skipped > 0 {
 		return nil, hit, nil
 	}
-	doc := CampaignResult{
+	return marshalResult(sweepDoc(pl, cells, rep.FailedIndices)), hit, nil
+}
+
+// assemble folds a complete per-unit payload vector (trial results or
+// sweep-point means, in index order) into the campaign's result
+// document. It is the merge half of distributed execution: payloads
+// computed by any process, in any shard geometry, assemble into the
+// same bytes the in-process paths produce — provided every unit is
+// present, which the distributed layer guarantees by failing the
+// campaign rather than merging holes.
+//
+// A nil (wire: JSON null) payload is not a hole: it is a worker's
+// explicit record that the unit panicked and was quarantined, exactly
+// as the in-process campaign runner quarantines it. Quarantined units
+// surface as failed indices in the document — zero-mean cells for
+// sweeps, failed trials for Monte Carlo — matching the local paths'
+// resilience reports byte for byte.
+func (pl *plan) assemble(payloads []json.RawMessage) ([]byte, error) {
+	if want := pl.units(); len(payloads) != want {
+		return nil, fmt.Errorf("serve: assembling %d payloads for a %d-unit campaign", len(payloads), want)
+	}
+	var failed []int
+	for i, p := range payloads {
+		if quarantined(p) {
+			payloads[i] = nil
+			failed = append(failed, i)
+		}
+	}
+	if pl.req.Kind == KindSweep {
+		means := make([]float64, len(payloads))
+		for i, p := range payloads {
+			if p == nil {
+				continue // quarantined point: zero mean, listed in failed
+			}
+			if err := json.Unmarshal(p, &means[i]); err != nil {
+				return nil, fmt.Errorf("serve: decode sweep point %d: %w", i, err)
+			}
+		}
+		cells := dse.NewGrid(pl.sweepCfg).Cells(means)
+		return marshalResult(sweepDoc(pl, cells, failed)), nil
+	}
+	results, err := resilience.Decode[besst.Result](payloads)
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]*besst.Result, 0, len(results))
+	for _, r := range results {
+		if r != nil {
+			runs = append(runs, r)
+		}
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("serve: every trial was quarantined")
+	}
+	return marshalResult(resultDoc(pl, runs, failed)), nil
+}
+
+// quarantined reports whether a payload marks a quarantined unit: nil
+// in-process, the literal null after a JSON wire round-trip.
+func quarantined(p json.RawMessage) bool {
+	return len(p) == 0 || string(p) == "null"
+}
+
+// sweepDoc builds the dse_sweep result document.
+func sweepDoc(pl *plan, cells []dse.Cell, failed []int) CampaignResult {
+	return CampaignResult{
 		SchemaVersion: RequestSchemaVersion,
 		ID:            pl.id,
 		Kind:          pl.req.Kind,
 		Run:           pl.effectiveSpec(),
 		Cells:         cells,
-		FailedPoints:  rep.FailedIndices,
+		FailedPoints:  failed,
 	}
-	return marshalResult(doc), hit, nil
 }
 
 // resultDoc builds the single/monte_carlo result document from the

@@ -129,6 +129,13 @@ type CampaignStatus struct {
 	// artifact came from the compile cache.
 	CacheHit *bool  `json:"cache_hit,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// Divergences lists replica disagreements observed while the
+	// campaign ran on a distributed backend: each entry names a shard
+	// whose replicas did not all return byte-identical journals. The
+	// majority result was accepted (otherwise the campaign fails), but
+	// a divergence is never silent — it means a worker computed, or
+	// reported, different bytes for the same deterministic work.
+	Divergences []string `json:"divergences,omitempty"`
 	// Progress is the live obs.Collector campaign snapshot.
 	Progress  obsProgress `json:"progress"`
 	ResultURL string      `json:"result_url,omitempty"`
@@ -141,13 +148,23 @@ type errorDoc struct {
 
 // plan is a validated, defaulted, executable request.
 type plan struct {
-	req      CampaignRequest
-	id       string
-	seed     uint64          // effective master seed
-	runCfg   besst.RunConfig // single / monte_carlo; Seed resolved
-	trials   int             // single: 1
-	scenario lulesh.Scenario // app scenario with period applied
-	sweepCfg dse.SweepConfig // dse_sweep; Seed resolved, Workers/Collector unset
+	req       CampaignRequest
+	id        string
+	canonical []byte          // canonical request JSON (the campaign identity)
+	seed      uint64          // effective master seed
+	runCfg    besst.RunConfig // single / monte_carlo; Seed resolved
+	trials    int             // single: 1
+	scenario  lulesh.Scenario // app scenario with period applied
+	sweepCfg  dse.SweepConfig // dse_sweep; Seed resolved, Workers/Collector unset
+}
+
+// units is the number of independent work items the campaign shards
+// into: Monte Carlo trials, or distinct sweep design points.
+func (pl *plan) units() int {
+	if pl.req.Kind == KindSweep {
+		return dse.NewGrid(pl.sweepCfg).NumPoints()
+	}
+	return pl.trials
 }
 
 // badRequest is a 400-class plan error.
@@ -173,7 +190,7 @@ func buildPlan(id string, sum [sha256.Size]byte, canonical []byte) (*plan, error
 		return nil, reject("unsupported schema_version %d (want %d)", req.SchemaVersion, RequestSchemaVersion)
 	}
 
-	pl := &plan{req: req, id: id}
+	pl := &plan{req: req, id: id, canonical: canonical}
 	pl.seed = req.Run.Seed
 	if pl.seed == 0 {
 		pl.seed = DeriveSeed(sum)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -445,11 +446,99 @@ func TestStatusAndResultNotFound(t *testing.T) {
 	waitState(t, ts.URL, st.ID)
 }
 
+// fakeBackend stands in for the distributed coordinator: it computes
+// payloads through an in-process ShardExecutor and reports a scripted
+// divergence, so the backend execution path and divergence surfacing
+// are testable without processes.
+type fakeBackend struct {
+	ex          *ShardExecutor
+	divergences []string
+}
+
+func (b *fakeBackend) Run(request []byte, n int, cancel <-chan struct{}, col BackendCollector) ([]json.RawMessage, BackendReport, error) {
+	p, err := ParsePlan(request)
+	if err != nil {
+		return nil, BackendReport{}, err
+	}
+	payloads, err := b.ex.ExecShard(p.ID(), request, 0, n)
+	if err != nil {
+		return nil, BackendReport{}, err
+	}
+	if col != nil {
+		col.ShardDone(0, 0, n)
+		for range b.divergences {
+			col.ShardDivergence(0, 2, 3)
+		}
+	}
+	return payloads, BackendReport{Shards: 1, Replicas: 3, Divergences: b.divergences}, nil
+}
+
+// TestBackendExecutionByteIdentical runs monte_carlo and dse_sweep
+// campaigns through a Config.Backend and requires the result documents
+// to match in-process execution exactly, with the backend's divergence
+// notes surfaced on the settled status.
+func TestBackendExecutionByteIdentical(t *testing.T) {
+	_, local := newTestServer(t, Config{Workers: 2})
+	be := &fakeBackend{
+		ex:          NewShardExecutor(ExecConfig{Workers: 2, CacheCap: 4}),
+		divergences: []string{"shard 0 [0,3): 2/3 replicas agreed on journal abc; rejected minority journals: [def]"},
+	}
+	_, backed := newTestServer(t, Config{Backend: be})
+
+	for _, body := range []string{mcRequest, sweepRequest} {
+		want := runToResult(t, local.URL, body)
+		st, _ := post(t, backed.URL, body)
+		final := waitState(t, backed.URL, st.ID)
+		if final.State != stateDone {
+			t.Fatalf("backend campaign settled as %s: %s", final.State, final.Error)
+		}
+		if len(final.Divergences) != 1 || !strings.Contains(final.Divergences[0], "2/3 replicas agreed") {
+			t.Fatalf("backend divergences not surfaced on status: %v", final.Divergences)
+		}
+		got := result(t, backed.URL, st.ID)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("backend result diverged from in-process run (%d vs %d bytes)", len(got), len(want))
+		}
+	}
+}
+
+// TestCampaignTTLEviction lets a settled campaign age past its TTL and
+// expects the registry to drop it (status 404) with the eviction
+// counted in /v1/statz.
+func TestCampaignTTLEviction(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, CampaignTTL: 30 * time.Millisecond})
+	st, resp := post(t, ts.URL, mcRequest)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST status %d", resp.StatusCode)
+	}
+	if final := waitState(t, ts.URL, st.ID); final.State != stateDone {
+		t.Fatalf("campaign settled as %s: %s", final.State, final.Error)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/campaigns/" + st.ID)
+		if err != nil {
+			t.Fatalf("GET status: %v", err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign not evicted 10s past its 30ms TTL (status %d)", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if sz := statz(t, ts.URL); sz.Evicted == 0 {
+		t.Fatalf("eviction not counted: %+v", sz)
+	}
+}
+
 // TestHealthzReflectsDrain checks liveness before and after Drain, and
 // that a draining server refuses new work with 503.
 func TestHealthzReflectsDrain(t *testing.T) {
 	srv, ts := newTestServer(t, Config{})
-	var h healthz
+	var h Healthz
 	if err := getJSON(ts.URL+"/v1/healthz", &h); err != nil {
 		t.Fatal(err)
 	}
@@ -469,17 +558,20 @@ func TestHealthzReflectsDrain(t *testing.T) {
 	}
 }
 
-// TestSmoke runs the self-contained smoke check (sans golden) so `go
-// test` covers the same path `make serve-smoke` gates on.
-func TestSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("smoke boots a real listener")
+// getJSON fetches one JSON document (test helper; the production
+// client lives in internal/serveclient).
+func getJSON(url string, doc any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
 	}
-	var buf bytes.Buffer
-	if err := Smoke(&buf, SmokeConfig{}); err != nil {
-		t.Fatalf("Smoke: %v\n%s", err, buf.String())
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
 	}
-	if !strings.Contains(buf.String(), "serve smoke OK") {
-		t.Fatalf("smoke output: %s", buf.String())
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s status %d: %s", url, resp.StatusCode, body)
 	}
+	return json.Unmarshal(body, doc)
 }

@@ -28,12 +28,15 @@
 package serve
 
 import (
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -45,13 +48,23 @@ import (
 // cycle concern while exposing the collector's progress type verbatim.
 type obsProgress = obs.Progress
 
-// Campaign states.
+// Campaign states as they appear in CampaignStatus.State, exported for
+// typed clients.
 const (
-	stateQueued      = "queued"
-	stateRunning     = "running"
-	stateDone        = "done"
-	stateFailed      = "failed"
-	stateInterrupted = "interrupted"
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateInterrupted = "interrupted"
+)
+
+// Internal aliases: the handlers predate the exported names.
+const (
+	stateQueued      = StateQueued
+	stateRunning     = StateRunning
+	stateDone        = StateDone
+	stateFailed      = StateFailed
+	stateInterrupted = StateInterrupted
 )
 
 // Config parameterizes a Server. The zero value is usable: sensible
@@ -73,6 +86,60 @@ type Config struct {
 	// MaxPerTenant bounds one tenant's concurrently running campaigns
 	// (<= 0: 1).
 	MaxPerTenant int
+	// AuthToken, when non-empty, requires every request (except
+	// GET /v1/healthz, left open for liveness probes) to carry
+	// "Authorization: Bearer <token>"; mismatches answer 401. Empty
+	// keeps the service open.
+	AuthToken string
+	// CampaignTTL, when positive, garbage-collects settled campaigns
+	// (done / failed / interrupted) from the in-memory registry once
+	// they have been settled longer than the TTL, so long-lived daemons
+	// don't grow without bound. Queued and running campaigns are never
+	// evicted; re-posting an evicted request simply re-admits it under
+	// the same content-addressed ID.
+	CampaignTTL time.Duration
+	// Backend, when non-nil, executes monte_carlo and dse_sweep
+	// campaigns instead of the in-process pipeline — the hook the
+	// distributed coordinator (internal/dist) plugs in behind
+	// `besst-serve -workers-addr`. Single campaigns always run
+	// in-process.
+	Backend Backend
+}
+
+// Backend executes a shardable campaign out of process. request is the
+// canonical request JSON (the campaign identity), n its unit count;
+// cancel is closed when the server drains. The returned payload vector
+// must hold one canonical payload per unit, in index order. A nil
+// vector with a nil error means execution was cancelled before
+// completion (the campaign surfaces as interrupted).
+//
+// The interface is defined here — not in internal/dist — so serve
+// never imports its own backends; dist implements it and cmd wiring
+// connects the two.
+type Backend interface {
+	Run(request []byte, n int, cancel <-chan struct{}, col BackendCollector) ([]json.RawMessage, BackendReport, error)
+}
+
+// BackendCollector receives distributed-execution telemetry. It is the
+// shard-level subset of *obs.Collector's hooks, typed with builtins
+// only so obs satisfies it structurally.
+type BackendCollector interface {
+	ShardDone(shard, lo, hi int)
+	ShardRetry(shard, attempt int)
+	ShardDivergence(shard, agree, returned int)
+	WorkerDown(worker int)
+}
+
+// BackendReport summarizes one distributed execution for the campaign
+// record: replica journals that lost their quorum vote are surfaced as
+// first-class divergence descriptions on the campaign status, never
+// silently discarded.
+type BackendReport struct {
+	Shards      int
+	Replicas    int
+	Retries     int
+	WorkersLost int
+	Divergences []string
 }
 
 func (c Config) withDefaults() Config {
@@ -105,12 +172,19 @@ type campaign struct {
 	cacheHit bool
 	result   []byte
 	errMsg   string
+	// divergences lists replica disagreements observed while this
+	// campaign ran on a distributed backend (majority still won; the
+	// outvoted journals are recorded here).
+	divergences []string
+	// settledAt timestamps the transition out of queued/running; the
+	// TTL janitor evicts settled campaigns past Config.CampaignTTL.
+	settledAt time.Time
 }
 
 // Server is the simulation service.
 type Server struct {
-	cfg   Config
-	cache *cache
+	cfg  Config
+	arts *artifacts
 
 	mu           sync.Mutex
 	campaigns    map[string]*campaign
@@ -119,6 +193,7 @@ type Server struct {
 	tenantActive map[string]int
 	rejected     uint64
 	completed    uint64
+	evicted      uint64
 
 	wake      chan struct{}
 	draining  chan struct{} // closed by Drain; doubles as resilience Cancel
@@ -136,7 +211,7 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:          cfg.withDefaults(),
-		cache:        newCache(cfg.CacheCap),
+		arts:         newArtifacts(cfg.CacheCap),
 		campaigns:    make(map[string]*campaign),
 		tenantActive: make(map[string]int),
 		wake:         make(chan struct{}, 1),
@@ -149,17 +224,45 @@ func NewServer(cfg Config) *Server {
 }
 
 // schedule is the dispatch loop: every admission or completion kicks
-// it to start as many queued campaigns as the caps allow. It exits on
-// drain.
+// it to start as many queued campaigns as the caps allow, and — when a
+// campaign TTL is configured — a ticker sweeps settled campaigns out
+// of the registry. It exits on drain.
 func (s *Server) schedule() {
 	defer close(s.schedDone)
+	var gcTick <-chan time.Time
+	if s.cfg.CampaignTTL > 0 {
+		period := s.cfg.CampaignTTL / 2
+		if period < 10*time.Millisecond {
+			period = 10 * time.Millisecond
+		}
+		t := time.NewTicker(period)
+		defer t.Stop()
+		gcTick = t.C
+	}
 	for {
 		select {
 		case <-s.draining:
 			return
 		case <-s.wake:
+		case <-gcTick:
+			s.evictExpired(time.Now())
 		}
 		s.dispatch()
+	}
+}
+
+// evictExpired drops settled campaigns whose TTL has lapsed.
+func (s *Server) evictExpired(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, c := range s.campaigns {
+		if c.settledAt.IsZero() {
+			continue // queued or running: never evicted
+		}
+		if now.Sub(c.settledAt) >= s.cfg.CampaignTTL {
+			delete(s.campaigns, id)
+			s.evicted++
+		}
 	}
 }
 
@@ -209,6 +312,7 @@ func (s *Server) runCampaign(c *campaign) {
 		c.result = body
 		s.completed++
 	}
+	c.settledAt = time.Now()
 	s.active--
 	s.tenantActive[c.tenant]--
 	if s.tenantActive[c.tenant] <= 0 {
@@ -249,13 +353,15 @@ func (s *Server) Drain() {
 	for _, c := range s.queue {
 		c.state = stateInterrupted
 		c.errMsg = "server drained before the campaign started; re-POST after restart"
+		c.settledAt = time.Now()
 		close(c.done)
 	}
 	s.queue = nil
 	s.mu.Unlock()
 }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes, wrapped in bearer-token
+// auth when Config.AuthToken is set.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
@@ -263,7 +369,35 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statz", s.handleStatz)
-	return mux
+	return WithAuth(s.cfg.AuthToken, mux)
+}
+
+// WithAuth wraps a handler in shared-secret bearer-token auth: every
+// request must carry "Authorization: Bearer <token>" or is answered
+// 401, except GET /v1/healthz, which stays open so liveness probes
+// need no credentials. An empty token disables the check. The same
+// wrapper guards besst-serve and the besst-worker shard endpoint, so
+// one `-auth-token` flag protects the whole deployment.
+func WithAuth(token string, next http.Handler) http.Handler {
+	if token == "" {
+		return next
+	}
+	want := sha256.Sum256([]byte(token))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && r.URL.Path == "/v1/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		// Hash both sides so the comparison is constant-time even
+		// across length mismatches.
+		sum := sha256.Sum256([]byte(got))
+		if !ok || subtle.ConstantTimeCompare(sum[:], want[:]) != 1 {
+			writeError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // ListenAndServe serves the API on addr until SIGTERM/SIGINT (or a
@@ -425,14 +559,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(body)
 }
 
-// healthz is the liveness document.
-type healthz struct {
+// Healthz is the GET /v1/healthz liveness document, shared by the
+// service, the worker, and the typed client.
+type Healthz struct {
 	Status   string `json:"status"`
 	Draining bool   `json:"draining"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	h := healthz{Status: "ok", Draining: s.isDraining()}
+	h := Healthz{Status: "ok", Draining: s.isDraining()}
 	if h.Draining {
 		h.Status = "draining"
 	}
@@ -448,6 +583,7 @@ type Statz struct {
 	Active        int            `json:"active"`
 	Completed     uint64         `json:"completed"`
 	Rejected      uint64         `json:"rejected"`
+	Evicted       uint64         `json:"campaigns_evicted"`
 	Campaigns     map[string]int `json:"campaigns"` // state -> count
 	Tenants       map[string]int `json:"tenants_active,omitempty"`
 	Cache         CacheStats     `json:"compile_cache"`
@@ -463,6 +599,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		Active:        s.active,
 		Completed:     s.completed,
 		Rejected:      s.rejected,
+		Evicted:       s.evicted,
 		Campaigns:     make(map[string]int),
 		Tenants:       make(map[string]int, len(s.tenantActive)),
 	}
@@ -473,7 +610,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		st.Tenants[t] = n
 	}
 	s.mu.Unlock()
-	st.Cache = s.cache.Stats()
+	st.Cache = s.arts.cache.Stats()
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -494,6 +631,7 @@ func (s *Server) statusLocked(c *campaign) CampaignStatus {
 		State:         c.state,
 		Seed:          c.plan.seed,
 		Error:         c.errMsg,
+		Divergences:   c.divergences,
 		Progress:      c.collector.Progress(),
 	}
 	if c.state == stateDone {

@@ -1,0 +1,130 @@
+package serveclient
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"besst/internal/serve"
+)
+
+// newClient boots a server plus an httptest front end and returns a
+// typed client pointed at it.
+func newClient(t *testing.T, cfg serve.Config) *Client {
+	t.Helper()
+	srv := serve.NewServer(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		srv.Drain()
+		ts.Close()
+	})
+	return New(ts.URL, cfg.AuthToken)
+}
+
+// TestClientRoundTrip drives submit → wait → result through the typed
+// client and checks the result matches a second run byte-for-byte.
+func TestClientRoundTrip(t *testing.T) {
+	c := newClient(t, serve.Config{Workers: 2, CacheCap: 4})
+	first, err := RunCampaign(c, []byte(QuickstartRequest), time.Minute)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	second, err := RunCampaign(c, []byte(QuickstartRequest), time.Minute)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cold and warm results differ (%d vs %d bytes)", len(first), len(second))
+	}
+	st, err := c.Statz(context.Background())
+	if err != nil {
+		t.Fatalf("statz: %v", err)
+	}
+	if st.Cache.Hits == 0 {
+		t.Fatalf("warm re-post did not hit the compile cache: %+v", st.Cache)
+	}
+	h, err := c.Healthz(context.Background())
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("healthz: %+v", h)
+	}
+}
+
+// TestClientAPIError checks that a rejected request surfaces as a
+// typed *APIError carrying the service's message.
+func TestClientAPIError(t *testing.T) {
+	c := newClient(t, serve.Config{})
+	_, err := c.SubmitRaw(context.Background(), []byte(`{"kind": "nope"}`))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %v", err)
+	}
+	if apiErr.Status != 400 || apiErr.Msg == "" {
+		t.Fatalf("unexpected APIError: %+v", apiErr)
+	}
+	if _, err := c.Status(context.Background(), "no-such-campaign"); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("status of unknown campaign: %v", err)
+	}
+}
+
+// TestClientAuth checks bearer-token round-tripping: the wrong token
+// answers 401 through the typed error, the right one works.
+func TestClientAuth(t *testing.T) {
+	c := newClient(t, serve.Config{AuthToken: "s3cret"})
+	if _, err := RunCampaign(c, []byte(QuickstartRequest), time.Minute); err != nil {
+		t.Fatalf("authorized run: %v", err)
+	}
+	bad := New(c.BaseURL, "wrong")
+	_, err := bad.SubmitRaw(context.Background(), []byte(QuickstartRequest))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 401 {
+		t.Fatalf("wrong token: want 401 APIError, got %v", err)
+	}
+	// healthz stays reachable without credentials for load balancers.
+	if _, err := New(c.BaseURL, "").Healthz(context.Background()); err != nil {
+		t.Fatalf("unauthenticated healthz: %v", err)
+	}
+}
+
+// TestClientWatch streams status lines and expects the final one to be
+// settled.
+func TestClientWatch(t *testing.T) {
+	c := newClient(t, serve.Config{Workers: 1})
+	st, err := c.SubmitRaw(context.Background(), []byte(QuickstartRequest))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var last serve.CampaignStatus
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := c.Watch(ctx, st.ID, func(s serve.CampaignStatus) error {
+		last = s
+		return nil
+	}); err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if last.State != serve.StateDone {
+		t.Fatalf("watch ended on state %q: %s", last.State, last.Error)
+	}
+}
+
+// TestSmoke runs the self-contained smoke check (sans golden) so `go
+// test` covers the same path `make serve-smoke` gates on.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke boots a real listener")
+	}
+	var buf bytes.Buffer
+	if err := Smoke(&buf, SmokeConfig{}); err != nil {
+		t.Fatalf("Smoke: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "serve smoke OK") {
+		t.Fatalf("smoke output: %s", buf.String())
+	}
+}

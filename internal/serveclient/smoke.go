@@ -1,0 +1,124 @@
+package serveclient
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"besst/internal/serve"
+)
+
+// SmokeConfig parameterizes the self-contained service smoke check.
+type SmokeConfig struct {
+	// Golden, when non-empty, is the committed result document the
+	// quickstart campaign must reproduce byte-for-byte.
+	Golden string
+	// Update rewrites Golden from the live result instead of diffing.
+	Update bool
+}
+
+// QuickstartRequest is the README quickstart campaign: a small
+// direct-mode Monte Carlo run whose result document is committed as a
+// golden file. Everything is pinned (seed included) so the bytes are
+// stable. The distributed smoke (internal/dist) reuses it so the
+// sharded merge can be diffed against the same golden.
+const QuickstartRequest = `{
+  "schema_version": 1,
+  "kind": "monte_carlo",
+  "tenant": "smoke",
+  "trials": 5,
+  "run": {"schema_version": 1, "mode": "direct", "monte_carlo": true, "per_rank_noise": true, "seed": 7},
+  "app": {"epr": 5, "ranks": 8, "steps": 20, "scenario": "l1", "period": 10},
+  "model": {"method": "interp", "samples": 2, "seed": 1}
+}`
+
+// Smoke boots an in-process server on a loopback port, runs the
+// quickstart campaign twice over real HTTP through the typed client,
+// and verifies the service invariants end to end:
+//
+//   - both result bodies are byte-identical (cold vs warm compile cache),
+//   - the second submission hit the compile cache (/v1/statz counters),
+//   - the result matches the committed golden document.
+//
+// It runs without a state directory on purpose: the second POST must
+// genuinely re-simulate through the warm cache, not replay a journal.
+func Smoke(out io.Writer, cfg SmokeConfig) error {
+	srv := serve.NewServer(serve.Config{MaxActive: 2, MaxQueued: 8, MaxPerTenant: 2, CacheCap: 4})
+	defer srv.Drain()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("serve smoke: listen: %w", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer func() { _ = httpSrv.Close() }()
+	c := New("http://"+ln.Addr().String(), "")
+
+	first, err := RunCampaign(c, []byte(QuickstartRequest), 2*time.Minute)
+	if err != nil {
+		return fmt.Errorf("serve smoke: %w", err)
+	}
+	second, err := RunCampaign(c, []byte(QuickstartRequest), 2*time.Minute)
+	if err != nil {
+		return fmt.Errorf("serve smoke: %w", err)
+	}
+	if !bytes.Equal(first, second) {
+		return fmt.Errorf("serve smoke: cold and warm result bodies differ (%d vs %d bytes)", len(first), len(second))
+	}
+
+	st, err := c.Statz(context.Background())
+	if err != nil {
+		return fmt.Errorf("serve smoke: %w", err)
+	}
+	if st.Cache.Hits == 0 {
+		return fmt.Errorf("serve smoke: second identical request did not hit the compile cache (hits=0, misses=%d)", st.Cache.Misses)
+	}
+
+	if cfg.Golden != "" {
+		if cfg.Update {
+			if err := os.WriteFile(cfg.Golden, first, 0o644); err != nil {
+				return fmt.Errorf("serve smoke: update golden: %w", err)
+			}
+			_, _ = fmt.Fprintf(out, "serve smoke: golden updated: %s (%d bytes)\n", cfg.Golden, len(first))
+		} else {
+			want, err := os.ReadFile(cfg.Golden)
+			if err != nil {
+				return fmt.Errorf("serve smoke: read golden (run with -update-golden to create): %w", err)
+			}
+			if !bytes.Equal(first, want) {
+				return fmt.Errorf("serve smoke: result diverged from golden %s (%d vs %d bytes); "+
+					"if the change is intentional, regenerate with -update-golden", cfg.Golden, len(first), len(want))
+			}
+		}
+	}
+	_, _ = fmt.Fprintf(out, "serve smoke OK: byte-identical cold/warm results, compile cache hits=%d misses=%d\n",
+		st.Cache.Hits, st.Cache.Misses)
+	return nil
+}
+
+// RunCampaign submits raw request JSON, waits until the campaign
+// settles (bounded by timeout), and returns the result document bytes.
+// A settled state other than done is an error carrying the campaign's
+// own error string.
+func RunCampaign(c *Client, raw []byte, timeout time.Duration) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	st, err := c.SubmitRaw(ctx, raw)
+	if err != nil {
+		return nil, err
+	}
+	st, err = c.Wait(ctx, st.ID, 0)
+	if err != nil {
+		return nil, err
+	}
+	if st.State != serve.StateDone {
+		return nil, fmt.Errorf("campaign %s is %s: %s", st.ID, st.State, st.Error)
+	}
+	return c.Result(ctx, st.ID)
+}
