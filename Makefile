@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet fmt lint lint-self lint-fixtures lint-fixtures-verify race bench parbench bench-parallel bench-hotpath bench-compare profile trace-fixtures chaos fuzz serve-smoke dist-smoke
+.PHONY: check build test vet fmt lint lint-self lint-fixtures lint-fixtures-verify race bench parbench bench-parallel bench-hotpath bench-compare bench-dse profile trace-fixtures chaos fuzz serve-smoke dist-smoke dse-smoke
 
 # check is the tier-1 gate: formatting, static analysis (vet and
 # besst-lint, including the analyzer linting itself and its golden
@@ -9,9 +9,10 @@ GO ?= go
 # under -race), the observability fixtures, the campaign-resilience
 # chaos/crash suite, the simulation-service smoke gate, the
 # distributed-execution smoke gate (real worker processes, one
-# chaos-killed mid-run), and the hot-path and parallel-scaling
-# bench-regression gates.
-check: fmt vet lint lint-self lint-fixtures-verify build race trace-fixtures chaos serve-smoke dist-smoke bench-compare bench-parallel
+# chaos-killed mid-run), the surrogate-search smoke gate (memo-warm
+# re-search must be byte-identical), and the hot-path,
+# parallel-scaling, and search-quality bench-regression gates.
+check: fmt vet lint lint-self lint-fixtures-verify build race trace-fixtures chaos serve-smoke dist-smoke dse-smoke bench-compare bench-parallel bench-dse
 
 build:
 	$(GO) build ./...
@@ -91,6 +92,16 @@ bench-hotpath: build
 bench-compare: bench-hotpath
 	$(GO) run ./cmd/benchdiff
 
+# bench-dse is the surrogate-search quality gate: a fresh search run on
+# a small grid (gitignored report) is diffed against the committed
+# results/BENCH_dse_baseline.json and the target fails when the search
+# fully simulates more points than the baseline, the optimality gap vs
+# the exhaustive sweep grows past the slack, or a memo-warm re-search
+# stops reproducing the cold result byte-for-byte.
+bench-dse: build
+	$(GO) run ./cmd/besst-bench -dse
+	$(GO) run ./cmd/benchdiff -dse
+
 # trace-fixtures runs the observability golden fixtures: trace-buffer
 # pairing, Chrome trace and metrics document round-trips, and the
 # instrumentation-leaves-results-identical gates.
@@ -123,6 +134,13 @@ serve-smoke: build
 # (retries > 0, workers lost > 0).
 dist-smoke: build
 	$(GO) run ./cmd/besst-worker -smoke -golden results/GOLDEN_serve_smoke.json
+
+# dse-smoke is the surrogate-search service gate: the pinned search
+# campaign runs twice against an in-process besst-serve and the target
+# fails unless the warm run hits the point memo and both result bodies
+# are byte-identical.
+dse-smoke: build
+	$(GO) run ./cmd/besst-serve -smoke-dse
 
 # fuzz runs the short corruption fuzzers: the checkpoint-journal reader
 # (torn tails, garbage lines) and the AppBEO JSON decoder.

@@ -28,14 +28,21 @@ import (
 
 func main() {
 	parallel := flag.Bool("parallel", false, "compare parallel-scaling reports instead of hot-path reports")
+	dseMode := flag.Bool("dse", false, "compare surrogate-search quality reports instead of hot-path reports")
 	base := flag.String("base", "", "committed baseline report (default depends on mode)")
 	cur := flag.String("cur", "", "freshly generated report to gate (default depends on mode)")
 	tol := flag.Float64("tol", 10, "allowed ns/op growth in percent (also the speedup-floor slack in -parallel mode; allocs/op tolerance in hot-path mode is always zero)")
+	gapSlack := flag.Float64("gap-slack", 0.5, "allowed optimality-gap growth in percentage points for -dse (full-sim count and warm identity tolerate nothing)")
 	flag.Parse()
 
 	if *parallel {
 		runParallelDiff(orDefault(*base, "results/BENCH_parallel.json"),
 			orDefault(*cur, "results/BENCH_parallel_fresh.json"), *tol)
+		return
+	}
+	if *dseMode {
+		runDSEDiff(orDefault(*base, "results/BENCH_dse_baseline.json"),
+			orDefault(*cur, "results/BENCH_dse.json"), *gapSlack)
 		return
 	}
 	runHotpathDiff(orDefault(*base, "results/BENCH_hotpath_baseline.json"),
@@ -113,6 +120,33 @@ func runParallelDiff(base, cur string, tol float64) {
 		}
 		fmt.Fprintf(os.Stderr, "benchdiff: OK — no regressions vs %s (ns/op tolerance %.0f%%, %s)\n",
 			base, tol, suffix)
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION: %s\n", r)
+	}
+	os.Exit(1)
+}
+
+func runDSEDiff(base, cur string, gapSlack float64) {
+	baseRep, err := benchdata.LoadDSE(base)
+	if err != nil {
+		fatalf("load baseline: %v", err)
+	}
+	curRep, err := benchdata.LoadDSE(cur)
+	if err != nil {
+		fatalf("load current: %v", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "  full_sims %d/%d -> %d/%d   gap %.3f%% -> %.3f%%   warm hits %d -> %d   warm identical %v -> %v\n",
+		baseRep.FullSims, baseRep.GridPoints, curRep.FullSims, curRep.GridPoints,
+		baseRep.GapPct, curRep.GapPct, baseRep.MemoWarmHits, curRep.MemoWarmHits,
+		baseRep.WarmIdentical, curRep.WarmIdentical)
+
+	regs := benchdata.CompareDSE(curRep, baseRep, gapSlack)
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: OK — no regressions vs %s (gap slack %.1f points, full-sim and warm-identity tolerance 0)\n",
+			base, gapSlack)
 		return
 	}
 	for _, r := range regs {

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"besst/internal/benchdata"
+	"besst/internal/dse"
+	"besst/internal/groundtruth"
+	"besst/internal/lulesh"
+	"besst/internal/workflow"
+)
+
+// The -dse harness measures surrogate-search quality, not wall time:
+// it sweeps a small grid exhaustively for ground truth, re-searches it
+// under a fixed budget, and reports the optimality gap, the
+// full-simulation count, and whether a memo-warm re-search reproduces
+// the cold result byte-for-byte. The grid is small on purpose — truth
+// requires the exhaustive sweep the search exists to avoid — and every
+// number is a pure function of the pinned seed, so `make bench-dse`
+// can gate on the report with zero noise tolerance.
+
+const (
+	dseBenchSeed    = 42
+	dseBenchSamples = 5
+	dseBenchSteps   = 20
+	dseBenchMC      = 2
+	dseBenchBudget  = 0.4
+)
+
+// dseBenchConfig is the shared grid for truth and search runs. The
+// collector-free config is rebuilt per run so prepared sweeps never
+// share mutable state.
+func dseBenchConfig(workers int) dse.SweepConfig {
+	return dse.NewSweepConfig(
+		dse.WithEPRs(5, 10, 15, 20, 25),
+		dse.WithRanks(8, 64, 216),
+		dse.WithScenarios(lulesh.ScenarioNoFT, lulesh.ScenarioL1, lulesh.ScenarioL1L2),
+		dse.WithTimesteps(dseBenchSteps),
+		dse.WithMCRuns(dseBenchMC),
+		dse.WithSeed(dseBenchSeed+1),
+		dse.WithConcurrency(workers),
+	)
+}
+
+func runDSEBench(outPath string, workers int) {
+	em := groundtruth.NewQuartz()
+	models, _ := workflow.DevelopLuleshQuartz(em, dseBenchSamples, workflow.SymbolicRegression, dseBenchSeed)
+	cfg := dseBenchConfig(workers)
+	if err := cfg.Validate(); err != nil {
+		fatalf("dse bench: %v", err)
+	}
+	bundle := fmt.Sprintf("bench|quartz|lulesh|symreg|samples=%d|seed=%d", dseBenchSamples, dseBenchSeed)
+
+	// Ground truth: evaluate every design point exhaustively. Baseline
+	// points coincide with grid points (noft at the anchor rank count
+	// is part of the scenario product), so the minimum over all points
+	// is the search objective's true optimum.
+	truth := dse.PrepareSweep(models, em.M, em.Cost.Config.NodeSize, cfg)
+	trueBest, trueIdx := 0.0, -1
+	for i := 0; i < truth.NumPoints(); i++ {
+		mean := truth.EvalPoint(i)
+		if trueIdx < 0 || mean < trueBest {
+			trueBest, trueIdx = mean, i
+		}
+	}
+
+	// Cold search through a fresh memo, then a warm re-search through
+	// the same memo on a freshly prepared sweep: the warm run must hit
+	// the memo and reproduce the cold result bytes exactly.
+	memo := dse.NewMemo(0)
+	scfg := dse.SearchConfig{Budget: dseBenchBudget}
+	cold := dse.PrepareSweep(models, em.M, em.Cost.Config.NodeSize, cfg)
+	cold.AttachMemo(memo, bundle)
+	coldRes, err := cold.Search(scfg)
+	if err != nil {
+		fatalf("dse bench: cold search: %v", err)
+	}
+	coldStats := memo.Stats()
+
+	warm := dse.PrepareSweep(models, em.M, em.Cost.Config.NodeSize, cfg)
+	warm.AttachMemo(memo, bundle)
+	warmRes, err := warm.Search(scfg)
+	if err != nil {
+		fatalf("dse bench: warm search: %v", err)
+	}
+	warmStats := memo.Stats()
+
+	coldDoc, err := json.Marshal(coldRes)
+	if err != nil {
+		fatalf("dse bench: marshal cold result: %v", err)
+	}
+	warmDoc, err := json.Marshal(warmRes)
+	if err != nil {
+		fatalf("dse bench: marshal warm result: %v", err)
+	}
+
+	bestIdx, ok := truth.PointIndex(coldRes.Best.EPR, coldRes.Best.Ranks, coldRes.Best.Scenario)
+	if !ok {
+		fatalf("dse bench: search best %s/%d/%d is not a grid point",
+			coldRes.Best.Scenario, coldRes.Best.EPR, coldRes.Best.Ranks)
+	}
+	gap := 0.0
+	if trueBest > 0 {
+		gap = 100 * (coldRes.Best.MeanSec - trueBest) / trueBest
+	}
+
+	report := benchdata.DSEReport{
+		SchemaVersion: benchdata.DSESchemaVersion,
+		Seed:          dseBenchSeed,
+		GridPoints:    truth.NumPoints(),
+		BudgetFrac:    dseBenchBudget,
+		FullSims:      coldRes.FullSims,
+		Rounds:        coldRes.Rounds,
+		GapPct:        gap,
+		BestLabel:     truth.PointLabel(bestIdx),
+		TrueBestLabel: truth.PointLabel(trueIdx),
+		MemoWarmHits:  warmStats.Hits - coldStats.Hits,
+		WarmIdentical: bytes.Equal(coldDoc, warmDoc),
+	}
+
+	if err := os.MkdirAll(filepath.Dir(outPath), 0o755); err != nil {
+		fatalf("dse bench: %v", err)
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		fatalf("dse bench: create %s: %v", outPath, err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatalf("dse bench: write %s: %v", outPath, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("dse bench: close %s: %v", outPath, err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"dse bench: %d/%d points simulated in %d rounds, gap %.3f%% (best %s, true best %s), warm hits %d, warm identical %v -> %s\n",
+		report.FullSims, report.GridPoints, report.Rounds, report.GapPct,
+		report.BestLabel, report.TrueBestLabel, report.MemoWarmHits, report.WarmIdentical, outPath)
+}

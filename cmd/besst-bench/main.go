@@ -48,6 +48,8 @@ func main() {
 	hotpath := flag.Bool("hotpath", false, "run the allocation-sensitive hot-path benchmark harness and write JSON instead of collecting a campaign")
 	hotpathOut := flag.String("hotpath-out", "results/BENCH_hotpath.json", "output path for -hotpath")
 	hotpathPre := flag.String("hotpath-prepr", "results/BENCH_hotpath_prepr.json", "committed pre-optimization snapshot to report improvement factors against")
+	dseBench := flag.Bool("dse", false, "run the surrogate-search quality harness (optimality gap vs exhaustive truth, memo warm/cold identity) and write JSON instead of collecting a campaign")
+	dseOut := flag.String("dse-out", "results/BENCH_dse.json", "output path for -dse")
 	// -workers keeps its historical default of 1: any other value
 	// selects the per-combination seeded parallel campaign collector.
 	common := cli.RegisterCommon(flag.CommandLine, 1)
@@ -66,6 +68,12 @@ func main() {
 
 	if *hotpath {
 		runHotpath(*hotpathOut, *hotpathPre)
+		closeSession(ses)
+		return
+	}
+
+	if *dseBench {
+		runDSEBench(*dseOut, common.Workers)
 		closeSession(ses)
 		return
 	}

@@ -26,11 +26,24 @@ import (
 )
 
 // jsonReport is the -json output: every sweep cell, the FT-level
-// ranking at the chosen design point, and the pruning report.
+// ranking at the chosen design point, and the pruning report. Search
+// is present only under -search.
 type jsonReport struct {
 	Cells   []dse.Cell       `json:"cells"`
 	Ranking []dse.Cell       `json:"ranking"`
 	Pruning []dse.Divergence `json:"pruning"`
+	Search  *searchSummary   `json:"search,omitempty"`
+}
+
+// searchSummary mirrors serve.SearchSummary plus the CLI's memo
+// counters.
+type searchSummary struct {
+	Budget     float64       `json:"budget"`
+	GridPoints int           `json:"grid_points"`
+	FullSims   int           `json:"full_sims"`
+	Rounds     int           `json:"rounds"`
+	Best       dse.Cell      `json:"best"`
+	Memo       dse.MemoStats `json:"memo"`
 }
 
 func main() {
@@ -40,6 +53,9 @@ func main() {
 	threshold := flag.Float64("threshold", 15, "pruning threshold, percent divergence")
 	epr := flag.Int("epr", 15, "design point for FT-level ranking: problem size")
 	ranks := flag.Int("ranks", 216, "design point for FT-level ranking: ranks")
+	search := flag.Bool("search", false, "surrogate-guided sweep: fully simulate only a budgeted subset of the grid, fill the rest from per-scenario surrogates")
+	budget := flag.Float64("budget", 0.4, "fraction of the grid -search may fully simulate (0 < budget <= 1)")
+	memoPath := flag.String("memo", "", "append-only design-point memo journal for -search; replayed on boot so repeat runs skip simulated points")
 	common := cli.RegisterCommon(flag.CommandLine, 0)
 	distFlags := cli.RegisterDist(flag.CommandLine)
 	flag.Parse()
@@ -48,6 +64,12 @@ func main() {
 	ses, err := common.Begin("besst-dse")
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *search && distFlags.Enabled() {
+		fatalf("-search runs in-process: adaptive rounds have no static shard space to distribute (drop -dist)")
+	}
+	if *search && ses.CampaignEnabled() {
+		fatalf("-search does not use campaign checkpoints; its persistence is the -memo journal (drop -state)")
 	}
 
 	// -dist: run the overhead sweep as a dse_sweep campaign on a
@@ -112,7 +134,36 @@ func main() {
 		fatalf("%v", err)
 	}
 	var cells []dse.Cell
-	if ses.CampaignEnabled() {
+	var summary *searchSummary
+	if *search {
+		memo := dse.NewMemo(0)
+		if *memoPath != "" {
+			if memo, err = dse.NewMemoJournal(0, *memoPath); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		// The bundle string keys memoized means to the exact modeling
+		// pipeline; any flag that changes model fits must appear here.
+		bundle := fmt.Sprintf("cli|quartz|lulesh|symreg|samples=%d|seed=%d", *samples, common.Seed)
+		prepared := dse.PrepareSweep(models, em.M, em.Cost.Config.NodeSize, sweepCfg)
+		prepared.AttachMemo(memo, bundle)
+		res, serr := prepared.Search(dse.SearchConfig{Budget: *budget})
+		if serr != nil {
+			fatalf("%v", serr)
+		}
+		cells = res.Cells
+		summary = &searchSummary{
+			Budget:     *budget,
+			GridPoints: prepared.NumPoints(),
+			FullSims:   res.FullSims,
+			Rounds:     res.Rounds,
+			Best:       res.Best,
+			Memo:       memo.Stats(),
+		}
+		if err := memo.Close(); err != nil {
+			fatalf("close memo journal: %v", err)
+		}
+	} else if ses.CampaignEnabled() {
 		prepared := dse.PrepareSweep(models, em.M, em.Cost.Config.NodeSize, sweepCfg)
 		hash := resilience.ConfigHash("besst-dse", *samples, *steps, *mc, common.Seed)
 		sweepCells, rep, err := resilience.SweepResumable(prepared, ses.Campaign(hash))
@@ -138,10 +189,18 @@ func main() {
 	if common.JSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(jsonReport{Cells: cells, Ranking: ranking, Pruning: pruning}); err != nil {
+		if err := enc.Encode(jsonReport{Cells: cells, Ranking: ranking, Pruning: pruning, Search: summary}); err != nil {
 			fatalf("encode report: %v", err)
 		}
 	} else {
+		if summary != nil {
+			out.Printf("\nSurrogate-guided search: simulated %d of %d grid points in %d rounds (budget %.0f%%)\n",
+				summary.FullSims, summary.GridPoints, summary.Rounds, summary.Budget*100)
+			out.Printf("  best: %-8s epr=%d ranks=%d %.4gs\n",
+				summary.Best.Scenario, summary.Best.EPR, summary.Best.Ranks, summary.Best.MeanSec)
+			out.Printf("  memo: %d entries, hits=%d misses=%d\n",
+				summary.Memo.Entries, summary.Memo.Hits, summary.Memo.Misses)
+		}
 		out.Println("\nOverhead prediction (percent of no-FT runtime at 64 ranks per epr):")
 		for _, r := range []int{64, 216, 1000} {
 			out.Println(dse.FormatOverheadTable(cells, r))

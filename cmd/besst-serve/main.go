@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"besst/internal/dist"
+	"besst/internal/dse"
 	"besst/internal/serve"
 	"besst/internal/serveclient"
 )
@@ -38,7 +39,10 @@ func main() {
 	workersAddr := flag.String("workers-addr", "", "comma-separated besst-worker base URLs; campaigns execute on that fleet instead of in-process")
 	distShards := flag.Int("dist-shards", 0, "index-range shards per campaign for -workers-addr (0: one per worker)")
 	distReplicas := flag.Int("dist-replicas", 1, "functional-replication degree for -workers-addr")
+	memoCap := flag.Int("memo-cap", 0, "cross-campaign design-point memo capacity (0: default)")
+	memoJournal := flag.String("memo-journal", "", "append-only point-memo journal file; replayed on boot so the memo survives restarts")
 	smoke := flag.Bool("smoke", false, "run the self-contained service smoke check and exit")
+	smokeDSE := flag.Bool("smoke-dse", false, "run the surrogate-search + point-memo smoke check and exit")
 	golden := flag.String("golden", "", "golden result document for -smoke")
 	update := flag.Bool("update-golden", false, "rewrite the -smoke golden instead of diffing")
 	flag.Parse()
@@ -48,6 +52,23 @@ func main() {
 			fatalf("%v", err)
 		}
 		return
+	}
+	if *smokeDSE {
+		if err := serveclient.SmokeDSE(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	var memo *dse.Memo
+	if *memoJournal != "" {
+		var err error
+		if memo, err = dse.NewMemoJournal(*memoCap, *memoJournal); err != nil {
+			fatalf("%v", err)
+		}
+		defer func() { _ = memo.Close() }()
+	} else if *memoCap > 0 {
+		memo = dse.NewMemo(*memoCap)
 	}
 
 	var backend serve.Backend
@@ -82,6 +103,7 @@ func main() {
 		AuthToken:    *authToken,
 		CampaignTTL:  *campaignTTL,
 		Backend:      backend,
+		Memo:         memo,
 	})
 	fmt.Fprintf(os.Stderr, "besst-serve listening on %s\n", *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {

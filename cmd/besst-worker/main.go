@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"besst/internal/dist"
+	"besst/internal/dse"
 	"besst/internal/resilience"
 	"besst/internal/serve"
 )
@@ -32,6 +33,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8341", "listen address (use :0 for an ephemeral port; the bound address is printed)")
 	authToken := flag.String("auth-token", "", "shared bearer token; empty disables auth")
 	cacheCap := flag.Int("cache-cap", 8, "compile cache capacity (artifacts)")
+	memoCap := flag.Int("memo-cap", 0, "cross-campaign design-point memo capacity (0: default)")
+	memoJournal := flag.String("memo-journal", "", "append-only point-memo journal file; replayed on boot")
 	workers := flag.Int("workers", 1, "intra-shard unit concurrency (scale by process count first)")
 	chaosKill := flag.Float64("chaos-kill", 0, "per-unit probability of SIGKILLing this worker mid-shard")
 	chaosDelay := flag.Float64("chaos-delay", 0, "per-unit probability of an injected straggler delay")
@@ -47,9 +50,21 @@ func main() {
 		return
 	}
 
+	var memo *dse.Memo
+	if *memoJournal != "" {
+		var err error
+		if memo, err = dse.NewMemoJournal(*memoCap, *memoJournal); err != nil {
+			fatalf("%v", err)
+		}
+		defer func() { _ = memo.Close() }()
+	} else if *memoCap > 0 {
+		memo = dse.NewMemo(*memoCap)
+	}
+
 	exec := serve.NewShardExecutor(serve.ExecConfig{
 		Workers:  *workers,
 		CacheCap: *cacheCap,
+		Memo:     memo,
 		Chaos: resilience.ChaosConfig{
 			KillRate:  *chaosKill,
 			DelayRate: *chaosDelay,

@@ -1,0 +1,113 @@
+package benchdata
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Surrogate-search quality reports and the regression comparator behind
+// `make bench-dse`. besst-bench -dse runs the search on a small grid it
+// can also sweep exhaustively, so the report carries ground truth: the
+// achieved-vs-exhaustive optimality gap, the full-simulation count the
+// budget bought, and whether a memo-warm re-search reproduced the cold
+// result byte-for-byte. Everything in the report is a pure function of
+// the pinned seed — a regression is a code change, never noise — so the
+// comparator tolerates nothing except an explicit gap slack.
+
+// DSESchemaVersion stamps DSEReport documents.
+const DSESchemaVersion = 1
+
+// DSEReport is the machine-readable output of besst-bench -dse.
+type DSEReport struct {
+	SchemaVersion int    `json:"schema_version"`
+	Seed          uint64 `json:"seed"`
+	// GridPoints and BudgetFrac pin the experiment shape; the
+	// comparator rejects baselines from a different shape.
+	GridPoints int     `json:"grid_points"`
+	BudgetFrac float64 `json:"budget_frac"`
+	// FullSims is how many design points the search fully simulated
+	// (memo hits included); the gate fails when it grows.
+	FullSims int `json:"full_sims"`
+	Rounds   int `json:"rounds"`
+	// GapPct is 100*(searchBest-trueBest)/trueBest against the
+	// exhaustive sweep's optimum — 0 means the search found the true
+	// optimum exactly.
+	GapPct        float64 `json:"gap_pct"`
+	BestLabel     string  `json:"best_label"`
+	TrueBestLabel string  `json:"true_best_label"`
+	// MemoWarmHits counts point-memo hits during the warm re-search;
+	// WarmIdentical reports whether its marshaled result matched the
+	// cold run byte-for-byte.
+	MemoWarmHits  uint64 `json:"memo_warm_hits"`
+	WarmIdentical bool   `json:"warm_identical"`
+}
+
+// LoadDSE reads a report written by besst-bench -dse.
+func LoadDSE(path string) (*DSEReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r DSEReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parse %s: %v", path, err)
+	}
+	if r.SchemaVersion != DSESchemaVersion {
+		return nil, fmt.Errorf("parse %s: schema_version %d, want %d", path, r.SchemaVersion, DSESchemaVersion)
+	}
+	if r.GridPoints == 0 {
+		return nil, fmt.Errorf("parse %s: empty report", path)
+	}
+	return &r, nil
+}
+
+// DSERegression describes one search-quality metric that got worse
+// than the baseline allows.
+type DSERegression struct {
+	Metric string
+	Detail string
+}
+
+func (r DSERegression) String() string {
+	return fmt.Sprintf("%s: %s", r.Metric, r.Detail)
+}
+
+// CompareDSE diffs cur against base. The search regresses when it
+// fully simulates more points than the baseline did (the budget's
+// entire value is the sims it avoids), when its optimality gap exceeds
+// the baseline's by more than gapSlackPct percentage points, when the
+// memo-warm re-search stopped reproducing the cold bytes, or when the
+// warm run stopped hitting the memo at all. A shape mismatch (grid or
+// budget) is reported rather than silently compared.
+func CompareDSE(cur, base *DSEReport, gapSlackPct float64) []DSERegression {
+	var regs []DSERegression
+	if cur.GridPoints != base.GridPoints {
+		regs = append(regs, DSERegression{Metric: "shape",
+			Detail: fmt.Sprintf("grid_points %d vs baseline %d — regenerate the baseline", cur.GridPoints, base.GridPoints)})
+		return regs
+	}
+	if cur.BudgetFrac < base.BudgetFrac || base.BudgetFrac < cur.BudgetFrac {
+		regs = append(regs, DSERegression{Metric: "shape",
+			Detail: fmt.Sprintf("budget_frac %g vs baseline %g — regenerate the baseline", cur.BudgetFrac, base.BudgetFrac)})
+		return regs
+	}
+	if cur.FullSims > base.FullSims {
+		regs = append(regs, DSERegression{Metric: "full_sims",
+			Detail: fmt.Sprintf("%d -> %d: the search simulates more of the grid than the baseline", base.FullSims, cur.FullSims)})
+	}
+	if cur.GapPct > base.GapPct+gapSlackPct {
+		regs = append(regs, DSERegression{Metric: "gap_pct",
+			Detail: fmt.Sprintf("%.3f -> %.3f exceeds baseline + %.1f slack (best %s, true best %s)",
+				base.GapPct, cur.GapPct, gapSlackPct, cur.BestLabel, cur.TrueBestLabel)})
+	}
+	if !cur.WarmIdentical {
+		regs = append(regs, DSERegression{Metric: "warm_identical",
+			Detail: "memo-warm re-search no longer reproduces the cold result bytes"})
+	}
+	if cur.MemoWarmHits == 0 {
+		regs = append(regs, DSERegression{Metric: "memo_warm_hits",
+			Detail: "warm re-search recorded zero memo hits — the memo is not being consulted"})
+	}
+	return regs
+}

@@ -10,6 +10,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"besst/internal/dse"
 	"besst/internal/serve"
 )
 
@@ -77,11 +78,16 @@ func WorkerHandler(cfg WorkerConfig) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/statz", func(w http.ResponseWriter, r *http.Request) {
 		type statzer interface{ Statz() serve.CacheStats }
+		type memoStatzer interface{ MemoStatz() dse.MemoStats }
 		doc := struct {
-			Cache serve.CacheStats `json:"cache"`
+			Cache     serve.CacheStats `json:"cache"`
+			PointMemo dse.MemoStats    `json:"point_memo"`
 		}{}
 		if sz, ok := cfg.Executor.(statzer); ok {
 			doc.Cache = sz.Statz()
+		}
+		if mz, ok := cfg.Executor.(memoStatzer); ok {
+			doc.PointMemo = mz.MemoStatz()
 		}
 		writeDoc(w, http.StatusOK, doc)
 	})

@@ -36,6 +36,11 @@ type Cell struct {
 	// (the no-FT run at the smallest rank count), the Fig 9
 	// normalization.
 	OverheadPct float64
+	// Predicted marks a cell whose MeanSec is a surrogate prediction
+	// rather than a full simulation — only the surrogate-guided search
+	// (Search) emits these; exhaustive sweeps never set it, so their
+	// marshaled documents are unchanged.
+	Predicted bool `json:",omitempty"`
 }
 
 // SweepConfig parameterizes an overhead sweep.
@@ -99,6 +104,25 @@ func (c SweepConfig) Validate() error {
 	for i := 1; i < len(c.Ranks); i++ {
 		if c.Ranks[i] <= c.Ranks[i-1] {
 			return &ConfigError{Field: "ranks", Reason: "ranks must be strictly ascending (the first anchors the baseline)"}
+		}
+	}
+	// Duplicate EPRs or scenario names would collapse into one design
+	// point in the grid, yet Cells would emit duplicate output cells —
+	// silently double-weighting that column in downstream rankings.
+	// Quadratic scans keep Validate allocation-free (it sits on the
+	// OverheadSweep hot path via NewGrid) and the dimensions are tiny.
+	for i, epr := range c.EPRs {
+		for _, prev := range c.EPRs[:i] {
+			if prev == epr {
+				return &ConfigError{Field: "eprs", Reason: fmt.Sprintf("duplicate value %d", epr)}
+			}
+		}
+	}
+	for i, sc := range c.Scenarios {
+		for _, prev := range c.Scenarios[:i] {
+			if prev.Name == sc.Name {
+				return &ConfigError{Field: "scenarios", Reason: fmt.Sprintf("duplicate scenario %q", sc.Name)}
+			}
 		}
 	}
 	if c.Workers > besst.MaxWorkers {
@@ -190,6 +214,22 @@ type PreparedSweep struct {
 	models       *workflow.Models
 	m            *machine.Machine
 	ranksPerNode int
+
+	// memo, when attached, short-circuits EvalPoint for design points
+	// some earlier campaign already simulated under the same bundle.
+	memo   *Memo
+	bundle string
+}
+
+// AttachMemo routes every EvalPoint through the cross-campaign point
+// memo. bundle must canonically identify everything the memo key does
+// not already carry — which models (machine, app, method, samples,
+// model seed) the sweep evaluates against — so hits can never cross
+// model boundaries. Attach before evaluation starts; the sweep's
+// results are byte-identical with or without a memo, warm or cold.
+func (s *PreparedSweep) AttachMemo(m *Memo, bundle string) {
+	s.memo = m
+	s.bundle = bundle
 }
 
 // PrepareSweep builds the sweep's Grid and warms the lazy model state
@@ -221,6 +261,14 @@ func (g *Grid) PointLabel(i int) string {
 	return fmt.Sprintf("%s/epr=%d/ranks=%d", p.sc.Name, p.epr, p.ranks)
 }
 
+// PointIndex returns the enumeration index of the (epr, ranks,
+// scenario-name) design point, or false when the sweep does not contain
+// it.
+func (g *Grid) PointIndex(epr, ranks int, scenario string) (int, bool) {
+	i, ok := g.index[pointKey{epr, ranks, scenario}]
+	return i, ok
+}
+
 // EvalPoint evaluates design point i — cfg.MCRuns Monte Carlo
 // replications under the point's pre-drawn seed — and returns the mean
 // makespan. It is a pure function of i, safe for concurrent use, and
@@ -232,6 +280,16 @@ func (s *PreparedSweep) EvalPoint(i int) float64 {
 		cfg.Collector.PointStart(i)
 	}
 	p := &s.points[i]
+	var key string
+	if s.memo != nil {
+		key = PointHash(s.bundle, p.epr, p.ranks, p.sc.Name, cfg.Timesteps, cfg.MCRuns, p.seed)
+		if mean, ok := s.memo.Lookup(key); ok {
+			if cfg.Collector != nil {
+				cfg.Collector.PointDone(i)
+			}
+			return mean
+		}
+	}
 	app := lulesh.App(p.epr, p.ranks, cfg.Timesteps, p.sc, s.ftiCfg)
 	arch := beo.NewArchBEO(s.m, s.ranksPerNode)
 	workflow.BindLulesh(arch, s.models)
@@ -241,6 +299,9 @@ func (s *PreparedSweep) EvalPoint(i int) float64 {
 		besst.WithSeed(p.seed),
 		besst.WithConcurrency(1))
 	mean := stats.Mean(besst.Makespans(runs))
+	if s.memo != nil {
+		s.memo.Store(key, mean)
+	}
 	if cfg.Collector != nil {
 		cfg.Collector.PointDone(i)
 	}

@@ -241,3 +241,95 @@ func TestNewSweepConfigOptions(t *testing.T) {
 		t.Fatalf("Validate: %v", err)
 	}
 }
+
+// TestSweepConfigValidateDuplicates rejects duplicate EPRs and
+// duplicate scenario names — both would double-evaluate points and
+// silently skew the budget accounting of a surrogate-guided search.
+func TestSweepConfigValidateDuplicates(t *testing.T) {
+	dupEPR := SweepConfig{
+		EPRs: []int{5, 10, 5}, Ranks: []int{8},
+		Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT},
+		Timesteps: 1, MCRuns: 1,
+	}
+	var ce *ConfigError
+	if err := dupEPR.Validate(); !errors.As(err, &ce) || ce.Field != "eprs" {
+		t.Fatalf("duplicate eprs: got %v, want ConfigError on eprs", err)
+	}
+	dupSc := SweepConfig{
+		EPRs: []int{5}, Ranks: []int{8},
+		Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT, lulesh.ScenarioL1, lulesh.ScenarioNoFT},
+		Timesteps: 1, MCRuns: 1,
+	}
+	if err := dupSc.Validate(); !errors.As(err, &ce) || ce.Field != "scenarios" {
+		t.Fatalf("duplicate scenarios: got %v, want ConfigError on scenarios", err)
+	}
+}
+
+// TestCellsNonPositiveBaseline pins the division-by-zero guard: a
+// baseline point that failed (mean <= 0, possible only in a
+// fault-isolated campaign) yields OverheadPct 0 for its whole column
+// instead of Inf/NaN.
+func TestCellsNonPositiveBaseline(t *testing.T) {
+	models, em := devModels(t)
+	prepared := PrepareSweep(models, em.M, 2, sweepCfg())
+	means := make([]float64, prepared.NumPoints())
+	for i := range means {
+		means[i] = 1.0
+	}
+	// Zero out the epr=10 baseline (noft at the anchor rank count 8).
+	bi, ok := prepared.PointIndex(10, 8, lulesh.ScenarioNoFT.Name)
+	if !ok {
+		t.Fatal("baseline point missing from grid")
+	}
+	means[bi] = 0
+	for _, c := range prepared.Cells(means) {
+		pct := c.OverheadPct
+		if c.EPR == 10 && (pct < 0 || pct > 0) {
+			t.Fatalf("epr=10 cell %s/%d: OverheadPct %v, want 0 (dead baseline)", c.Scenario, c.Ranks, pct)
+		}
+		if c.EPR == 15 && !(pct > 0) {
+			t.Fatalf("epr=15 cell %s/%d: OverheadPct %v, want > 0 (live baseline)", c.Scenario, c.Ranks, pct)
+		}
+	}
+}
+
+// TestCellsBaselineIdentity pins the baseline memoization contract:
+// the per-EPR noft baseline point IS the noft grid cell at the anchor
+// rank count, so that cell divides its own mean and reports exactly
+// 100% — not approximately.
+func TestCellsBaselineIdentity(t *testing.T) {
+	models, em := devModels(t)
+	cfg := sweepCfg()
+	prepared := PrepareSweep(models, em.M, 2, cfg)
+	means := make([]float64, prepared.NumPoints())
+	for i := range means {
+		means[i] = prepared.EvalPoint(i)
+	}
+	for _, c := range prepared.Cells(means) {
+		if c.Scenario == lulesh.ScenarioNoFT.Name && c.Ranks == cfg.Ranks[0] {
+			if math.Abs(c.OverheadPct-100) > 0 {
+				t.Fatalf("baseline cell epr=%d: OverheadPct %v, want exactly 100", c.EPR, c.OverheadPct)
+			}
+		}
+	}
+}
+
+// TestPointLabelStable pins the label format: campaign journals and
+// memo debugging both key provenance off these strings, so a format
+// drift is a silent compatibility break.
+func TestPointLabelStable(t *testing.T) {
+	models, em := devModels(t)
+	prepared := PrepareSweep(models, em.M, 2, sweepCfg())
+	i, ok := prepared.PointIndex(15, 64, lulesh.ScenarioL1.Name)
+	if !ok {
+		t.Fatal("point missing from grid")
+	}
+	if got, want := prepared.PointLabel(i), "L1/epr=15/ranks=64"; got != want {
+		t.Fatalf("PointLabel = %q, want %q", got, want)
+	}
+	// Labels are stable across independently prepared sweeps.
+	again := PrepareSweep(models, em.M, 2, sweepCfg())
+	if prepared.PointLabel(i) != again.PointLabel(i) {
+		t.Fatal("PointLabel differs across identically configured sweeps")
+	}
+}

@@ -1,0 +1,458 @@
+package dse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"besst/internal/par"
+	"besst/internal/stats"
+	"besst/internal/symreg"
+)
+
+// SearchConfig parameterizes the surrogate-guided sweep search: the
+// paper's own model-development loop turned into a design-space
+// explorer. Instead of fully simulating every grid cell, Search seeds a
+// deterministic sample, fits cheap symbolic-regression surrogates per
+// scenario on the evaluated (epr, ranks) -> mean points, and spends the
+// remaining simulation budget only where the surrogates say the design
+// looks cheap — discounted by their own residual uncertainty.
+type SearchConfig struct {
+	// Budget is the fraction of the grid's design points the search may
+	// fully simulate, in (0, 1]. The floor is all per-EPR baselines
+	// (Cells cannot normalize without them) plus one grid point.
+	Budget float64
+	// RoundSize bounds full simulations per refinement round; <= 0
+	// selects a quarter of the budget (at least 1).
+	RoundSize int
+	// Explore weighs the surrogate's residual sigma in the acquisition
+	// score: candidates are ranked by predicted mean discounted by
+	// exp(-Explore*sigma), so an uncertain surrogate pulls its cells
+	// forward for simulation. 0 selects the default 1.
+	Explore float64
+	// Patience is how many consecutive refinement rounds may pass
+	// without the best fully simulated mean improving before the search
+	// stops early and banks the remaining budget; <= 0 selects 2.
+	Patience int
+	// Cancel, when non-nil and closed, aborts the search at the next
+	// round boundary with ErrSearchCanceled. Runtime plumbing only —
+	// never part of a campaign's canonical identity.
+	Cancel <-chan struct{} `json:"-"`
+}
+
+// Validate returns a *ConfigError for an unusable search config.
+func (c SearchConfig) Validate() error {
+	if !(c.Budget > 0 && c.Budget <= 1) {
+		return &ConfigError{Field: "search.budget", Reason: fmt.Sprintf("budget %v outside (0, 1]", c.Budget)}
+	}
+	if c.RoundSize < 0 {
+		return &ConfigError{Field: "search.round_size", Reason: fmt.Sprintf("negative round size %d", c.RoundSize)}
+	}
+	if c.Explore < 0 {
+		return &ConfigError{Field: "search.explore", Reason: fmt.Sprintf("negative explore weight %v", c.Explore)}
+	}
+	if c.Patience < 0 {
+		return &ConfigError{Field: "search.patience", Reason: fmt.Sprintf("negative patience %d", c.Patience)}
+	}
+	return nil
+}
+
+// SearchResult is the outcome of a surrogate-guided sweep search.
+type SearchResult struct {
+	// Cells covers the full grid in the same order as Grid.Cells /
+	// OverheadSweep; cells never fully simulated carry the final
+	// surrogate's predicted mean and Predicted=true.
+	Cells []Cell
+	// Evaluated lists the fully simulated point indices, ascending.
+	Evaluated []int
+	// FullSims is len(Evaluated): the simulation work actually spent.
+	// It counts memo hits too — a hit replays a previous evaluation, so
+	// the result document stays byte-identical warm or cold.
+	FullSims int
+	// Rounds counts evaluation rounds, including the seed round.
+	Rounds int
+	// BestIndex is the design-point index of the cheapest fully
+	// simulated grid cell; Best is that cell (with its normalized
+	// overhead). BestIndex is -1 only when the grid has no cells.
+	BestIndex int
+	Best      Cell
+}
+
+// ErrSearchCanceled reports a search aborted through SearchConfig.Cancel.
+var ErrSearchCanceled = errors.New("dse: search canceled")
+
+// searchRoundCollector is the optional per-round observability hook:
+// a Collector that also implements it (internal/obs does, structurally)
+// receives one call per evaluation round from the serial coordinator
+// loop. Never influences results.
+type searchRoundCollector interface {
+	SearchRound(round, evals, cumEvals int, bestMean float64)
+}
+
+// searchSeedSalt decorrelates the surrogate GP seeds from the sweep's
+// Monte Carlo seed fan without consuming master-seed draws (the point
+// seeds must stay identical to an exhaustive sweep's).
+const searchSeedSalt = 0x9e3779b97f4a7c15
+
+// surrogateMinPoints is the fewest evaluated points a scenario needs
+// before a surrogate is fit to it; below that its unevaluated cells are
+// scored by the optimistic global-mean fallback so the next rounds pull
+// them in and a surrogate can form.
+const surrogateMinPoints = 3
+
+// fallbackSigma is the uncertainty charged to scenarios without a
+// surrogate yet.
+const fallbackSigma = 1.0
+
+// surrogateOptions is the per-round GP budget. Deliberately far smaller
+// than model development's defaults: the surrogate only ranks
+// candidates, so shape fidelity matters more than constant polish.
+func surrogateOptions(seed uint64) symreg.Options {
+	return symreg.Options{
+		PopSize:     64,
+		Generations: 30,
+		Restarts:    2,
+		MaxDepth:    5,
+		TargetMAPE:  1,
+		Seed:        seed,
+	}
+}
+
+// Search runs the surrogate-guided exploration of the sweep grid and
+// returns predicted-or-simulated cells for every grid point plus the
+// best fully simulated configuration. Like the exhaustive sweep, the
+// result is a pure function of the SweepConfig and SearchConfig: every
+// simulated point uses its pre-drawn enumeration-order seed (so a
+// point's mean is identical to what OverheadSweep computes for it),
+// rounds are chosen by a serial coordinator loop, and only the
+// evaluations inside a round fan out over cfg.Workers — byte-identical
+// output at any worker count, memo cold or warm.
+func (s *PreparedSweep) Search(scfg SearchConfig) (*SearchResult, error) {
+	if err := scfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := s.cfg
+	n := s.NumPoints()
+	budget := int(math.Ceil(scfg.Budget * float64(n)))
+	if floor := len(s.baseIdx) + 1; budget < floor {
+		budget = floor
+	}
+	if budget > n {
+		budget = n
+	}
+	roundSize := scfg.RoundSize
+	if roundSize <= 0 {
+		roundSize = max(1, budget/4)
+	}
+	patience := scfg.Patience
+	if patience <= 0 {
+		patience = 2
+	}
+	explore := defaultIfZero(scfg.Explore, 1)
+
+	// gridPoint marks points that appear in the Cells output: the
+	// no-FT baselines are output cells only when the no-FT scenario is
+	// itself swept, and only grid cells compete for Best.
+	gridPoint := make([]bool, n)
+	for _, sc := range cfg.Scenarios {
+		for _, ranks := range cfg.Ranks {
+			for _, epr := range cfg.EPRs {
+				gridPoint[s.index[pointKey{epr, ranks, sc.Name}]] = true
+			}
+		}
+	}
+
+	// scOf maps each point to its scenario slot; scenario slots are
+	// enumeration-ordered and include the baseline scenario even when
+	// it is not swept (its evaluated baselines still train a surrogate).
+	scSlot := map[string]int{}
+	var scCount int
+	scOf := make([]int, n)
+	for i := range s.points {
+		name := s.points[i].sc.Name
+		if _, ok := scSlot[name]; !ok {
+			scSlot[name] = scCount
+			scCount++
+		}
+		scOf[i] = scSlot[name]
+	}
+
+	evaluated := make([]bool, n)
+	means := make([]float64, n)
+	surrRNG := stats.NewRNG(cfg.Seed ^ searchSeedSalt)
+	fits := make([]*symreg.Fitted, scCount)
+
+	bestMean := math.Inf(1)
+	bestIdx := -1
+	total, rounds := 0, 0
+
+	evalRound := func(batch []int) {
+		rounds++
+		par.ForEach(cfg.Workers, len(batch), func(k int) {
+			means[batch[k]] = s.EvalPoint(batch[k])
+		})
+		for _, i := range batch {
+			evaluated[i] = true
+			total++
+			if gridPoint[i] && means[i] < bestMean {
+				bestMean = means[i]
+				bestIdx = i
+			}
+		}
+		if col, ok := cfg.Collector.(searchRoundCollector); ok {
+			col.SearchRound(rounds, len(batch), total, bestMean)
+		}
+	}
+	canceled := func() bool {
+		if scfg.Cancel == nil {
+			return false
+		}
+		select {
+		case <-scfg.Cancel:
+			return true
+		default:
+			return false
+		}
+	}
+
+	// globalMean is the fallback predictor over everything evaluated.
+	globalMean := func() float64 {
+		var sum float64
+		cnt := 0
+		for i := range means {
+			if evaluated[i] {
+				sum += means[i]
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return 0
+		}
+		return sum / float64(cnt)
+	}
+
+	// fitRound refits every scenario's surrogate on the points
+	// evaluated so far. GP seeds are drawn serially per (round,
+	// scenario) before the fits fan out, so fitting is deterministic at
+	// any worker count; Refit warm-starts from last round's expression.
+	fitRound := func() {
+		seeds := make([]uint64, scCount)
+		for i := range seeds {
+			seeds[i] = surrRNG.Uint64()
+		}
+		par.ForEach(cfg.Workers, scCount, func(si int) {
+			train := symreg.Dataset{VarNames: []string{"epr", "ranks"}}
+			for i := 0; i < n; i++ {
+				if evaluated[i] && scOf[i] == si {
+					p := &s.points[i]
+					train.X = append(train.X, []float64{float64(p.epr), float64(p.ranks)})
+					train.Y = append(train.Y, means[i])
+				}
+			}
+			if len(train.Y) < surrogateMinPoints {
+				fits[si] = nil
+				return
+			}
+			fits[si] = symreg.Refit(fits[si], train, symreg.Dataset{}, surrogateOptions(seeds[si]))
+		})
+	}
+
+	// predict fills dst[i] for each unevaluated point index given, from
+	// its scenario surrogate (or the global-mean fallback), returning
+	// the value used for ranking and for final cell fill-in.
+	var rowBuf [][]float64
+	var predBuf []float64
+	predictScenario := func(si int, idxs []int) []float64 {
+		rowBuf = rowBuf[:0]
+		for _, i := range idxs {
+			p := &s.points[i]
+			rowBuf = append(rowBuf, []float64{float64(p.epr), float64(p.ranks)})
+		}
+		gm := globalMean()
+		out := make([]float64, len(idxs))
+		if fits[si] == nil {
+			for j := range out {
+				out[j] = gm
+			}
+			return out
+		}
+		predBuf = fits[si].PredictBatch(rowBuf, predBuf)
+		for j := range out {
+			out[j] = predBuf[j]
+			if out[j] <= 0 {
+				// Degenerate surrogate output: fall back to the average
+				// rather than letting a zero fake a free design.
+				out[j] = gm
+			}
+		}
+		return out
+	}
+
+	// Seed round: every per-EPR baseline (the Cells normalizers) plus
+	// an even-stride sample of the remaining grid covering about half
+	// the budget — all chosen before any simulation, so the seed set is
+	// a pure function of the config.
+	if canceled() {
+		return nil, ErrSearchCanceled
+	}
+	inSeed := make([]bool, n)
+	var batch []int
+	for _, i := range s.baseIdx {
+		if !inSeed[i] {
+			inSeed[i] = true
+			batch = append(batch, i)
+		}
+	}
+	var rest []int
+	for i := 0; i < n; i++ {
+		if !inSeed[i] {
+			rest = append(rest, i)
+		}
+	}
+	seedN := budget / 2
+	if floor := len(batch) + 1; seedN < floor {
+		seedN = floor
+	}
+	if seedN > budget {
+		seedN = budget
+	}
+	if k := min(seedN-len(batch), len(rest)); k > 0 {
+		for j := 0; j < k; j++ {
+			batch = append(batch, rest[j*len(rest)/k])
+		}
+	}
+	sort.Ints(batch)
+	evalRound(batch)
+
+	// Refinement rounds: refit, rank the unevaluated frontier by
+	// uncertainty-discounted predicted cost, simulate the cheapest
+	// looking candidates, stop on budget exhaustion or convergence.
+	stale := 0
+	for total < budget {
+		if canceled() {
+			return nil, ErrSearchCanceled
+		}
+		fitRound()
+		type cand struct {
+			idx int
+			acq float64
+		}
+		var cands []cand
+		for si := 0; si < scCount; si++ {
+			var idxs []int
+			for i := 0; i < n; i++ {
+				if !evaluated[i] && scOf[i] == si {
+					idxs = append(idxs, i)
+				}
+			}
+			if len(idxs) == 0 {
+				continue
+			}
+			preds := predictScenario(si, idxs)
+			sigma := fallbackSigma
+			if fits[si] != nil {
+				sigma = fits[si].ResidualSigma
+			}
+			disc := math.Exp(-explore * sigma)
+			for j, i := range idxs {
+				cands = append(cands, cand{idx: i, acq: preds[j] * disc})
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].acq < cands[b].acq {
+				return true
+			}
+			if cands[b].acq < cands[a].acq {
+				return false
+			}
+			return cands[a].idx < cands[b].idx
+		})
+		k := min(roundSize, budget-total)
+		if k > len(cands) {
+			k = len(cands)
+		}
+		pick := make([]int, 0, k)
+		for _, c := range cands[:k] {
+			pick = append(pick, c.idx)
+		}
+		sort.Ints(pick)
+		prevBest := bestMean
+		evalRound(pick)
+		if bestMean < prevBest {
+			stale = 0
+		} else {
+			stale++
+			if stale >= patience {
+				break
+			}
+		}
+	}
+
+	// Final fill: refit on everything evaluated, then let the
+	// surrogates stand in for the cells the budget never reached.
+	fitRound()
+	for si := 0; si < scCount; si++ {
+		var idxs []int
+		for i := 0; i < n; i++ {
+			if !evaluated[i] && scOf[i] == si {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) == 0 {
+			continue
+		}
+		preds := predictScenario(si, idxs)
+		for j, i := range idxs {
+			means[i] = preds[j]
+		}
+	}
+
+	cells := s.Cells(means)
+	ci := 0
+	for _, sc := range cfg.Scenarios {
+		for _, ranks := range cfg.Ranks {
+			for _, epr := range cfg.EPRs {
+				if !evaluated[s.index[pointKey{epr, ranks, sc.Name}]] {
+					cells[ci].Predicted = true
+				}
+				ci++
+			}
+		}
+	}
+
+	res := &SearchResult{
+		Cells:     cells,
+		FullSims:  total,
+		Rounds:    rounds,
+		BestIndex: bestIdx,
+	}
+	for i := 0; i < n; i++ {
+		if evaluated[i] {
+			res.Evaluated = append(res.Evaluated, i)
+		}
+	}
+	if bestIdx >= 0 {
+		p := &s.points[bestIdx]
+		for _, c := range cells {
+			if c.EPR == p.epr && c.Ranks == p.ranks && c.Scenario == p.sc.Name {
+				res.Best = c
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// defaultIfZero substitutes def when v is exactly zero — the unset
+// sentinel for SearchConfig fields, mirroring symreg.Options.
+func defaultIfZero(v, def float64) float64 {
+	//lint:ignore floateq zero is the unset sentinel; only an exact zero means "use the default"
+	if v == 0 {
+		return def
+	}
+	return v
+}

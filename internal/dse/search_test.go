@@ -1,0 +1,230 @@
+package dse
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"besst/internal/lulesh"
+)
+
+// searchSweepCfg is a grid small enough that the exhaustive truth is
+// cheap but large enough (24 points) that a 40% budget genuinely skips
+// points.
+func searchSweepCfg(workers int) SweepConfig {
+	return SweepConfig{
+		EPRs:      []int{5, 10, 15, 20},
+		Ranks:     []int{8, 64},
+		Scenarios: []lulesh.Scenario{lulesh.ScenarioNoFT, lulesh.ScenarioL1, lulesh.ScenarioL1L2},
+		Timesteps: 20,
+		MCRuns:    2,
+		Seed:      11,
+		Workers:   workers,
+	}
+}
+
+func TestSearchConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg   SearchConfig
+		field string
+	}{
+		{SearchConfig{Budget: 0}, "search.budget"},
+		{SearchConfig{Budget: 1.5}, "search.budget"},
+		{SearchConfig{Budget: 0.5, RoundSize: -1}, "search.round_size"},
+		{SearchConfig{Budget: 0.5, Explore: -0.1}, "search.explore"},
+		{SearchConfig{Budget: 0.5, Patience: -2}, "search.patience"},
+	}
+	for i, tc := range cases {
+		err := tc.cfg.Validate()
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Fatalf("case %d: error %v, want *ConfigError", i, err)
+		}
+		if ce.Field != tc.field {
+			t.Fatalf("case %d: field %q, want %q", i, ce.Field, tc.field)
+		}
+	}
+	if err := (SearchConfig{Budget: 0.4}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// TestSearchFindsOptimumAtBudget is the headline acceptance check: at
+// a 40% budget on the default-seeded small grid, the search's best
+// design point is the exhaustive sweep's true optimum — optimality gap
+// exactly zero.
+func TestSearchFindsOptimumAtBudget(t *testing.T) {
+	models, em := devModels(t)
+	cfg := searchSweepCfg(2)
+
+	truth := PrepareSweep(models, em.M, 2, cfg)
+	trueBest, trueIdx := 0.0, -1
+	for i := 0; i < truth.NumPoints(); i++ {
+		mean := truth.EvalPoint(i)
+		if trueIdx < 0 || mean < trueBest {
+			trueBest, trueIdx = mean, i
+		}
+	}
+
+	searched := PrepareSweep(models, em.M, 2, cfg)
+	res, err := searched.Search(SearchConfig{Budget: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FullSims >= truth.NumPoints() {
+		t.Fatalf("search simulated the whole grid (%d of %d)", res.FullSims, truth.NumPoints())
+	}
+	bi, ok := truth.PointIndex(res.Best.EPR, res.Best.Ranks, res.Best.Scenario)
+	if !ok {
+		t.Fatalf("best cell %+v is not a grid point", res.Best)
+	}
+	if bi != trueIdx {
+		t.Fatalf("search best %s (%.6gs), true best %s (%.6gs): optimality gap is not zero",
+			truth.PointLabel(bi), res.Best.MeanSec, truth.PointLabel(trueIdx), trueBest)
+	}
+}
+
+// TestSearchWorkerCountInvariant pins the determinism contract: the
+// full search result — cells, evaluated set, rounds, best — is
+// byte-identical at every worker count.
+func TestSearchWorkerCountInvariant(t *testing.T) {
+	models, em := devModels(t)
+	var docs [][]byte
+	for _, workers := range []int{1, 8} {
+		prepared := PrepareSweep(models, em.M, 2, searchSweepCfg(workers))
+		res, err := prepared.Search(SearchConfig{Budget: 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, doc)
+	}
+	if string(docs[0]) != string(docs[1]) {
+		t.Fatalf("search results differ between 1 and 8 workers:\n%s\n%s", docs[0], docs[1])
+	}
+}
+
+// TestSearchMemoWarmIdentity pins the memo contract: a warm re-search
+// through a populated memo reproduces the cold result bytes exactly
+// (hits return the exact floats) and performs no new simulations.
+func TestSearchMemoWarmIdentity(t *testing.T) {
+	models, em := devModels(t)
+	memo := NewMemo(0)
+
+	cold := PrepareSweep(models, em.M, 2, searchSweepCfg(2))
+	cold.AttachMemo(memo, "test-bundle")
+	coldRes, err := cold.Search(SearchConfig{Budget: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldStats := memo.Stats()
+	if coldStats.Misses == 0 {
+		t.Fatal("cold search recorded no memo misses")
+	}
+
+	warm := PrepareSweep(models, em.M, 2, searchSweepCfg(2))
+	warm.AttachMemo(memo, "test-bundle")
+	warmRes, err := warm.Search(SearchConfig{Budget: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmStats := memo.Stats()
+	if warmStats.Hits <= coldStats.Hits {
+		t.Fatalf("warm search did not hit the memo (hits %d -> %d)", coldStats.Hits, warmStats.Hits)
+	}
+	if warmStats.Misses != coldStats.Misses {
+		t.Fatalf("warm search missed the memo %d times", warmStats.Misses-coldStats.Misses)
+	}
+
+	coldDoc, _ := json.Marshal(coldRes)
+	warmDoc, _ := json.Marshal(warmRes)
+	if string(coldDoc) != string(warmDoc) {
+		t.Fatalf("warm result differs from cold:\n%s\n%s", coldDoc, warmDoc)
+	}
+}
+
+// TestSearchBundleIsolation proves hits cannot cross model boundaries:
+// a different bundle string shares nothing.
+func TestSearchBundleIsolation(t *testing.T) {
+	models, em := devModels(t)
+	memo := NewMemo(0)
+
+	a := PrepareSweep(models, em.M, 2, searchSweepCfg(2))
+	a.AttachMemo(memo, "bundle-a")
+	if _, err := a.Search(SearchConfig{Budget: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	aStats := memo.Stats()
+
+	b := PrepareSweep(models, em.M, 2, searchSweepCfg(2))
+	b.AttachMemo(memo, "bundle-b")
+	if _, err := b.Search(SearchConfig{Budget: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	bStats := memo.Stats()
+	if bStats.Hits != aStats.Hits {
+		t.Fatalf("bundle-b search hit bundle-a entries (%d new hits)", bStats.Hits-aStats.Hits)
+	}
+}
+
+// TestSearchMarksPredictedCells pins the provenance flag: cells the
+// search never simulated carry Predicted=true, evaluated ones don't,
+// and exhaustive sweeps mark nothing.
+func TestSearchMarksPredictedCells(t *testing.T) {
+	models, em := devModels(t)
+	cfg := searchSweepCfg(2)
+	prepared := PrepareSweep(models, em.M, 2, cfg)
+	res, err := prepared.Search(SearchConfig{Budget: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaluated := map[int]bool{}
+	for _, i := range res.Evaluated {
+		evaluated[i] = true
+	}
+	predicted := 0
+	for _, c := range res.Cells {
+		i, ok := prepared.PointIndex(c.EPR, c.Ranks, c.Scenario)
+		if !ok {
+			t.Fatalf("cell %+v is not a grid point", c)
+		}
+		if c.Predicted == evaluated[i] {
+			t.Fatalf("cell %s/%d/%d: Predicted=%v but evaluated=%v", c.Scenario, c.EPR, c.Ranks, c.Predicted, evaluated[i])
+		}
+		if c.Predicted {
+			predicted++
+		}
+	}
+	if predicted == 0 {
+		t.Fatal("a 40% budget search predicted no cells")
+	}
+	for _, c := range OverheadSweep(models, em.M, 2, cfg) {
+		if c.Predicted {
+			t.Fatalf("exhaustive sweep marked cell %+v predicted", c)
+		}
+	}
+}
+
+// TestSearchCancel proves the drain path: a pre-closed cancel channel
+// stops the refinement loop with ErrSearchCanceled.
+func TestSearchCancel(t *testing.T) {
+	models, em := devModels(t)
+	prepared := PrepareSweep(models, em.M, 2, searchSweepCfg(2))
+	cancel := make(chan struct{})
+	close(cancel)
+	if _, err := prepared.Search(SearchConfig{Budget: 0.4, Cancel: cancel}); !errors.Is(err, ErrSearchCanceled) {
+		t.Fatalf("err = %v, want ErrSearchCanceled", err)
+	}
+}
+
+// TestSearchBadBudget rejects invalid configs up front.
+func TestSearchBadBudget(t *testing.T) {
+	models, em := devModels(t)
+	prepared := PrepareSweep(models, em.M, 2, searchSweepCfg(1))
+	if _, err := prepared.Search(SearchConfig{Budget: 2}); err == nil {
+		t.Fatal("budget 2 accepted")
+	}
+}

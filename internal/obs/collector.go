@@ -18,7 +18,9 @@ import (
 // the engine-wide exchange total, and committed rebalance decisions.
 // Version 3 added the distributed-execution fields: shard completions,
 // shard retry attempts, replica divergences, and workers lost.
-const MetricsSchemaVersion = 3
+// Version 4 added the surrogate-guided DSE search fields: per-round
+// evaluation counts and best-so-far means.
+const MetricsSchemaVersion = 4
 
 // Collector aggregates run-level metrics. It implements the engine
 // tracer hooks (per-partition event counts, barrier stalls, window
@@ -57,6 +59,10 @@ type Collector struct {
 	shardRetries map[int]int       // guarded by mu
 	divergences  []DivergenceEntry // guarded by mu
 	workersDown  map[int]bool      // guarded by mu
+
+	// Surrogate-guided DSE search rounds (dse search hook), in
+	// coordinator order.
+	searchRounds []SearchRoundEntry // guarded by mu
 
 	eventsProcessed uint64 // guarded by mu
 	peakQueueDepth  int    // guarded by mu
@@ -297,6 +303,17 @@ func (c *Collector) WorkerDown(worker int) {
 	c.mu.Unlock()
 }
 
+// SearchRound records one surrogate-guided DSE search round (dse
+// structural interface): how many points the round fully simulated,
+// the cumulative total, and the best fully simulated mean so far.
+func (c *Collector) SearchRound(round, evals, cumEvals int, bestMean float64) {
+	c.mu.Lock()
+	c.searchRounds = append(c.searchRounds, SearchRoundEntry{
+		Round: round, Evaluated: evals, CumEvaluated: cumEvals, BestMeanSec: bestMean,
+	})
+	c.mu.Unlock()
+}
+
 // EngineTotals reports one engine run's totals; calls accumulate so a
 // Monte Carlo campaign sums across trials (peak depth takes the max).
 func (c *Collector) EngineTotals(processed uint64, peakQueueDepth int) {
@@ -332,6 +349,10 @@ type Progress struct {
 	ShardRetries     int `json:"shard_retries,omitempty"`
 	ShardDivergences int `json:"shard_divergences,omitempty"`
 	WorkersLost      int `json:"workers_lost,omitempty"`
+	// Surrogate-guided search so far: refinement rounds completed and
+	// points fully simulated (memo hits included).
+	SearchRounds    int `json:"search_rounds,omitempty"`
+	SearchEvaluated int `json:"search_evaluated,omitempty"`
 }
 
 // Progress returns the collector's current campaign progress.
@@ -359,6 +380,10 @@ func (c *Collector) Progress() Progress {
 		if s.done {
 			p.PointsDone++
 		}
+	}
+	if n := len(c.searchRounds); n > 0 {
+		p.SearchRounds = n
+		p.SearchEvaluated = c.searchRounds[n-1].CumEvaluated
 	}
 	return p
 }
@@ -427,6 +452,16 @@ type DivergenceEntry struct {
 	Returned int `json:"returned"`
 }
 
+// SearchRoundEntry is one surrogate-guided DSE search round: the points
+// the round fully simulated, the cumulative total after it, and the
+// best (lowest) fully simulated mean makespan so far.
+type SearchRoundEntry struct {
+	Round        int     `json:"round"`
+	Evaluated    int     `json:"evaluated"`
+	CumEvaluated int     `json:"cum_evaluated"`
+	BestMeanSec  float64 `json:"best_mean_sec"`
+}
+
 // Metrics is the versioned run-metrics document written to
 // results/METRICS_<tool>.json.
 type Metrics struct {
@@ -465,6 +500,10 @@ type Metrics struct {
 	ShardRetries []RetryEntry      `json:"shard_retries,omitempty"`
 	Divergences  []DivergenceEntry `json:"shard_divergences,omitempty"`
 	WorkersLost  []int             `json:"workers_lost,omitempty"`
+
+	// Surrogate-guided DSE search provenance: one row per evaluation
+	// round, in coordinator order.
+	SearchRounds []SearchRoundEntry `json:"search_rounds,omitempty"`
 }
 
 // Snapshot freezes the collector's current state into a metrics
@@ -523,6 +562,10 @@ func (c *Collector) Snapshot(tool string) *Metrics {
 		m.WorkersLost = append(m.WorkersLost, w)
 	}
 	sort.Ints(m.WorkersLost)
+	m.SearchRounds = append([]SearchRoundEntry(nil), c.searchRounds...)
+	if len(m.SearchRounds) == 0 {
+		m.SearchRounds = nil
+	}
 	return m
 }
 

@@ -310,3 +310,31 @@ func TestCollectorProgress(t *testing.T) {
 		t.Fatalf("Progress = %+v, want %+v", p, want)
 	}
 }
+
+// TestCollectorSearchRounds exercises the surrogate-search metrics:
+// per-round entries land in the metrics document in order, and the
+// progress snapshot summarizes round count and cumulative evaluations.
+func TestCollectorSearchRounds(t *testing.T) {
+	c := NewCollector()
+	c.SearchRound(1, 10, 10, 0.5)
+	c.SearchRound(2, 4, 14, 0.25)
+
+	m := c.Snapshot("unit")
+	if len(m.SearchRounds) != 2 {
+		t.Fatalf("got %d search rounds, want 2", len(m.SearchRounds))
+	}
+	r := m.SearchRounds[1]
+	if r.Round != 2 || r.Evaluated != 4 || r.CumEvaluated != 14 || r.BestMeanSec != 0.25 {
+		t.Fatalf("round entry %+v", r)
+	}
+
+	p := c.Progress()
+	if p.SearchRounds != 2 || p.SearchEvaluated != 14 {
+		t.Fatalf("progress %+v, want 2 rounds, 14 evaluated", p)
+	}
+
+	// A collector with no search activity keeps the fields absent.
+	if m := NewCollector().Snapshot("unit"); m.SearchRounds != nil {
+		t.Fatalf("empty collector emitted search rounds: %+v", m.SearchRounds)
+	}
+}

@@ -90,6 +90,10 @@ type ExecConfig struct {
 	// index), so a chaos-killed worker dies at the same unit on every
 	// run: the reassignment guarantee is provable, not probabilistic.
 	Chaos resilience.ChaosConfig
+	// Memo, when non-nil, is the cross-campaign design-point result
+	// cache shared with the process's other executors; nil builds a
+	// private in-memory memo with the default capacity.
+	Memo *dse.Memo
 }
 
 // ShardExecutor executes index ranges of shardable campaigns — the
@@ -108,7 +112,7 @@ func NewShardExecutor(cfg ExecConfig) *ShardExecutor {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
-	return &ShardExecutor{cfg: cfg, arts: newArtifacts(cfg.CacheCap)}
+	return &ShardExecutor{cfg: cfg, arts: newArtifacts(cfg.CacheCap, cfg.Memo)}
 }
 
 // ExecShard executes units [lo, hi) of the campaign identified by
@@ -151,11 +155,19 @@ func (x *ShardExecutor) ExecShard(campaignID string, request []byte, lo, hi int)
 			return nil, err
 		}
 	case KindSweep:
+		if pl.searchCfg != nil {
+			// A searched sweep is adaptive: round N's shard membership
+			// depends on round N-1's results, so there is no static index
+			// space to shard. The coordinator never dispatches one; a
+			// direct request is a caller error.
+			return nil, reject("surrogate-guided sweeps are not sharded; POST them to besst-serve directly")
+		}
 		ma, _, err := x.arts.models(*pl.req.Model)
 		if err != nil {
 			return nil, err
 		}
 		prepared := dse.PrepareSweep(ma.models, ma.em.M, ma.em.Cost.Config.NodeSize, pl.sweepCfg)
+		prepared.AttachMemo(x.arts.memo, memoBundle(*pl.req.Model))
 		if err := forEachUnit(x.cfg.Workers, lo, hi, inj, func(i, k int) error {
 			p, perr := json.Marshal(prepared.EvalPoint(i))
 			payloads[k] = p
@@ -201,3 +213,6 @@ func runUnit(i, k int, inj *resilience.Injector, fn func(i, k int) error) (err e
 // Statz reports the executor's compile-cache counters (the worker's
 // /v1/statz document body).
 func (x *ShardExecutor) Statz() CacheStats { return x.arts.cache.Stats() }
+
+// MemoStatz reports the executor's point-memo counters.
+func (x *ShardExecutor) MemoStatz() dse.MemoStats { return x.arts.memo.Stats() }

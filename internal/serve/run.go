@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"time"
@@ -49,11 +50,23 @@ func cacheKey(prefix string, v any) string {
 // machinery.
 type artifacts struct {
 	cache *cache
+	// memo is the cross-campaign design-point result cache shared by
+	// every sweep execution path (in-process, search, and shard).
+	memo *dse.Memo
 }
 
-func newArtifacts(cap int) *artifacts {
-	return &artifacts{cache: newCache(cap)}
+func newArtifacts(cap int, memo *dse.Memo) *artifacts {
+	if memo == nil {
+		memo = dse.NewMemo(0)
+	}
+	return &artifacts{cache: newCache(cap), memo: memo}
 }
+
+// memoBundle is the model-bundle half of a design point's memo key: the
+// compile-cache model key canonically identifies which machine, app
+// family, model method, sample count, and model seed produced the
+// predictors a sweep evaluates against.
+func memoBundle(spec ModelSpec) string { return cacheKey("model", spec) }
 
 // models fetches (or develops) the model artifact for a plan's model
 // spec through the compile cache.
@@ -153,6 +166,13 @@ func (s *Server) workersFor(pl *plan) int {
 // body with a nil error means the campaign was drained mid-flight
 // (state interrupted); its journal holds the completed prefix.
 func (s *Server) execute(c *campaign) (body []byte, cacheHit bool, err error) {
+	if c.plan.searchCfg != nil {
+		// Surrogate-guided sweeps are adaptive — each round's candidates
+		// depend on the previous round's results — so they are never
+		// sharded to a backend; the point memo recoups re-execution cost
+		// instead of a checkpoint journal.
+		return s.executeSearch(c)
+	}
 	if s.cfg.Backend != nil && c.plan.req.Kind != KindSingle {
 		return s.executeBackend(c)
 	}
@@ -245,6 +265,7 @@ func (s *Server) executeSweep(c *campaign) ([]byte, bool, error) {
 	cfg.Collector = c.collector
 
 	prepared := dse.PrepareSweep(ma.models, ma.em.M, ma.em.Cost.Config.NodeSize, cfg)
+	prepared.AttachMemo(s.arts.memo, memoBundle(*pl.req.Model))
 	camp := s.campaignFor(c)
 	cells, rep, err := resilience.SweepResumable(prepared, camp)
 	if err != nil {
@@ -254,6 +275,43 @@ func (s *Server) executeSweep(c *campaign) ([]byte, bool, error) {
 		return nil, hit, nil
 	}
 	return marshalResult(sweepDoc(pl, cells, rep.FailedIndices)), hit, nil
+}
+
+// executeSearch handles surrogate-guided dse_sweep campaigns. There is
+// no checkpoint journal: the search's adaptive rounds have no fixed
+// unit order to journal against, and the point memo already persists
+// the expensive part — a drained search re-posted later replays its
+// completed evaluations as memo hits and re-runs only the remainder.
+func (s *Server) executeSearch(c *campaign) ([]byte, bool, error) {
+	pl := c.plan
+	ma, hit, err := s.arts.models(*pl.req.Model)
+	if err != nil {
+		return nil, hit, err
+	}
+	cfg := pl.sweepCfg
+	cfg.Workers = s.workersFor(pl)
+	cfg.Collector = c.collector
+
+	prepared := dse.PrepareSweep(ma.models, ma.em.M, ma.em.Cost.Config.NodeSize, cfg)
+	prepared.AttachMemo(s.arts.memo, memoBundle(*pl.req.Model))
+	scfg := *pl.searchCfg
+	scfg.Cancel = s.draining
+	res, err := prepared.Search(scfg)
+	if err != nil {
+		if errors.Is(err, dse.ErrSearchCanceled) {
+			return nil, hit, nil // drained; memo holds the completed evaluations
+		}
+		return nil, hit, err
+	}
+	doc := sweepDoc(pl, res.Cells, nil)
+	doc.Search = &SearchSummary{
+		Budget:     pl.searchCfg.Budget,
+		GridPoints: prepared.NumPoints(),
+		FullSims:   res.FullSims,
+		Rounds:     res.Rounds,
+		Best:       res.Best,
+	}
+	return marshalResult(doc), hit, nil
 }
 
 // assemble folds a complete per-unit payload vector (trial results or

@@ -86,6 +86,24 @@ type SweepSpec struct {
 	Scenarios []string `json:"scenarios"`
 	Timesteps int      `json:"timesteps"`
 	MCRuns    int      `json:"mc_runs"`
+	// Search, when present, runs the sweep as a surrogate-guided search
+	// instead of exhaustive enumeration. It canonicalizes into the
+	// campaign identity like every other field, so a searched and an
+	// exhaustive sweep of the same grid are distinct campaigns.
+	Search *SearchSpec `json:"search,omitempty"`
+}
+
+// SearchSpec mirrors dse.SearchConfig (its canonical fields only).
+type SearchSpec struct {
+	// Budget is the fraction of grid points the search may fully
+	// simulate, in (0, 1].
+	Budget float64 `json:"budget"`
+	// RoundSize bounds full simulations per refinement round (0: auto).
+	RoundSize int `json:"round_size,omitempty"`
+	// Explore weighs surrogate uncertainty in the acquisition (0: 1).
+	Explore float64 `json:"explore,omitempty"`
+	// Patience is the no-improvement round tolerance (0: 2).
+	Patience int `json:"patience,omitempty"`
 }
 
 // CampaignResult is the body of GET /v1/campaigns/{id}/result: one flat
@@ -112,6 +130,21 @@ type CampaignResult struct {
 	// dse_sweep:
 	Cells        []dse.Cell `json:"cells,omitempty"`
 	FailedPoints []int      `json:"failed_points,omitempty"`
+	// Search summarizes a surrogate-guided sweep (absent for
+	// exhaustive sweeps, so their documents are unchanged).
+	Search *SearchSummary `json:"search,omitempty"`
+}
+
+// SearchSummary is the result-side record of a surrogate-guided sweep:
+// how much of the grid was fully simulated and which configuration won.
+// Built only from simulation outputs, so it is byte-reproducible like
+// the rest of the result document.
+type SearchSummary struct {
+	Budget     float64  `json:"budget"`
+	GridPoints int      `json:"grid_points"`
+	FullSims   int      `json:"full_sims"`
+	Rounds     int      `json:"rounds"`
+	Best       dse.Cell `json:"best"`
 }
 
 // CampaignStatus is the body of GET /v1/campaigns/{id} (and each line
@@ -156,6 +189,9 @@ type plan struct {
 	trials    int             // single: 1
 	scenario  lulesh.Scenario // app scenario with period applied
 	sweepCfg  dse.SweepConfig // dse_sweep; Seed resolved, Workers/Collector unset
+	// searchCfg is non-nil for surrogate-guided sweeps (Cancel unset —
+	// runtime plumbing is attached at execution).
+	searchCfg *dse.SearchConfig
 }
 
 // units is the number of independent work items the campaign shards
@@ -262,6 +298,18 @@ func buildPlan(id string, sum [sha256.Size]byte, canonical []byte) (*plan, error
 			}
 		}
 		pl.sweepCfg = cfg
+		if req.Sweep.Search != nil {
+			scfg := dse.SearchConfig{
+				Budget:    req.Sweep.Search.Budget,
+				RoundSize: req.Sweep.Search.RoundSize,
+				Explore:   req.Sweep.Search.Explore,
+				Patience:  req.Sweep.Search.Patience,
+			}
+			if err := scfg.Validate(); err != nil {
+				return nil, reject("sweep: %v", err)
+			}
+			pl.searchCfg = &scfg
+		}
 	case "":
 		return nil, reject("kind is required: single | monte_carlo | dse_sweep")
 	default:

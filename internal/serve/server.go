@@ -41,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"besst/internal/dse"
 	"besst/internal/obs"
 )
 
@@ -102,8 +103,15 @@ type Config struct {
 	// campaigns instead of the in-process pipeline — the hook the
 	// distributed coordinator (internal/dist) plugs in behind
 	// `besst-serve -workers-addr`. Single campaigns always run
-	// in-process.
+	// in-process. Surrogate-guided sweeps always run in-process too:
+	// their rounds are adaptive and cannot be sharded.
 	Backend Backend
+	// Memo, when non-nil, is the cross-campaign design-point result
+	// cache every sweep campaign evaluates through — the hook the cmd
+	// wiring uses to share one journal-backed memo across the server
+	// and any co-resident executors. Nil builds a private in-memory
+	// memo with dse.DefaultMemoCapacity.
+	Memo *dse.Memo
 }
 
 // Backend executes a shardable campaign out of process. request is the
@@ -211,7 +219,7 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:          cfg.withDefaults(),
-		arts:         newArtifacts(cfg.CacheCap),
+		arts:         newArtifacts(cfg.CacheCap, cfg.Memo),
 		campaigns:    make(map[string]*campaign),
 		tenantActive: make(map[string]int),
 		wake:         make(chan struct{}, 1),
@@ -587,6 +595,9 @@ type Statz struct {
 	Campaigns     map[string]int `json:"campaigns"` // state -> count
 	Tenants       map[string]int `json:"tenants_active,omitempty"`
 	Cache         CacheStats     `json:"compile_cache"`
+	// PointMemo is the cross-campaign design-point memo's counters:
+	// hits are simulations the service never had to repeat.
+	PointMemo dse.MemoStats `json:"point_memo"`
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
@@ -611,6 +622,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.Unlock()
 	st.Cache = s.arts.cache.Stats()
+	st.PointMemo = s.arts.memo.Stats()
 	writeJSON(w, http.StatusOK, st)
 }
 

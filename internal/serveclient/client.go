@@ -41,6 +41,11 @@ type Client struct {
 	// Per-request deadlines come from contexts, not from this client's
 	// Timeout, so one Client serves both quick polls and long watches.
 	HTTPClient *http.Client
+
+	// sleep overrides Wait's inter-poll delay (nil: wall clock). Tests
+	// inject a recorder so the backoff schedule is asserted without
+	// real sleeps.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // New builds a client for a base URL. token may be empty.
@@ -157,12 +162,22 @@ func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 	return out, nil
 }
 
+// waitMaxPoll caps Wait's exponential backoff: delays double from the
+// caller's poll interval but never exceed this, so a long campaign is
+// polled every couple of seconds rather than hammered at the initial
+// rate — and never slower than that, so settling is noticed promptly.
+const waitMaxPoll = 2 * time.Second
+
 // Wait polls a campaign until it leaves queued/running and returns the
-// settled status. poll <= 0 selects 20ms. The context bounds the wait.
+// settled status. poll <= 0 selects 20ms. The delay between polls
+// doubles each round, capped at waitMaxPoll, so quick campaigns settle
+// after a handful of requests and long ones don't flood the service.
+// The context bounds the wait.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (serve.CampaignStatus, error) {
 	if poll <= 0 {
 		poll = 20 * time.Millisecond
 	}
+	delay := poll
 	for {
 		st, err := c.Status(ctx, id)
 		if err != nil {
@@ -171,11 +186,30 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (serve
 		if st.State != serve.StateQueued && st.State != serve.StateRunning {
 			return st, nil
 		}
-		select {
-		case <-ctx.Done():
-			return st, fmt.Errorf("serveclient: waiting for campaign %s: %w", id, ctx.Err())
-		case <-time.After(poll):
+		if err := c.waitSleep(ctx, delay); err != nil {
+			return st, fmt.Errorf("serveclient: waiting for campaign %s: %w", id, err)
 		}
+		if delay < waitMaxPoll {
+			delay *= 2
+			if delay > waitMaxPoll {
+				delay = waitMaxPoll
+			}
+		}
+	}
+}
+
+// waitSleep blocks for d or until the context is done.
+func (c *Client) waitSleep(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }
 

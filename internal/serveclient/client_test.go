@@ -3,7 +3,9 @@ package serveclient
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -125,6 +127,91 @@ func TestSmoke(t *testing.T) {
 		t.Fatalf("Smoke: %v\n%s", err, buf.String())
 	}
 	if !strings.Contains(buf.String(), "serve smoke OK") {
+		t.Fatalf("smoke output: %s", buf.String())
+	}
+}
+
+// TestWaitBackoff scripts a status endpoint that reports running N
+// times before settling and asserts — without any real sleeping — that
+// Wait makes exactly N+1 requests and that its inter-poll delays
+// double from the initial interval up to the 2s cap.
+func TestWaitBackoff(t *testing.T) {
+	const running = 9
+	requests := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests++
+		st := serve.CampaignStatus{SchemaVersion: serve.RequestSchemaVersion, ID: "c1", State: serve.StateRunning}
+		if requests > running {
+			st.State = serve.StateDone
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(st)
+	}))
+	defer ts.Close()
+
+	var delays []time.Duration
+	c := New(ts.URL, "")
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		delays = append(delays, d)
+		return ctx.Err()
+	}
+	st, err := c.Wait(context.Background(), "c1", 100*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st.State != serve.StateDone {
+		t.Fatalf("settled state = %q, want done", st.State)
+	}
+	if requests != running+1 {
+		t.Fatalf("Wait made %d requests, want %d", requests, running+1)
+	}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, 2 * time.Second,
+		2 * time.Second, 2 * time.Second, 2 * time.Second,
+	}
+	if len(delays) != len(want) {
+		t.Fatalf("recorded %d delays (%v), want %d", len(delays), delays, len(want))
+	}
+	for i, d := range delays {
+		if d != want[i] {
+			t.Fatalf("delay[%d] = %v, want %v (all: %v)", i, d, want[i], delays)
+		}
+	}
+}
+
+// TestWaitContextCancel verifies a cancelled context aborts the wait
+// between polls rather than spinning.
+func TestWaitContextCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := serve.CampaignStatus{SchemaVersion: serve.RequestSchemaVersion, ID: "c1", State: serve.StateRunning}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(st)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ts.URL, "")
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}
+	if _, err := c.Wait(ctx, "c1", time.Millisecond); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSmokeDSE runs the surrogate-search smoke so `go test` covers the
+// same path `make dse-smoke` gates on.
+func TestSmokeDSE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke boots a real listener")
+	}
+	var buf bytes.Buffer
+	if err := SmokeDSE(&buf); err != nil {
+		t.Fatalf("SmokeDSE: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "dse smoke OK") {
 		t.Fatalf("smoke output: %s", buf.String())
 	}
 }

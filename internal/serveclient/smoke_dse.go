@@ -1,0 +1,107 @@
+package serveclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"besst/internal/serve"
+)
+
+// SmokeDSERequest is the pinned surrogate-guided sweep campaign the DSE
+// smoke runs twice. Everything is pinned (seed included) so the result
+// bytes are stable, the grid is small enough to settle in well under a
+// second, and the 50% budget forces the search to leave part of the
+// grid to the surrogates — exercising the predicted-cell path too.
+const SmokeDSERequest = `{
+  "schema_version": 1,
+  "kind": "dse_sweep",
+  "tenant": "smoke",
+  "run": {"seed": 7},
+  "sweep": {
+    "eprs": [5, 6, 7, 8],
+    "ranks": [8, 27],
+    "scenarios": ["noft", "l1"],
+    "timesteps": 10,
+    "mc_runs": 2,
+    "search": {"budget": 0.5, "round_size": 2}
+  },
+  "model": {"method": "interp", "samples": 2, "seed": 1}
+}`
+
+// SmokeDSE boots an in-process server on a loopback port and runs the
+// pinned search campaign twice over real HTTP, verifying the
+// surrogate-search invariants end to end:
+//
+//   - the first (cold) run populates the point memo — misses > 0,
+//   - the second run re-executes and serves its points from the memo
+//     (hits grow by at least the first run's full-simulation count),
+//   - cold and warm result bodies are byte-identical — memo hits
+//     return the exact floats the cold run computed,
+//   - the result carries a search summary whose full_sims stays under
+//     the grid size (the search genuinely skipped points).
+//
+// Like Smoke, it runs without a state directory on purpose: the warm
+// run must flow through the memo, not replay a journal.
+func SmokeDSE(out io.Writer) error {
+	srv := serve.NewServer(serve.Config{MaxActive: 2, MaxQueued: 8, MaxPerTenant: 2, CacheCap: 4})
+	defer srv.Drain()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("dse smoke: listen: %w", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer func() { _ = httpSrv.Close() }()
+	c := New("http://"+ln.Addr().String(), "")
+
+	first, err := RunCampaign(c, []byte(SmokeDSERequest), 2*time.Minute)
+	if err != nil {
+		return fmt.Errorf("dse smoke: cold run: %w", err)
+	}
+	cold, err := c.Statz(context.Background())
+	if err != nil {
+		return fmt.Errorf("dse smoke: %w", err)
+	}
+	if cold.PointMemo.Misses == 0 {
+		return fmt.Errorf("dse smoke: cold run recorded no memo misses (entries=%d)", cold.PointMemo.Entries)
+	}
+
+	second, err := RunCampaign(c, []byte(SmokeDSERequest), 2*time.Minute)
+	if err != nil {
+		return fmt.Errorf("dse smoke: warm run: %w", err)
+	}
+	if !bytes.Equal(first, second) {
+		return fmt.Errorf("dse smoke: cold and warm result bodies differ (%d vs %d bytes)", len(first), len(second))
+	}
+	warm, err := c.Statz(context.Background())
+	if err != nil {
+		return fmt.Errorf("dse smoke: %w", err)
+	}
+	if warm.PointMemo.Hits <= cold.PointMemo.Hits {
+		return fmt.Errorf("dse smoke: warm run did not hit the point memo (hits %d -> %d, misses %d -> %d)",
+			cold.PointMemo.Hits, warm.PointMemo.Hits, cold.PointMemo.Misses, warm.PointMemo.Misses)
+	}
+
+	var doc serve.CampaignResult
+	if err := json.Unmarshal(first, &doc); err != nil {
+		return fmt.Errorf("dse smoke: decode result: %w", err)
+	}
+	if doc.Search == nil {
+		return fmt.Errorf("dse smoke: result carries no search summary")
+	}
+	if doc.Search.FullSims >= doc.Search.GridPoints {
+		return fmt.Errorf("dse smoke: search simulated the whole grid (%d of %d points)",
+			doc.Search.FullSims, doc.Search.GridPoints)
+	}
+
+	_, _ = fmt.Fprintf(out, "dse smoke OK: byte-identical cold/warm search results, %d/%d points simulated, memo hits=%d misses=%d\n",
+		doc.Search.FullSims, doc.Search.GridPoints, warm.PointMemo.Hits, warm.PointMemo.Misses)
+	return nil
+}

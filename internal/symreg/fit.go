@@ -204,40 +204,14 @@ func Fit(label string, train, test Dataset, opt Options) *Fitted {
 	// search space: divide each input by its mean magnitude and the
 	// target by its mean. MAPE is scale-invariant in y, so reported
 	// errors are unaffected.
-	xScale := make([]float64, len(train.VarNames))
-	for j := range xScale {
-		var s float64
-		for _, row := range train.X {
-			s += math.Abs(row[j])
-		}
-		s /= float64(len(train.X))
-		xScale[j] = defaultIfZero(s, 1)
-	}
-	yScale := 0.0
-	for _, y := range train.Y {
-		yScale += math.Abs(y)
-	}
-	yScale /= float64(len(train.Y))
-	yScale = defaultIfZero(yScale, 1)
-	scale := func(ds Dataset) Dataset {
-		out := Dataset{VarNames: ds.VarNames}
-		for i, row := range ds.X {
-			r := make([]float64, len(row))
-			for j := range row {
-				r[j] = row[j] / xScale[j]
-			}
-			out.X = append(out.X, r)
-			out.Y = append(out.Y, ds.Y[i]/yScale)
-		}
-		return out
-	}
-	strain := scale(train)
+	xScale, yScale := dataScales(train)
+	strain := scaleDataset(train, xScale, yScale)
 
 	var best individual
 	best.fitness = math.Inf(1)
 	best.rawMAPE = math.Inf(1)
 	for r := 0; r < opt.Restarts; r++ {
-		cand := evolve(strain, opt, master.Split())
+		cand := evolve(strain, opt, master.Split(), nil)
 		if cand.rawMAPE < best.rawMAPE {
 			best = cand
 		}
@@ -256,10 +230,46 @@ func Fit(label string, train, test Dataset, opt Options) *Fitted {
 		YScale:    yScale,
 	}
 	if len(test.Y) > 0 {
-		f.TestMAPE = mape(best.tree, scale(test))
+		f.TestMAPE = mape(best.tree, scaleDataset(test, xScale, yScale))
 	}
 	f.ResidualSigma = residualSigma(best.tree, strain)
 	return f
+}
+
+// dataScales estimates the normalization Fit applies before evolving:
+// each input column's mean magnitude and the target's mean magnitude.
+// MAPE is scale-invariant in y, so reported errors are unaffected.
+func dataScales(train Dataset) (xScale []float64, yScale float64) {
+	xScale = make([]float64, len(train.VarNames))
+	for j := range xScale {
+		var s float64
+		for _, row := range train.X {
+			s += math.Abs(row[j])
+		}
+		s /= float64(len(train.X))
+		xScale[j] = defaultIfZero(s, 1)
+	}
+	for _, y := range train.Y {
+		yScale += math.Abs(y)
+	}
+	yScale /= float64(len(train.Y))
+	return xScale, defaultIfZero(yScale, 1)
+}
+
+// scaleDataset divides each input column by xScale and every target by
+// yScale — the normalization Fit estimates (dataScales) and Predict
+// undoes.
+func scaleDataset(ds Dataset, xScale []float64, yScale float64) Dataset {
+	out := Dataset{VarNames: ds.VarNames}
+	for i, row := range ds.X {
+		r := make([]float64, len(row))
+		for j := range row {
+			r[j] = row[j] / xScale[j]
+		}
+		out.X = append(out.X, r)
+		out.Y = append(out.Y, ds.Y[i]/yScale)
+	}
+	return out
 }
 
 // residualSigma estimates the log-space standard deviation of
@@ -281,17 +291,30 @@ func residualSigma(expr *Node, ds Dataset) float64 {
 	return stats.Summarize(logs).Std
 }
 
-// evolve runs one GP restart and returns its best individual.
-func evolve(train Dataset, opt Options, rng *stats.RNG) individual {
+// evolve runs one GP restart and returns its best individual. A
+// non-nil warm tree (already on the scaled problem) seeds the front of
+// the initial population with itself and a band of its mutants — the
+// incremental-refit path (Refit) warm-starts one restart this way so a
+// grown training set doesn't pay for rediscovering the previous shape.
+func evolve(train Dataset, opt Options, rng *stats.RNG, warm *Node) individual {
 	nvars := len(train.VarNames)
 	evaluate := func(t *Node) individual {
 		raw := mape(t, train)
 		return individual{tree: t, rawMAPE: raw, fitness: raw + opt.ParsimonyCoeff*float64(t.Size())}
 	}
 
-	// Ramped half-and-half initialization across depths 2..MaxDepth.
+	// Ramped half-and-half initialization across depths 2..MaxDepth,
+	// with the warm seed (when given) occupying the first quarter.
 	pop := make([]individual, opt.PopSize)
 	for i := range pop {
+		if warm != nil && i == 0 {
+			pop[i] = evaluate(warm.Clone())
+			continue
+		}
+		if warm != nil && i < opt.PopSize/4 {
+			pop[i] = evaluate(mutate(warm, nvars, opt, rng))
+			continue
+		}
 		depth := 2 + i%(opt.MaxDepth-1)
 		full := i%2 == 0
 		pop[i] = evaluate(randomTree(rng, nvars, depth, full, opt.ConstMin, opt.ConstMax))

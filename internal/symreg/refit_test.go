@@ -1,0 +1,105 @@
+package symreg
+
+import (
+	"encoding/json"
+	"testing"
+
+	"besst/internal/perfmodel"
+)
+
+func linearDataset(n int) Dataset {
+	ds := Dataset{VarNames: []string{"x"}}
+	for i := 1; i <= n; i++ {
+		x := float64(i)
+		ds.X = append(ds.X, []float64{x})
+		ds.Y = append(ds.Y, 3*x+5)
+	}
+	return ds
+}
+
+// TestRefitFallsBackToFit pins the cold-start contract: with no prior
+// fit (or a mismatched one), Refit IS Fit — same options, same seed,
+// byte-identical Fitted.
+func TestRefitFallsBackToFit(t *testing.T) {
+	ds := linearDataset(12)
+	opt := Options{Seed: 7, Generations: 20, PopSize: 64, Restarts: 2}
+	fresh := Fit("", ds, Dataset{}, opt)
+	cold := Refit(nil, ds, Dataset{}, opt)
+	a, _ := json.Marshal(fresh)
+	b, _ := json.Marshal(cold)
+	if string(a) != string(b) {
+		t.Fatalf("Refit(nil) differs from Fit:\n%s\n%s", a, b)
+	}
+
+	// Arity mismatch: the prior fit covers different variables, so the
+	// fallback is a fresh Fit under the prior's label.
+	prev := Fit("2d", Dataset{
+		VarNames: []string{"x", "r"},
+		X:        [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}},
+		Y:        []float64{2, 4, 6, 8},
+	}, Dataset{}, opt)
+	mismatch := Refit(prev, ds, Dataset{}, opt)
+	want, _ := json.Marshal(Fit("2d", ds, Dataset{}, opt))
+	c, _ := json.Marshal(mismatch)
+	if string(want) != string(c) {
+		t.Fatalf("Refit with mismatched prior differs from Fit:\n%s\n%s", want, c)
+	}
+}
+
+// TestRefitWarmStartImproves pins the warm-start contract: refitting
+// with more data starting from a prior fit stays deterministic and at
+// least as accurate as the prior on the new training set.
+func TestRefitWarmStartImproves(t *testing.T) {
+	opt := Options{Seed: 7, Generations: 20, PopSize: 64, Restarts: 2}
+	prev := Fit("lin", linearDataset(6), Dataset{}, opt)
+	grown := linearDataset(18)
+
+	warm1 := Refit(prev, grown, Dataset{}, opt)
+	warm2 := Refit(prev, grown, Dataset{}, opt)
+	a, _ := json.Marshal(warm1)
+	b, _ := json.Marshal(warm2)
+	if string(a) != string(b) {
+		t.Fatal("Refit is not deterministic for identical inputs")
+	}
+	if warm1.Label != "lin" {
+		t.Fatalf("Refit dropped the label: %q", warm1.Label)
+	}
+	if warm1.TrainMAPE > prev.TrainMAPE+1e-9 && warm1.TrainMAPE > 5 {
+		t.Fatalf("warm refit got worse: MAPE %v (prior %v)", warm1.TrainMAPE, prev.TrainMAPE)
+	}
+}
+
+// TestPredictBatchMatchesPredictRow pins batch prediction against the
+// scalar path and the no-allocation reuse contract.
+func TestPredictBatchMatchesPredictRow(t *testing.T) {
+	f := Fit("lin", linearDataset(12), Dataset{}, Options{Seed: 7, Generations: 20, PopSize: 64, Restarts: 2})
+	xs := [][]float64{{1}, {5}, {9}, {13}}
+
+	got := f.PredictBatch(xs, nil)
+	if len(got) != len(xs) {
+		t.Fatalf("PredictBatch returned %d values for %d rows", len(got), len(xs))
+	}
+	for i, row := range xs {
+		want := f.Predict(perfmodel.Params{"x": row[0]})
+		if got[i] < want || got[i] > want {
+			t.Fatalf("row %d: batch %v, scalar %v", i, got[i], want)
+		}
+	}
+
+	// Reusing a big-enough dst must not reallocate.
+	dst := make([]float64, 0, 16)
+	out := f.PredictBatch(xs, dst)
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("PredictBatch reallocated despite sufficient dst capacity")
+	}
+}
+
+func TestPredictBatchPanicsOnArityMismatch(t *testing.T) {
+	f := Fit("lin", linearDataset(8), Dataset{}, Options{Seed: 7, Generations: 10, PopSize: 32, Restarts: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PredictBatch accepted a row with the wrong arity")
+		}
+	}()
+	f.PredictBatch([][]float64{{1, 2}}, nil)
+}
